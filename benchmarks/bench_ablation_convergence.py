@@ -1,0 +1,72 @@
+"""Ablation A2 — convergence depth versus message loss and synchrony.
+
+Quantitative companion of the Eventual Prefix property: how deep a common
+prefix the replicas' final views share, as a function of the drop rate and
+of the channel synchrony (synchronous vs partially synchronous), in a
+Bitcoin-style run without the LRC relay.
+
+Expected shape: with no loss the views agree fully (agreement ratio 1,
+zero divergence); as the drop rate rises the common prefix shrinks and
+the agreement ratio falls; partial synchrony alone (no loss) does not
+prevent convergence once the run drains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import convergence_summary
+from repro.analysis.report import render_table
+from repro.network.channels import (
+    LossyChannel,
+    PartiallySynchronousChannel,
+    SynchronousChannel,
+)
+from repro.protocols.nakamoto import run_bitcoin
+
+DROPS = (0.0, 0.3, 0.7, 0.95)
+
+
+def _summary(drop: float, partial_sync: bool = False, seed: int = 101):
+    base = (
+        PartiallySynchronousChannel(gst=40.0, delta=1.0, pre_gst_mean=4.0, seed=seed)
+        if partial_sync
+        else SynchronousChannel(delta=1.0, seed=seed)
+    )
+    channel = LossyChannel(base, drop, seed=seed) if drop > 0 else base
+    run = run_bitcoin(
+        n=5, duration=150.0, token_rate=0.3, seed=seed, channel=channel, use_lrc=False
+    )
+    return convergence_summary(run.final_chains())
+
+
+def test_drop_rate_sweep_shrinks_the_common_prefix(once):
+    def sweep():
+        return {drop: _summary(drop) for drop in DROPS}
+
+    summaries = once(sweep)
+    rows = [
+        [drop, s.common_prefix_score, round(s.agreement_ratio, 2), s.max_divergence]
+        for drop, s in summaries.items()
+    ]
+    print()
+    print(render_table(
+        ["drop", "common prefix score", "agreement ratio", "max divergence"],
+        rows,
+        title="Ablation A2 — convergence vs message loss",
+    ))
+    no_loss = summaries[0.0]
+    assert no_loss.agreement_ratio == 1.0
+    assert no_loss.max_divergence == 0.0
+    heavy_loss = summaries[DROPS[-1]]
+    # Heavy loss leaves the replicas behind the most advanced view.
+    assert heavy_loss.max_divergence > 0 or heavy_loss.agreement_ratio < 1.0
+    # Shape: the common prefix never grows as loss increases.
+    prefixes = [summaries[d].common_prefix_score for d in DROPS]
+    assert prefixes[0] >= prefixes[-1]
+
+
+def test_partial_synchrony_alone_still_converges(once):
+    summary = once(_summary, 0.0, True, 103)
+    assert summary.agreement_ratio == 1.0
+    assert summary.max_divergence == 0.0

@@ -1,0 +1,85 @@
+"""Ablation A1 — fork rate versus oracle bound k and network delay.
+
+A design-choice study called out in DESIGN.md: the paper's oracles differ
+only in the per-parent fork bound, so we measure how many forks (and how
+much wasted work) actually materialize as a function of (i) the frugal
+bound k used by the validation oracle and (ii) the network delay, in an
+otherwise identical proof-of-work-style run.
+
+Expected shape: fork count grows with delay and with k, and k = 1
+eliminates forks entirely regardless of the delay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.forks import fork_statistics, merge_statistics
+from repro.analysis.report import render_table
+from repro.network.channels import SynchronousChannel
+from repro.oracle.tape import TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+from repro.protocols.nakamoto import run_bitcoin
+
+DELAYS = (1.0, 4.0)
+BOUNDS = (1, 2, None)  # None = prodigal
+
+
+def _oracle_for(bound, seed):
+    tapes = TapeFamily(seed=seed, probability_scale=0.4)
+    if bound is None:
+        return ProdigalOracle(tapes=tapes)
+    return FrugalOracle(k=bound, tapes=tapes)
+
+
+def _forks_for(bound, delay, seed=91):
+    run = run_bitcoin(
+        n=4,
+        duration=150.0,
+        token_rate=0.4,
+        seed=seed,
+        channel=SynchronousChannel(delta=delay, min_delay=delay / 4, seed=seed),
+        oracle=_oracle_for(bound, seed),
+    )
+    stats = merge_statistics(
+        {pid: fork_statistics(r.tree) for pid, r in run.replicas.items()}
+    )
+    return stats
+
+
+def test_fork_rate_sweep(once):
+    def sweep():
+        table = {}
+        for bound in BOUNDS:
+            for delay in DELAYS:
+                table[(bound, delay)] = _forks_for(bound, delay)
+        return table
+
+    table = once(sweep)
+    rows = [
+        ["∞" if bound is None else bound, delay,
+         round(stats["mean_forks"], 2), round(stats["mean_wasted_ratio"], 3)]
+        for (bound, delay), stats in table.items()
+    ]
+    print()
+    print(render_table(
+        ["k", "delay", "mean fork points / replica", "wasted block ratio"],
+        rows,
+        title="Ablation A1 — fork rate vs oracle bound and delay",
+    ))
+    # k = 1 never forks, whatever the delay.
+    for delay in DELAYS:
+        assert table[(1, delay)]["mean_forks"] == 0.0
+        assert table[(1, delay)]["max_fork_degree"] <= 1.0
+    # The unbounded oracle forks at least as much as any bounded one.
+    for delay in DELAYS:
+        assert table[(None, delay)]["mean_forks"] >= table[(2, delay)]["mean_forks"]
+        assert table[(None, delay)]["mean_forks"] >= table[(1, delay)]["mean_forks"]
+
+
+@pytest.mark.parametrize("bound", BOUNDS)
+def test_single_configuration(once, bound):
+    stats = once(_forks_for, bound, 2.0, 92)
+    if bound == 1:
+        assert stats["mean_forks"] == 0.0
+    assert stats["replicas"] == 4.0

@@ -1,0 +1,43 @@
+"""Figure 13 — the Update Agreement properties R1–R3.
+
+Regenerates the Figure 13 history (one update disseminated to all
+processes, with its send/receive/update events) both hand-built and from
+an actual network run, and times the R1–R3 checker.
+"""
+
+from __future__ import annotations
+
+from repro.network.channels import SynchronousChannel
+from repro.network.update_agreement import (
+    check_light_reliable_communication,
+    check_update_agreement,
+)
+from repro.protocols.nakamoto import run_bitcoin
+from repro.workload.scenarios import figure13_history
+
+
+def test_figure13_history_satisfies_update_agreement(benchmark):
+    history = figure13_history()
+    result = benchmark(check_update_agreement, history, ("i", "j", "k"))
+    assert result.holds
+
+
+def test_dropped_receiver_violates_r3(benchmark):
+    history = figure13_history(drop_for=["k"])
+    result = benchmark(check_update_agreement, history, ("i", "j", "k"))
+    assert not result.r3_holds
+
+
+def test_update_agreement_on_a_real_protocol_run(benchmark):
+    run = run_bitcoin(
+        n=4, duration=100.0, token_rate=0.3, seed=51,
+        channel=SynchronousChannel(delta=1.0, seed=51),
+    )
+    result = benchmark(
+        check_update_agreement,
+        run.history,
+        run.correct_replicas,
+        run.block_creators(),
+    )
+    assert result.holds
+    assert check_light_reliable_communication(run.history, run.correct_replicas).holds

@@ -1,0 +1,45 @@
+"""Figure 14 — the message-passing hierarchy with its impossible vertices.
+
+The greyed-out vertices of Figure 14 (SC with a fork-allowing oracle) are
+re-derived empirically: in a message-passing run with the prodigal oracle,
+Strong Prefix is violated even with zero faults and synchronous channels,
+whereas the k = 1 vertex remains achievable.  The declarative
+message-passing hierarchy is also checked against Theorem 4.8.
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import check_strong_consistency
+from repro.core.hierarchy import Refinement, message_passing_hierarchy
+from repro.network.channels import SynchronousChannel
+from repro.protocols.hyperledger import run_hyperledger
+from repro.protocols.nakamoto import run_bitcoin
+
+
+def test_message_passing_hierarchy_excludes_impossible_vertices(benchmark):
+    hierarchy = benchmark(message_passing_hierarchy)
+    assert Refinement.sc_prodigal() not in hierarchy
+    assert Refinement.sc_frugal(2) not in hierarchy
+    assert Refinement.sc_frugal(1) in hierarchy
+    assert Refinement.ec_prodigal() in hierarchy
+
+
+def test_fork_allowing_oracle_breaks_strong_prefix_in_message_passing(once):
+    def run():
+        result = run_bitcoin(
+            n=4, duration=200.0, token_rate=0.6, seed=61,
+            channel=SynchronousChannel(delta=4.0, min_delay=1.0, seed=61),
+        )
+        return check_strong_consistency(result.history.without_failed_appends())
+
+    report = once(run)
+    assert not report.holds
+
+
+def test_fork_free_oracle_achieves_strong_prefix_in_message_passing(once):
+    def run():
+        result = run_hyperledger(n=4, duration=100.0, seed=61)
+        return check_strong_consistency(result.history.without_failed_appends())
+
+    report = once(run)
+    assert report.holds

@@ -1,0 +1,66 @@
+"""Figure 1 — the BT-ADT transition system.
+
+Regenerates the transition path of Figure 1 (valid appends advance the
+state and output ``true``, invalid appends leave it unchanged and output
+``false``, reads return ``{b0}⌢f(bt)``) and measures the cost of the
+append/read operations and of sequential-specification membership checks.
+"""
+
+from __future__ import annotations
+
+from repro.core.adt import Operation, is_sequential_history
+from repro.core.block import GENESIS_ID, Block, BlockIdFactory
+from repro.core.bt_adt import BTADT, BlockTreeObject
+from repro.core.validity import MembershipValidity
+
+
+def _figure1_operations():
+    b1, b2, b3 = Block("b1", GENESIS_ID), Block("b2", "b1"), Block("b3", GENESIS_ID)
+    return [
+        Operation.with_output("append", b1, True),
+        Operation.with_output("read", None, (GENESIS_ID, "b1")),
+        Operation.with_output("append", b3, False),
+        Operation.with_output("append", b2, True),
+        Operation.with_output("read", None, (GENESIS_ID, "b1", "b2")),
+    ]
+
+
+def test_figure1_path_membership(benchmark):
+    """The Figure 1 word belongs to L(BT-ADT); membership check timed."""
+    adt = BTADT(predicate=MembershipValidity.of(["b1", "b2"]))
+    operations = _figure1_operations()
+    accepted = benchmark(is_sequential_history, adt, operations)
+    assert accepted is True
+
+
+def test_append_read_throughput(benchmark):
+    """Raw cost of 500 appends + 500 reads on the stateful BT-ADT object."""
+    ids = BlockIdFactory()
+
+    def workload() -> int:
+        obj = BlockTreeObject()
+        tip = GENESIS_ID
+        for _ in range(500):
+            block = ids.make_block(tip)
+            assert obj.append(block)
+            tip = obj.read().tip.block_id
+        return obj.read().length
+
+    length = benchmark(workload)
+    assert length == 500
+
+
+def test_invalid_appends_are_rejected_cheaply(benchmark):
+    """Appends of invalid blocks output false and never grow the tree."""
+    predicate = MembershipValidity.of([])
+
+    def workload() -> int:
+        obj = BlockTreeObject(predicate=predicate)
+        rejected = 0
+        for i in range(500):
+            if not obj.append(Block(f"bad{i}", GENESIS_ID)):
+                rejected += 1
+        return rejected
+
+    rejected = benchmark(workload)
+    assert rejected == 500

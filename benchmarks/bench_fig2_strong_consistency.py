@@ -1,0 +1,35 @@
+"""Figure 2 — a history satisfying BT Strong Consistency.
+
+Regenerates the exact history of Figure 2 and a family of randomized
+fork-free histories, asserts the SC verdict and times the SC checker
+(whose pairwise Strong-Prefix comparison is the quadratic hot path).
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import check_eventual_consistency, check_strong_consistency
+from repro.workload.scenarios import figure2_history, generate_chain_history
+
+
+def test_figure2_history_is_strongly_consistent(benchmark):
+    history = figure2_history()
+    report = benchmark(check_strong_consistency, history)
+    assert report.holds
+    # Theorem 3.1: it is therefore also eventually consistent.
+    assert check_eventual_consistency(history).holds
+
+
+def test_sc_checker_on_large_fork_free_history(benchmark):
+    history = generate_chain_history(
+        n_processes=4, chain_length=60, reads_per_process=30, seed=2
+    )
+    report = benchmark(check_strong_consistency, history)
+    assert report.holds
+
+
+def test_sc_checker_scaling_many_reads(benchmark):
+    history = generate_chain_history(
+        n_processes=8, chain_length=40, reads_per_process=40, seed=3
+    )
+    report = benchmark(check_strong_consistency, history)
+    assert report.holds

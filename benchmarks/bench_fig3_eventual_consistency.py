@@ -1,0 +1,32 @@
+"""Figure 3 — a history satisfying BT Eventual but not Strong Consistency.
+
+Regenerates the exact history of Figure 3 (transient fork, eventual
+convergence) and randomized resolved-fork histories; asserts the
+EC-but-not-SC verdict and times the EC checker.
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import check_eventual_consistency, check_strong_consistency
+from repro.workload.scenarios import figure3_history, generate_forked_history
+
+
+def test_figure3_history_is_ec_not_sc(benchmark):
+    history = figure3_history()
+    report = benchmark(check_eventual_consistency, history)
+    assert report.holds
+    assert not check_strong_consistency(history).holds
+
+
+def test_ec_checker_on_large_resolved_fork(benchmark):
+    history = generate_forked_history(branch_length=40, resolve=True, seed=5)
+    report = benchmark(check_eventual_consistency, history)
+    assert report.holds
+    assert not check_strong_consistency(history).holds
+
+
+def test_strong_prefix_violation_is_detected_with_witnesses(benchmark):
+    history = figure3_history()
+    report = benchmark(check_strong_consistency, history)
+    assert not report.holds
+    assert report.result_for("strong-prefix").violations

@@ -1,0 +1,31 @@
+"""Figure 4 — a history satisfying neither BT consistency criterion.
+
+Regenerates the permanently diverging history of Figure 4 and its
+randomized generalization, asserts that both SC and EC reject it, and
+times the checkers on the rejecting path (violation enumeration).
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import check_eventual_consistency, check_strong_consistency
+from repro.workload.scenarios import figure4_history, generate_forked_history
+
+
+def test_figure4_history_satisfies_neither_criterion(benchmark):
+    history = figure4_history()
+    ec_report = benchmark(check_eventual_consistency, history)
+    assert not ec_report.holds
+    assert not check_strong_consistency(history).holds
+
+
+def test_eventual_prefix_violations_carry_witnesses(benchmark):
+    history = generate_forked_history(branch_length=20, resolve=False, seed=7)
+    report = benchmark(check_eventual_consistency, history)
+    assert not report.holds
+    assert report.result_for("eventual-prefix").violations
+
+
+def test_rejection_cost_on_large_divergent_history(benchmark):
+    history = generate_forked_history(branch_length=50, resolve=False, seed=8)
+    report = benchmark(check_eventual_consistency, history)
+    assert not report.holds

@@ -1,0 +1,71 @@
+"""Figures 5–7 — the token oracle and the refined append.
+
+Measures the cost of the ``getToken*; consumeToken`` append (Definition
+3.7 / Figure 7) through both oracles, and checks its semantics: every
+appended block carries a token, extends the selected chain, and the
+frugal oracle bounds forks per parent.
+"""
+
+from __future__ import annotations
+
+from repro.core.block import GENESIS_ID, Block, BlockIdFactory
+from repro.oracle.fork_coherence import check_fork_coherence_from_oracle
+from repro.oracle.refinement import RefinedBTADT
+from repro.oracle.tape import TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+
+
+def _refined(oracle_kind: str, probability: float = 0.5, k: int = 1):
+    tapes = TapeFamily(seed=13, probability_scale=probability)
+    tapes.register_merit("p", 1.0)
+    if oracle_kind == "prodigal":
+        oracle = ProdigalOracle(tapes=tapes)
+    else:
+        oracle = FrugalOracle(k=k, tapes=tapes)
+    return RefinedBTADT(oracle, process="p")
+
+
+def test_refined_append_throughput_prodigal(benchmark):
+    """300 refined appends through Θ_P (p = 0.5 per getToken draw)."""
+    ids = BlockIdFactory()
+
+    def workload() -> int:
+        adt = _refined("prodigal")
+        for _ in range(300):
+            adt.append(ids.make_block(GENESIS_ID, creator="p"))
+        return adt.read().length
+
+    length = benchmark(workload)
+    assert length == 300
+
+
+def test_refined_append_throughput_frugal_k1(benchmark):
+    """300 refined appends through Θ_{F,1} — still a single growing chain."""
+    ids = BlockIdFactory()
+
+    def workload():
+        adt = _refined("frugal", k=1)
+        for _ in range(300):
+            adt.append(ids.make_block(GENESIS_ID, creator="p"))
+        return adt
+
+    adt = benchmark(workload)
+    assert adt.read().length == 300
+    assert check_fork_coherence_from_oracle(adt.oracle).holds
+    assert all(b.token is not None for b in adt.read() if not b.is_genesis)
+
+
+def test_token_retry_cost_scales_with_low_probability(benchmark):
+    """With p = 0.05 each append needs ~20 getToken draws (the PoW regime)."""
+    ids = BlockIdFactory()
+
+    def workload() -> int:
+        adt = _refined("prodigal", probability=0.05)
+        attempts = 0
+        for _ in range(50):
+            outcome = adt.append_detailed(ids.make_block(GENESIS_ID, creator="p"))
+            attempts += outcome.attempts
+        return attempts
+
+    attempts = benchmark(workload)
+    assert attempts > 50 * 5  # far more draws than blocks

@@ -1,0 +1,69 @@
+"""Figure 8 — the hierarchy of refined BlockTree ADTs.
+
+Re-derives the hierarchy empirically: families of histories generated
+under stronger refinements are accepted by all weaker criteria, and the
+declarative hierarchy (edge set) matches the strength relation.  The
+timed operation is the classification of a whole history family against
+all vertices of the hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import check_eventual_consistency, check_strong_consistency
+from repro.core.hierarchy import Refinement, is_weaker_or_equal, refinement_hierarchy
+from repro.workload.scenarios import generate_chain_history, generate_forked_history
+
+
+def _history_family():
+    """Histories labelled by the strongest refinement that admits them."""
+    families = []
+    for seed in range(4):
+        families.append(("SC", generate_chain_history(n_processes=3, chain_length=12, seed=seed)))
+        families.append(("EC", generate_forked_history(branch_length=6, resolve=True, seed=seed)))
+    return families
+
+
+def test_hierarchy_edges_match_strength_relation(benchmark):
+    hierarchy = benchmark(refinement_hierarchy)
+    for stronger, weaker_set in hierarchy.items():
+        for weaker in weaker_set:
+            assert is_weaker_or_equal(weaker, stronger)
+    # The strongest vertex reaches every other vertex (Figure 8's apex).
+    apex = Refinement.sc_frugal(1)
+    assert len(hierarchy[apex]) == len(hierarchy) - 1
+
+
+def test_history_families_respect_the_inclusion(benchmark):
+    families = _history_family()
+
+    def classify_all():
+        verdicts = []
+        for label, history in families:
+            verdicts.append(
+                (
+                    label,
+                    check_strong_consistency(history).holds,
+                    check_eventual_consistency(history).holds,
+                )
+            )
+        return verdicts
+
+    verdicts = benchmark(classify_all)
+    for label, sc, ec in verdicts:
+        if label == "SC":
+            assert sc and ec           # SC histories sit in both sets
+        else:
+            assert ec and not sc       # EC-only histories witness the strictness
+
+
+def test_strongest_vertex_histories_accepted_everywhere(benchmark):
+    history = generate_chain_history(n_processes=2, chain_length=15, seed=9)
+
+    def check_everywhere():
+        return (
+            check_strong_consistency(history).holds,
+            check_eventual_consistency(history).holds,
+        )
+
+    sc, ec = benchmark(check_everywhere)
+    assert sc and ec

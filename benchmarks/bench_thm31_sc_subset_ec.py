@@ -1,0 +1,40 @@
+"""Theorem 3.1 — H_SC ⊂ H_EC.
+
+Generates a family of SC histories and checks every one against the EC
+criterion (the inclusion), plus an EC-but-not-SC witness (the strictness),
+timing the double classification of the whole family.
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import check_eventual_consistency, check_strong_consistency
+from repro.workload.scenarios import generate_chain_history, generate_forked_history
+
+
+def test_every_sc_history_in_the_family_is_ec(benchmark):
+    histories = [
+        generate_chain_history(n_processes=3, chain_length=10, reads_per_process=6, seed=s)
+        for s in range(8)
+    ]
+
+    def check_family():
+        return [
+            (check_strong_consistency(h).holds, check_eventual_consistency(h).holds)
+            for h in histories
+        ]
+
+    verdicts = benchmark(check_family)
+    assert all(sc and ec for sc, ec in verdicts)
+
+
+def test_inclusion_is_strict(benchmark):
+    witnesses = [generate_forked_history(branch_length=5, resolve=True, seed=s) for s in range(4)]
+
+    def check_witnesses():
+        return [
+            (check_strong_consistency(h).holds, check_eventual_consistency(h).holds)
+            for h in witnesses
+        ]
+
+    verdicts = benchmark(check_witnesses)
+    assert all(ec and not sc for sc, ec in verdicts)

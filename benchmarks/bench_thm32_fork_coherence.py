@@ -1,0 +1,51 @@
+"""Theorem 3.2 — k-Fork Coherence of the Θ_F composition.
+
+Sweeps the frugal bound k ∈ {1, 2, 4, 8}, hammers each oracle with far
+more consume attempts than its bound, and asserts |K[h]| never exceeds k.
+The timed operation is the full attempt/consume/verify loop per k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS, GENESIS_ID, Block
+from repro.oracle.fork_coherence import check_fork_coherence_from_oracle
+from repro.oracle.tape import DeterministicTape, TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+
+ATTEMPTS_PER_PARENT = 50
+PARENTS = [GENESIS_ID, "p1", "p2", "p3"]
+
+
+def _hammer(oracle):
+    for parent in PARENTS:
+        for i in range(ATTEMPTS_PER_PARENT):
+            validated = oracle.get_token(
+                parent, Block(f"{parent}_blk{i}", GENESIS_ID, creator="p"), process="p"
+            )
+            oracle.consume_token(validated, process="p")
+    return check_fork_coherence_from_oracle(oracle)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
+def test_frugal_oracle_never_exceeds_its_bound(benchmark, k):
+    def workload():
+        family = TapeFamily()
+        family.set_tape("p", DeterministicTape([True]))
+        return _hammer(FrugalOracle(k=k, tapes=family))
+
+    result = benchmark(workload)
+    assert result.holds
+    assert result.max_forks == k
+
+
+def test_prodigal_oracle_consumes_every_attempt(benchmark):
+    def workload():
+        family = TapeFamily()
+        family.set_tape("p", DeterministicTape([True]))
+        return _hammer(ProdigalOracle(tapes=family))
+
+    result = benchmark(workload)
+    assert result.holds  # bound is infinite
+    assert result.max_forks == ATTEMPTS_PER_PARENT

@@ -1,0 +1,53 @@
+"""Theorems 3.3 / 3.4 — oracle history inclusion.
+
+Replays the same consume workload under Θ_F(k1), Θ_F(k2) with k1 ≤ k2 and
+Θ_P, and checks that the sets of successfully appended blocks nest —
+which is the executable content of Ĥ^{R(BT,Θ_F,k1)} ⊆ Ĥ^{R(BT,Θ_F,k2)} ⊆
+Ĥ^{R(BT,Θ_P)}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS_ID, Block
+from repro.oracle.tape import DeterministicTape, TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+
+WORKLOAD = [(f"parent{i % 5}", f"blk{i}") for i in range(100)]
+
+
+def _replay(oracle):
+    accepted = set()
+    for parent, name in WORKLOAD:
+        validated = oracle.get_token(parent, Block(name, GENESIS_ID, creator="p"), process="p")
+        consumed = oracle.consume_token(validated, process="p")
+        if any(v.block_id == name for v in consumed):
+            accepted.add(name)
+    return accepted
+
+
+def _oracle(k):
+    family = TapeFamily()
+    family.set_tape("p", DeterministicTape([True]))
+    return ProdigalOracle(tapes=family) if k is None else FrugalOracle(k=k, tapes=family)
+
+
+@pytest.mark.parametrize("k1,k2", [(1, 2), (2, 4), (1, 8)])
+def test_accepted_blocks_nest_with_k(benchmark, k1, k2):
+    def workload():
+        return _replay(_oracle(k1)), _replay(_oracle(k2)), _replay(_oracle(None))
+
+    small, large, prodigal = benchmark(workload)
+    assert small <= large <= prodigal
+    assert len(small) == 5 * k1
+    assert len(large) == 5 * k2
+    assert len(prodigal) == len(WORKLOAD)
+
+
+def test_prodigal_accepts_strictly_more_than_any_finite_k(benchmark):
+    def workload():
+        return _replay(_oracle(4)), _replay(_oracle(None))
+
+    frugal, prodigal = benchmark(workload)
+    assert frugal < prodigal

@@ -1,0 +1,81 @@
+"""Theorem 4.2 — Θ_{F,k=1} has consensus number ∞.
+
+Runs Protocol A (Figure 11) for n ∈ {2, 4, 8, 16} processes under random
+adversarial schedules and crash injections, asserting Agreement, Validity,
+Integrity and Termination every time, and timing the full consensus
+instance per n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS_ID, Block
+from repro.concurrent.consensus_object import check_consensus_properties
+from repro.concurrent.reductions import CASFromConsumeToken, OracleConsensus
+from repro.concurrent.scheduler import Scheduler
+from repro.oracle.tape import DeterministicTape, TapeFamily
+from repro.oracle.theta import FrugalOracle
+
+
+def _consensus_instance(n: int):
+    family = TapeFamily()
+    processes = [f"p{i}" for i in range(n)]
+    for p in processes:
+        family.set_tape(p, DeterministicTape([True]))
+    return OracleConsensus(FrugalOracle(k=1, tapes=family)), processes
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_consensus_for_n_processes_under_random_schedules(benchmark, n):
+    def run_instance():
+        consensus, processes = _consensus_instance(n)
+        scheduler = Scheduler(seed=n, strategy="random")
+        for p in processes:
+            scheduler.spawn(
+                p, consensus.propose_steps(p, Block(f"blk_{p}", GENESIS_ID, creator=p))
+            )
+        result = scheduler.run()
+        return consensus, processes, result
+
+    consensus, processes, result = benchmark(run_instance)
+    decisions = {result.results[p].block_id for p in processes}
+    assert len(decisions) == 1
+    check_consensus_properties(consensus, validator=lambda v: v.token is not None)
+
+
+def test_consensus_survives_crashes_of_all_but_one(benchmark):
+    def run_instance():
+        consensus, processes = _consensus_instance(6)
+        scheduler = Scheduler(strategy="round_robin")
+        for p in processes:
+            scheduler.spawn(
+                p, consensus.propose_steps(p, Block(f"blk_{p}", GENESIS_ID, creator=p))
+            )
+        for p in processes[:-1]:
+            scheduler.crash(p)
+        result = scheduler.run()
+        return consensus, processes, result
+
+    consensus, processes, result = benchmark(run_instance)
+    survivor = processes[-1]
+    assert survivor in result.results
+    check_consensus_properties(consensus, correct_processes=(survivor,))
+
+
+def test_cas_emulation_cost(benchmark):
+    """The Figure 10 CAS built from consumeToken (Theorem 4.1)."""
+
+    def run_instance():
+        family = TapeFamily()
+        family.set_tape("p", DeterministicTape([True]))
+        family.set_tape("q", DeterministicTape([True]))
+        oracle = FrugalOracle(k=1, tapes=family)
+        cas = CASFromConsumeToken(oracle, GENESIS_ID)
+        first = oracle.get_token(GENESIS_ID, Block("x", GENESIS_ID), process="p")
+        second = oracle.get_token(GENESIS_ID, Block("y", GENESIS_ID), process="q")
+        return cas.compare_and_swap(first, process="p"), cas.compare_and_swap(second, process="q")
+
+    won, lost = benchmark(run_instance)
+    assert won == ()
+    assert [b.block_id for b in lost] == ["x"]

@@ -1,0 +1,76 @@
+"""Theorems 4.6 / 4.7 — Update Agreement and LRC are necessary for EC.
+
+Sweeps the message drop probability over a Bitcoin-style run (without the
+LRC relay, so lost copies are never recovered) and records, per drop rate,
+whether Update Agreement / LRC / Eventual Consistency survive.  The
+expected shape: at drop 0 everything holds; once updates actually go
+missing, R3/Agreement break and Eventual Consistency breaks with them —
+never the other way around (EC broken while Update Agreement holds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.consistency import check_eventual_consistency
+from repro.network.channels import LossyChannel, SynchronousChannel
+from repro.network.update_agreement import (
+    check_light_reliable_communication,
+    check_update_agreement,
+)
+from repro.protocols.nakamoto import run_bitcoin
+
+DROP_RATES = (0.0, 0.2, 0.5, 0.8, 0.95)
+
+
+def _run_with_drop(drop: float, seed: int = 71):
+    channel = LossyChannel(SynchronousChannel(delta=1.0, seed=seed), drop, seed=seed)
+    run = run_bitcoin(
+        n=4, duration=120.0, token_rate=0.35, seed=seed, channel=channel, use_lrc=False
+    )
+    agreement = check_update_agreement(
+        run.history, processes=run.correct_replicas, block_creators=run.block_creators()
+    )
+    lrc = check_light_reliable_communication(run.history, run.correct_replicas)
+    ec = check_eventual_consistency(run.history.without_failed_appends())
+    return agreement, lrc, ec
+
+
+def test_drop_rate_sweep_shape(once):
+    def sweep():
+        return {drop: _run_with_drop(drop) for drop in DROP_RATES}
+
+    results = once(sweep)
+    rows = [
+        [drop, agreement.holds, lrc.holds, ec.holds]
+        for drop, (agreement, lrc, ec) in results.items()
+    ]
+    print()
+    print(render_table(
+        ["drop", "update-agreement", "LRC", "eventual-consistency"],
+        rows,
+        title="Theorem 4.6/4.7 — loss sweep (flooding without relay)",
+    ))
+    # Reliable extreme: everything holds.
+    agreement0, lrc0, ec0 = results[0.0]
+    assert agreement0.holds and lrc0.holds and ec0.holds
+    # Heavy-loss extreme: update agreement is broken.
+    agreement_hi, lrc_hi, _ = results[DROP_RATES[-1]]
+    assert not agreement_hi.holds
+    assert not lrc_hi.holds
+    # Necessity direction: EC never survives the loss of update agreement's
+    # R3 *and* divergence — i.e. we never observe EC broken while update
+    # agreement holds (the contrapositive of Theorem 4.6).
+    for drop, (agreement, _, ec) in results.items():
+        if not ec.holds:
+            assert not agreement.holds, f"EC broken but Update Agreement intact at drop={drop}"
+
+
+@pytest.mark.parametrize("drop", [0.0, 0.8])
+def test_single_drop_rate_run(once, drop):
+    agreement, lrc, ec = once(_run_with_drop, drop, 72)
+    if drop == 0.0:
+        assert agreement.holds and lrc.holds and ec.holds
+    else:
+        assert not agreement.holds

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one artefact of the paper
+(figure, table, theorem or ablation) — see DESIGN.md §3 for the full
+experiment index and EXPERIMENTS.md for the recorded outcomes.  Each
+benchmark both *times* the relevant operation (via pytest-benchmark) and
+*asserts* the paper-level expectation, so a passing
+``pytest benchmarks/ --benchmark-only`` run is itself the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Benchmark a heavyweight simulation with a single round.
+
+    Whole-protocol sweeps (Table 1, the loss and fork-pressure ablations)
+    take hundreds of milliseconds each; timing them with pytest-benchmark's
+    default calibration would repeat them dozens of times for no extra
+    information.  ``once(fn, *args)`` runs ``fn`` exactly once under the
+    benchmark timer and returns its result.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

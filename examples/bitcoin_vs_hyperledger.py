@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bitcoin vs Hyperledger Fabric: the Table 1 classification, live.
+
+Runs the two extreme systems of the paper's Table 1 on the same
+message-passing substrate — a proof-of-work system over the prodigal
+oracle and a permissioned ordering service over the frugal k = 1 oracle —
+and shows where they land in the refinement hierarchy, how many forks
+each produced, and how their replicas converged.
+
+Run with:  python examples/bitcoin_vs_hyperledger.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import convergence_summary
+from repro.analysis.forks import fork_statistics, merge_statistics
+from repro.analysis.report import render_table
+from repro.network.channels import SynchronousChannel
+from repro.protocols.classification import classify_run
+from repro.protocols.hyperledger import run_hyperledger
+from repro.protocols.nakamoto import run_bitcoin
+
+
+def main() -> None:
+    print("Running the Bitcoin model (prodigal oracle, heaviest chain, flooding)...")
+    bitcoin = run_bitcoin(
+        n=6,
+        duration=150.0,
+        token_rate=0.4,
+        seed=7,
+        channel=SynchronousChannel(delta=3.0, min_delay=0.5, seed=7),
+    )
+    print("Running the Hyperledger Fabric model (frugal k=1 oracle, fixed orderer)...")
+    fabric = run_hyperledger(n=6, duration=150.0, seed=7)
+
+    rows = []
+    for run in (bitcoin, fabric):
+        classification = classify_run(run)
+        forks = merge_statistics(
+            {pid: fork_statistics(r.tree) for pid, r in run.replicas.items()}
+        )
+        convergence = convergence_summary(run.final_chains())
+        rows.append(
+            [
+                run.name,
+                classification.refinement.label() if classification.refinement else "(none)",
+                "yes" if classification.matches_paper else "NO",
+                round(forks["mean_forks"], 2),
+                round(forks["mean_wasted_ratio"], 3),
+                convergence.common_prefix_score,
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            [
+                "system",
+                "measured refinement",
+                "matches Table 1",
+                "forks/replica",
+                "wasted ratio",
+                "final common prefix",
+            ],
+            rows,
+            title="Bitcoin vs Hyperledger Fabric",
+        )
+    )
+    print()
+    print("Reading of the result:")
+    print("  * Bitcoin's validation maps to the prodigal oracle, so concurrent miners")
+    print("    fork the tree; its histories satisfy Eventual but not Strong consistency.")
+    print("  * Fabric's ordering service consumes a single token per height (k = 1):")
+    print("    the tree stays a chain and the histories satisfy Strong consistency —")
+    print("    exactly the two rows of the paper's Table 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fork behaviour of a proof-of-work blockchain under varying conditions.
+
+Sweeps the network delay and the oracle's fork bound k on a Bitcoin-style
+workload and prints fork statistics and convergence metrics — the
+quantitative counterpart of the paper's k-Fork Coherence theorem and of
+the Eventual Prefix property.
+
+Run with:  python examples/fork_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import convergence_summary
+from repro.analysis.forks import fork_statistics, merge_statistics
+from repro.analysis.report import render_table
+from repro.network.channels import SynchronousChannel
+from repro.oracle.tape import TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+from repro.protocols.nakamoto import run_bitcoin
+
+DELAYS = (1.0, 2.0, 4.0)
+BOUNDS = (1, 2, None)  # None = prodigal (Bitcoin proper)
+
+
+def run_configuration(bound, delay, seed=5):
+    tapes = TapeFamily(seed=seed, probability_scale=0.4)
+    oracle = ProdigalOracle(tapes=tapes) if bound is None else FrugalOracle(k=bound, tapes=tapes)
+    run = run_bitcoin(
+        n=5,
+        duration=150.0,
+        token_rate=0.4,
+        seed=seed,
+        channel=SynchronousChannel(delta=delay, min_delay=delay / 4, seed=seed),
+        oracle=oracle,
+    )
+    forks = merge_statistics({pid: fork_statistics(r.tree) for pid, r in run.replicas.items()})
+    convergence = convergence_summary(run.final_chains())
+    return forks, convergence
+
+
+def main() -> None:
+    rows = []
+    for bound in BOUNDS:
+        for delay in DELAYS:
+            forks, convergence = run_configuration(bound, delay)
+            rows.append(
+                [
+                    "∞" if bound is None else bound,
+                    delay,
+                    round(forks["mean_blocks"], 1),
+                    round(forks["mean_forks"], 2),
+                    round(forks["mean_wasted_ratio"], 3),
+                    convergence.common_prefix_score,
+                ]
+            )
+    print(
+        render_table(
+            ["k", "delay", "blocks/replica", "fork points/replica", "wasted ratio", "final common prefix"],
+            rows,
+            title="Fork behaviour vs oracle bound k and network delay",
+        )
+    )
+    print()
+    print("Observations (matching Theorem 3.2 and the Section 5 discussion):")
+    print("  * k = 1 never forks, whatever the delay — that is the consensus regime;")
+    print("  * with the prodigal oracle, forks (and wasted work) grow with the delay;")
+    print("  * all configurations still converge after dissemination quiesces, which is")
+    print("    the Eventual Prefix property at work.")
+
+
+if __name__ == "__main__":
+    main()

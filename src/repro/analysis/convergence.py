@@ -1,0 +1,104 @@
+"""Convergence metrics: the quantitative face of the Eventual Prefix property.
+
+The Eventual Prefix property is a yes/no criterion; these helpers measure
+*how much* a set of replica views (or read results) agrees:
+
+* :func:`common_prefix_depth` — the score of the prefix shared by *all*
+  chains (the paper's ``mcps`` generalized to a set);
+* :func:`divergence_by_pair` — per-pair divergence: how far behind the
+  shared prefix each pair's views are;
+* :func:`convergence_summary` — the aggregate used by the loss/synchrony
+  ablation benches, including the fraction of replica pairs in perfect
+  agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.block import Blockchain
+from repro.core.score import LengthScore, ScoreFunction, mcps
+
+__all__ = [
+    "ConvergenceSummary",
+    "common_prefix_depth",
+    "divergence_by_pair",
+    "convergence_summary",
+]
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Aggregate agreement metrics over a set of replica views."""
+
+    replicas: int
+    min_score: float
+    max_score: float
+    common_prefix_score: float
+    mean_pairwise_mcps: float
+    fully_agreeing_pairs: int
+    total_pairs: int
+
+    @property
+    def agreement_ratio(self) -> float:
+        """Fraction of replica pairs whose views are prefix-related."""
+        if self.total_pairs == 0:
+            return 1.0
+        return self.fully_agreeing_pairs / self.total_pairs
+
+    @property
+    def max_divergence(self) -> float:
+        """How far the most advanced view is beyond the common prefix."""
+        return self.max_score - self.common_prefix_score
+
+
+def common_prefix_depth(
+    chains: Sequence[Blockchain], score: Optional[ScoreFunction] = None
+) -> float:
+    """Score of the prefix shared by *all* chains (genesis-only → s0)."""
+    scorer = score if score is not None else LengthScore()
+    if not chains:
+        return 0.0
+    prefix = chains[0]
+    for chain in chains[1:]:
+        prefix = prefix.common_prefix(chain)
+    return scorer(prefix)
+
+
+def divergence_by_pair(
+    views: Mapping[str, Blockchain], score: Optional[ScoreFunction] = None
+) -> Dict[Tuple[str, str], float]:
+    """For each replica pair, the score of their maximal common prefix."""
+    scorer = score if score is not None else LengthScore()
+    return {
+        (a, b): mcps(views[a], views[b], scorer)
+        for a, b in combinations(sorted(views), 2)
+    }
+
+
+def convergence_summary(
+    views: Mapping[str, Blockchain], score: Optional[ScoreFunction] = None
+) -> ConvergenceSummary:
+    """Aggregate agreement metrics over replica views."""
+    scorer = score if score is not None else LengthScore()
+    chains = [views[k] for k in sorted(views)]
+    scores = [scorer(c) for c in chains]
+    pairwise = divergence_by_pair(views, scorer)
+    agreeing = sum(
+        1
+        for (a, b) in pairwise
+        if views[a].is_prefix_of(views[b]) or views[b].is_prefix_of(views[a])
+    )
+    return ConvergenceSummary(
+        replicas=len(chains),
+        min_score=min(scores) if scores else 0.0,
+        max_score=max(scores) if scores else 0.0,
+        common_prefix_score=common_prefix_depth(chains, scorer),
+        mean_pairwise_mcps=(
+            sum(pairwise.values()) / len(pairwise) if pairwise else 0.0
+        ),
+        fully_agreeing_pairs=agreeing,
+        total_pairs=len(pairwise),
+    )

@@ -1,0 +1,220 @@
+"""Command-line interface: regenerate the paper's artefacts from a shell.
+
+``python -m repro <command>`` exposes the most useful entry points without
+writing any Python:
+
+* ``table1`` — run the seven system models and print the reproduced Table 1;
+* ``classify`` — run a single system model and print its classification,
+  fork statistics, convergence and fairness summaries;
+* ``hierarchy`` — print the Figure 8 / Figure 14 hierarchies;
+* ``figures`` — check the Figure 2/3/4 example histories against both
+  consistency criteria and print the verdicts;
+* ``fork-sweep`` — the fork-rate ablation (oracle bound × delay).
+
+Every command accepts ``--seed`` so results are reproducible, and prints
+plain text only (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.convergence import convergence_summary
+from repro.analysis.fairness import fairness_report
+from repro.analysis.forks import fork_statistics, merge_statistics
+from repro.analysis.report import render_classification_table, render_table
+from repro.core.consistency import check_eventual_consistency, check_strong_consistency
+from repro.core.hierarchy import message_passing_hierarchy, refinement_hierarchy
+from repro.network.channels import SynchronousChannel
+from repro.protocols.algorand import run_algorand
+from repro.protocols.byzcoin import run_byzcoin
+from repro.protocols.classification import classify_run, reproduce_table1
+from repro.protocols.ghost import run_ethereum
+from repro.protocols.hyperledger import run_hyperledger
+from repro.protocols.nakamoto import run_bitcoin
+from repro.protocols.peercensus import run_peercensus
+from repro.protocols.redbelly import run_redbelly
+from repro.workload.merit import uniform_merit, zipf_merit
+from repro.workload.scenarios import figure2_history, figure3_history, figure4_history
+
+__all__ = ["main", "build_parser"]
+
+SYSTEMS: Dict[str, Callable[..., object]] = {
+    "bitcoin": run_bitcoin,
+    "ethereum": run_ethereum,
+    "byzcoin": run_byzcoin,
+    "algorand": run_algorand,
+    "peercensus": run_peercensus,
+    "redbelly": run_redbelly,
+    "hyperledger": run_hyperledger,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable reproduction of 'Blockchain Abstract Data Type' (SPAA 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="reproduce Table 1 (system classification)")
+    table1.add_argument("--replicas", type=int, default=5)
+    table1.add_argument("--duration", type=float, default=100.0)
+    table1.add_argument("--seed", type=int, default=7)
+
+    classify = sub.add_parser("classify", help="run one system model and classify it")
+    classify.add_argument("system", choices=sorted(SYSTEMS))
+    classify.add_argument("--replicas", type=int, default=5)
+    classify.add_argument("--duration", type=float, default=120.0)
+    classify.add_argument("--seed", type=int, default=7)
+    classify.add_argument(
+        "--fork-prone",
+        action="store_true",
+        help="use a fork-prone regime for the proof-of-work systems",
+    )
+
+    sub.add_parser("hierarchy", help="print the Figure 8 and Figure 14 hierarchies")
+
+    sub.add_parser("figures", help="check the Figure 2/3/4 example histories")
+
+    sweep = sub.add_parser("fork-sweep", help="fork rate vs oracle bound and delay")
+    sweep.add_argument("--replicas", type=int, default=5)
+    sweep.add_argument("--duration", type=float, default=150.0)
+    sweep.add_argument("--seed", type=int, default=5)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    results = reproduce_table1(n=args.replicas, duration=args.duration, seed=args.seed)
+    return render_classification_table(results)
+
+
+def _cmd_classify(args: argparse.Namespace) -> str:
+    runner = SYSTEMS[args.system]
+    kwargs = {"n": args.replicas, "duration": args.duration, "seed": args.seed}
+    if args.system in ("bitcoin", "ethereum") and args.fork_prone:
+        kwargs["token_rate"] = 0.4
+        kwargs["channel"] = SynchronousChannel(delta=3.0, min_delay=0.5, seed=args.seed)
+    run = runner(**kwargs)
+
+    classification = classify_run(run)
+    forks = merge_statistics({pid: fork_statistics(r.tree) for pid, r in run.replicas.items()})
+    convergence = convergence_summary(run.final_chains())
+    merit = (
+        zipf_merit(args.replicas)
+        if args.system in ("byzcoin", "peercensus")
+        else uniform_merit(args.replicas)
+    )
+    reference_tree = next(iter(run.replicas.values())).tree
+    fairness = fairness_report(reference_tree, merit)
+
+    lines = [
+        classification.describe(),
+        "",
+        f"blocks/replica (mean): {forks['mean_blocks']:.1f}",
+        f"fork points/replica (mean): {forks['mean_forks']:.2f}",
+        f"wasted block ratio (mean): {forks['mean_wasted_ratio']:.3f}",
+        f"final common prefix score: {convergence.common_prefix_score}",
+        f"replica agreement ratio: {convergence.agreement_ratio:.2f}",
+        "",
+        fairness.describe(),
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_hierarchy(_: argparse.Namespace) -> str:
+    lines = ["Figure 8 — full hierarchy (a -> b: a is stronger than b)"]
+    for vertex, weaker in refinement_hierarchy().items():
+        targets = ", ".join(w.label() for w in weaker) or "(bottom)"
+        lines.append(f"  {vertex.label():28s} -> {targets}")
+    lines.append("")
+    lines.append("Figure 14 — message-passing feasible vertices (Theorem 4.8)")
+    feasible = message_passing_hierarchy()
+    for vertex in refinement_hierarchy():
+        verdict = "implementable" if vertex in feasible else "IMPOSSIBLE"
+        lines.append(f"  {vertex.label():28s} {verdict}")
+    return "\n".join(lines)
+
+
+def _cmd_figures(_: argparse.Namespace) -> str:
+    rows: List[List[object]] = []
+    for name, history, expected_sc, expected_ec in (
+        ("Figure 2", figure2_history(), True, True),
+        ("Figure 3", figure3_history(), False, True),
+        ("Figure 4", figure4_history(), False, False),
+    ):
+        sc = check_strong_consistency(history).holds
+        ec = check_eventual_consistency(history).holds
+        status = "as in paper" if (sc, ec) == (expected_sc, expected_ec) else "MISMATCH"
+        rows.append([name, sc, ec, status])
+    return render_table(
+        ["history", "strong consistency", "eventual consistency", "verdict"],
+        rows,
+        title="Figures 2–4 — example histories",
+    )
+
+
+def _cmd_fork_sweep(args: argparse.Namespace) -> str:
+    from repro.oracle.tape import TapeFamily
+    from repro.oracle.theta import FrugalOracle, ProdigalOracle
+
+    rows = []
+    for bound in (1, 2, None):
+        for delta in (1.0, 2.0, 4.0):
+            tapes = TapeFamily(seed=args.seed, probability_scale=0.4)
+            oracle = ProdigalOracle(tapes=tapes) if bound is None else FrugalOracle(k=bound, tapes=tapes)
+            run = run_bitcoin(
+                n=args.replicas,
+                duration=args.duration,
+                token_rate=0.4,
+                seed=args.seed,
+                channel=SynchronousChannel(delta=delta, min_delay=delta / 4, seed=args.seed),
+                oracle=oracle,
+            )
+            stats = merge_statistics(
+                {pid: fork_statistics(r.tree) for pid, r in run.replicas.items()}
+            )
+            rows.append(
+                [
+                    "∞" if bound is None else bound,
+                    delta,
+                    round(stats["mean_blocks"], 1),
+                    round(stats["mean_forks"], 2),
+                    round(stats["mean_wasted_ratio"], 3),
+                ]
+            )
+    return render_table(
+        ["k", "delay", "blocks/replica", "fork points/replica", "wasted ratio"],
+        rows,
+        title="Fork-rate ablation",
+    )
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table1": _cmd_table1,
+    "classify": _cmd_classify,
+    "hierarchy": _cmd_hierarchy,
+    "figures": _cmd_figures,
+    "fork-sweep": _cmd_fork_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Shared-memory substrate and the reductions of Section 4.1.
+
+The paper's implementability results for the oracles are stated in the
+classical wait-free shared-memory model: ``n`` sequential processes, up to
+``n - 1`` of which may crash, communicating through atomic objects.  This
+subpackage provides that model:
+
+* :mod:`repro.concurrent.scheduler` — a deterministic cooperative
+  scheduler that interleaves process steps (including adversarial and
+  crash-prone schedules);
+* :mod:`repro.concurrent.registers` — atomic read/write registers and the
+  Compare&Swap register of Figure 9;
+* :mod:`repro.concurrent.snapshot` — a wait-free atomic-snapshot object
+  (update/scan), the consensus-number-1 object of Figure 12;
+* :mod:`repro.concurrent.consensus_object` — the consensus abstraction of
+  Definition 4.1 (with the block-validity flavour of [CGLR18]);
+* :mod:`repro.concurrent.reductions` — the three constructions of the
+  paper: Compare&Swap from ``consumeToken`` (Θ_{F,1}), Consensus from
+  Θ_{F,1} (Protocol A, Figure 11), and Θ_P from Atomic Snapshot
+  (Figure 12).
+"""
+
+from repro.concurrent.scheduler import Scheduler, ProcessCrashed, SchedulerResult
+from repro.concurrent.registers import AtomicRegister, CASRegister
+from repro.concurrent.snapshot import AtomicSnapshot
+from repro.concurrent.consensus_object import ConsensusObject, CASConsensus
+from repro.concurrent.reductions import (
+    CASFromConsumeToken,
+    OracleConsensus,
+    SnapshotTokenStore,
+    snapshot_prodigal_oracle,
+)
+
+__all__ = [
+    "Scheduler",
+    "ProcessCrashed",
+    "SchedulerResult",
+    "AtomicRegister",
+    "CASRegister",
+    "AtomicSnapshot",
+    "ConsensusObject",
+    "CASConsensus",
+    "CASFromConsumeToken",
+    "OracleConsensus",
+    "SnapshotTokenStore",
+    "snapshot_prodigal_oracle",
+]

@@ -1,0 +1,126 @@
+"""The Consensus abstraction (Definition 4.1) and a CAS-based implementation.
+
+The paper uses the blockchain flavour of consensus: Termination, Integrity
+and Agreement are classical, and Validity requires the decided block to
+satisfy the validity predicate ``P`` (a valid block may be decided even if
+it was proposed by a faulty process).
+
+Two implementations are provided:
+
+* :class:`CASConsensus` — the textbook wait-free consensus from a
+  Compare&Swap register (first successful CAS wins); this is the target of
+  the reduction chain Θ_{F,1} → CAS → Consensus and is also used on its
+  own by the consensus-based protocol models;
+* :class:`ConsensusObject` — the abstract interface plus the bookkeeping
+  (per-process decisions) that the property checks
+  (:func:`check_consensus_properties`) inspect.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.concurrent.registers import CASRegister
+
+__all__ = [
+    "ConsensusObject",
+    "CASConsensus",
+    "ConsensusViolation",
+    "check_consensus_properties",
+]
+
+Validator = Callable[[Any], bool]
+
+
+class ConsensusViolation(AssertionError):
+    """Raised by :func:`check_consensus_properties` on a property violation."""
+
+
+class ConsensusObject(abc.ABC):
+    """Single-shot consensus: each process proposes once and decides once."""
+
+    def __init__(self) -> None:
+        self.decisions: Dict[str, Any] = {}
+        self.proposals: Dict[str, Any] = {}
+
+    @abc.abstractmethod
+    def _decide(self, process: str, value: Any) -> Any:
+        """Implementation hook: agree on a value given this proposal."""
+
+    def propose(self, process: str, value: Any) -> Any:
+        """Propose ``value``; returns the decided value for this instance."""
+        if process in self.decisions:
+            raise ConsensusViolation(
+                f"process {process!r} proposed twice (Integrity would be violated)"
+            )
+        self.proposals[process] = value
+        decision = self._decide(process, value)
+        self.decisions[process] = decision
+        return decision
+
+    @property
+    def decided_values(self) -> Tuple[Any, ...]:
+        return tuple(self.decisions.values())
+
+
+class CASConsensus(ConsensusObject):
+    """Wait-free consensus from a Compare&Swap register.
+
+    The register starts empty (``None``); every proposer CASes its value
+    in; the first CAS succeeds and every proposer (including later ones)
+    decides the register content.  Consensus number of CAS is ∞
+    (Herlihy 1991), which is what Theorem 4.2 leans on.
+    """
+
+    _EMPTY = None
+
+    def __init__(self, register: Optional[CASRegister] = None) -> None:
+        super().__init__()
+        self.register = register if register is not None else CASRegister(self._EMPTY)
+
+    def _decide(self, process: str, value: Any) -> Any:
+        previous = self.register.compare_and_swap(self._EMPTY, value, process=process)
+        return value if previous == self._EMPTY else previous
+
+
+def check_consensus_properties(
+    consensus: ConsensusObject,
+    *,
+    validator: Optional[Validator] = None,
+    correct_processes: Optional[Tuple[str, ...]] = None,
+) -> None:
+    """Assert Termination/Integrity/Agreement/Validity on a finished instance.
+
+    ``correct_processes`` restricts the Termination/Agreement checks to the
+    processes that were not crashed by the scheduler; ``validator`` is the
+    predicate ``P`` of the paper's Validity property.
+
+    Raises
+    ------
+    ConsensusViolation
+        describing the first violated property.
+    """
+    processes = (
+        correct_processes
+        if correct_processes is not None
+        else tuple(consensus.proposals)
+    )
+    # Termination: every correct proposer decided.
+    for process in processes:
+        if process in consensus.proposals and process not in consensus.decisions:
+            raise ConsensusViolation(f"process {process!r} proposed but never decided")
+    decided = [consensus.decisions[p] for p in processes if p in consensus.decisions]
+    if not decided:
+        return
+    # Agreement: all correct deciders decided the same value.
+    first = decided[0]
+    for value in decided[1:]:
+        if value != first:
+            raise ConsensusViolation(
+                f"agreement violated: decided values {first!r} and {value!r}"
+            )
+    # Validity: the decided value satisfies P.
+    if validator is not None and not validator(first):
+        raise ConsensusViolation(f"decided value {first!r} does not satisfy the predicate")

@@ -1,0 +1,78 @@
+"""Atomic registers and the Compare&Swap object (Figure 9).
+
+In the cooperative shared-memory model of :mod:`repro.concurrent.scheduler`
+every method call executes between two yield points and is therefore
+atomic (linearizable) by construction; these classes simply make the
+object vocabulary of the paper explicit and record their operation history
+so tests can assert linearization-level facts (e.g. "exactly one CAS
+succeeded").
+
+* :class:`AtomicRegister` — read/write register (consensus number 1).
+* :class:`CASRegister` — the paper's ``compare&swap(register, old, new)``
+  that returns the *previous* value (consensus number ∞, Herlihy 1991).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["AtomicRegister", "CASRegister"]
+
+
+@dataclass
+class AtomicRegister:
+    """A single-value atomic read/write register."""
+
+    value: Any = None
+    _writes: List[Tuple[str, Any]] = field(default_factory=list)
+
+    def read(self, process: Optional[str] = None) -> Any:  # noqa: ARG002
+        """Return the current value."""
+        return self.value
+
+    def write(self, value: Any, process: Optional[str] = None) -> None:
+        """Overwrite the current value."""
+        self.value = value
+        self._writes.append((process or "?", value))
+
+    @property
+    def write_history(self) -> Tuple[Tuple[str, Any], ...]:
+        """All writes applied, in linearization order."""
+        return tuple(self._writes)
+
+
+@dataclass
+class CASRegister:
+    """The Compare&Swap register of Figure 9.
+
+    ``compare_and_swap(old, new)`` atomically compares the register with
+    ``old``; on equality it stores ``new``.  In both cases it returns the
+    value held *at the beginning* of the operation — the paper's CAS
+    returns ``previous_value``, and the reduction in Figure 10 depends on
+    that convention.
+    """
+
+    value: Any = None
+    _operations: List[Tuple[str, Any, Any, Any]] = field(default_factory=list)
+
+    def compare_and_swap(self, old: Any, new: Any, process: Optional[str] = None) -> Any:
+        previous = self.value
+        if previous == old:
+            self.value = new
+        self._operations.append((process or "?", old, new, previous))
+        return previous
+
+    def read(self, process: Optional[str] = None) -> Any:  # noqa: ARG002
+        """Plain read of the register (CAS registers also support reads)."""
+        return self.value
+
+    @property
+    def successful_operations(self) -> Tuple[Tuple[str, Any, Any, Any], ...]:
+        """The CAS operations that actually changed the register."""
+        return tuple(op for op in self._operations if op[1] == op[3])
+
+    @property
+    def operation_history(self) -> Tuple[Tuple[str, Any, Any, Any], ...]:
+        """Every CAS applied, in linearization order: (process, old, new, previous)."""
+        return tuple(self._operations)

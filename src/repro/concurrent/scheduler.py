@@ -1,0 +1,215 @@
+"""Cooperative scheduler for the wait-free shared-memory model.
+
+Processes are Python generator functions: every ``yield`` marks a step
+boundary, and whatever the process does between two yields (a read, a
+write, a ``consumeToken``, ...) executes atomically.  The scheduler picks
+which process advances next according to a pluggable strategy, which is
+how the tests and benches exercise adversarial interleavings without real
+threads (real threads would make runs irreproducible and the GIL would
+hide the interesting schedules anyway).
+
+Three strategies are provided:
+
+* ``round_robin`` — fair rotation (every correct process keeps taking
+  steps: the wait-freedom-friendly schedule);
+* ``random`` — uniformly random choice driven by a seeded generator
+  (the "unknown adversary" used by the property-based tests);
+* ``adversarial`` — a caller-supplied callable deciding, at each step,
+  which runnable process moves (used to build the specific bad schedules
+  of the impossibility arguments).
+
+Crash faults are modelled by :meth:`Scheduler.crash`: a crashed process
+simply never takes another step, which is exactly the crash model of the
+consensus-number results (Section 4.1 considers crash failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Scheduler", "SchedulerResult", "ProcessCrashed", "StepLimitExceeded"]
+
+ProcessBody = Generator[Any, None, Any]
+
+
+class ProcessCrashed(RuntimeError):
+    """Raised when interacting with a process that has been crashed."""
+
+
+class StepLimitExceeded(RuntimeError):
+    """Raised when a run does not quiesce within the configured step budget."""
+
+
+@dataclass
+class _ProcessState:
+    name: str
+    body: ProcessBody
+    finished: bool = False
+    crashed: bool = False
+    result: Any = None
+    steps: int = 0
+
+
+@dataclass(frozen=True)
+class SchedulerResult:
+    """Outcome of a scheduler run."""
+
+    results: Dict[str, Any]
+    steps: int
+    schedule: Tuple[str, ...]
+    crashed: Tuple[str, ...]
+
+    def result_of(self, name: str) -> Any:
+        return self.results[name]
+
+
+class Scheduler:
+    """Deterministic cooperative scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the ``random`` strategy (ignored by the others).
+    strategy:
+        ``"round_robin"``, ``"random"`` or ``"adversarial"``.
+    chooser:
+        For the adversarial strategy, a callable
+        ``chooser(step_index, runnable_names) -> name``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        strategy: str = "round_robin",
+        chooser: Optional[Callable[[int, Tuple[str, ...]], str]] = None,
+    ) -> None:
+        if strategy not in ("round_robin", "random", "adversarial"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if strategy == "adversarial" and chooser is None:
+            raise ValueError("adversarial strategy requires a chooser")
+        self._strategy = strategy
+        self._chooser = chooser
+        self._rng = np.random.default_rng(seed)
+        self._processes: Dict[str, _ProcessState] = {}
+        self._rr_cursor = 0
+
+    # -- population -------------------------------------------------------------
+
+    def spawn(self, name: str, body: ProcessBody) -> None:
+        """Register a process; ``body`` must be a started-able generator."""
+        if name in self._processes:
+            raise ValueError(f"process {name!r} already exists")
+        if not hasattr(body, "send"):
+            raise TypeError("process body must be a generator (use a 'yield'ing function)")
+        self._processes[name] = _ProcessState(name=name, body=body)
+
+    def crash(self, name: str) -> None:
+        """Crash a process: it will never be scheduled again."""
+        state = self._processes[name]
+        state.crashed = True
+
+    @property
+    def process_names(self) -> Tuple[str, ...]:
+        return tuple(self._processes)
+
+    # -- execution ------------------------------------------------------------------
+
+    def _runnable(self) -> List[str]:
+        return [
+            n
+            for n, s in self._processes.items()
+            if not s.finished and not s.crashed
+        ]
+
+    def _pick(self, step: int, runnable: List[str]) -> str:
+        if self._strategy == "round_robin":
+            name = runnable[self._rr_cursor % len(runnable)]
+            self._rr_cursor += 1
+            return name
+        if self._strategy == "random":
+            return runnable[int(self._rng.integers(0, len(runnable)))]
+        assert self._chooser is not None
+        choice = self._chooser(step, tuple(runnable))
+        if choice not in runnable:
+            raise ValueError(
+                f"adversarial chooser returned {choice!r} which is not runnable"
+            )
+        return choice
+
+    def step(self, name: str) -> bool:
+        """Advance ``name`` by one step; return ``True`` if it finished."""
+        state = self._processes[name]
+        if state.crashed:
+            raise ProcessCrashed(name)
+        if state.finished:
+            return True
+        try:
+            next(state.body)
+            state.steps += 1
+        except StopIteration as stop:
+            state.finished = True
+            state.result = stop.value
+        return state.finished
+
+    def run(self, max_steps: int = 100_000) -> SchedulerResult:
+        """Run until every non-crashed process finishes (or the budget runs out).
+
+        Crashed processes are excluded from the completion condition —
+        wait-free algorithms must let the others finish regardless, which
+        is exactly what the Section 4.1 tests assert.
+        """
+        schedule: List[str] = []
+        steps = 0
+        while True:
+            runnable = self._runnable()
+            if not runnable:
+                break
+            if steps >= max_steps:
+                raise StepLimitExceeded(
+                    f"{len(runnable)} processes still runnable after {max_steps} steps"
+                )
+            name = self._pick(steps, runnable)
+            self.step(name)
+            schedule.append(name)
+            steps += 1
+        return SchedulerResult(
+            results={
+                n: s.result for n, s in self._processes.items() if s.finished
+            },
+            steps=steps,
+            schedule=tuple(schedule),
+            crashed=tuple(n for n, s in self._processes.items() if s.crashed),
+        )
+
+    def run_interleaving(self, order: Iterable[str], max_steps: int = 100_000) -> SchedulerResult:
+        """Run following an explicit schedule prefix, then round-robin.
+
+        ``order`` names processes to advance one step each, in sequence;
+        entries naming finished/crashed processes are skipped.  After the
+        prefix is exhausted the run completes round-robin.  This is the
+        handiest way to reproduce the specific interleavings drawn in the
+        paper's proofs.
+        """
+        schedule: List[str] = []
+        steps = 0
+        for name in order:
+            state = self._processes.get(name)
+            if state is None:
+                raise KeyError(name)
+            if state.finished or state.crashed:
+                continue
+            self.step(name)
+            schedule.append(name)
+            steps += 1
+            if steps >= max_steps:
+                raise StepLimitExceeded("explicit schedule exceeded the step budget")
+        remainder = self.run(max_steps=max_steps - steps)
+        return SchedulerResult(
+            results=remainder.results,
+            steps=steps + remainder.steps,
+            schedule=tuple(schedule) + remainder.schedule,
+            crashed=remainder.crashed,
+        )

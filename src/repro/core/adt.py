@@ -1,0 +1,206 @@
+"""Generic Abstract Data Types (Definitions 2.1–2.3).
+
+The paper specifies shared objects through two complementary facets: a
+*sequential specification* given by a transducer-style Abstract Data Type
+``T = ⟨A, B, Z, ξ0, τ, δ⟩`` and a *consistency criterion* over concurrent
+histories.  This module implements the first facet generically:
+
+* :class:`AbstractDataType` — the 6-tuple.  Input symbols are arbitrary
+  hashable Python objects (the paper encodes arguments inside the symbol,
+  e.g. ``append(b)`` is one symbol per block ``b``; we model a symbol as an
+  operation name plus its argument, which is the same countable set).
+* :class:`Operation` — an element of ``Σ = A ∪ (A × B)``: an input symbol
+  optionally paired with an output value (the paper's ``α/β`` notation).
+* :func:`is_sequential_history` — membership in the sequential
+  specification ``L(T)`` (Definition 2.3), computed by replaying the
+  transition system from ``ξ0``.
+
+The concrete BT-ADT of Definition 3.1 lives in :mod:`repro.core.bt_adt`
+and the token-oracle ADTs in :mod:`repro.oracle.theta`; both subclass
+:class:`AbstractDataType` so the sequential-specification machinery (and
+its tests) apply uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "InputSymbol",
+    "Operation",
+    "AbstractDataType",
+    "SequentialHistoryError",
+    "is_sequential_history",
+    "replay",
+]
+
+StateT = TypeVar("StateT")
+
+
+@dataclass(frozen=True)
+class InputSymbol:
+    """An element of the input alphabet ``A``.
+
+    The paper's input symbols carry no arguments because "the call of the
+    same operation with different arguments is encoded by different
+    symbols"; we realise that countable family as a (name, argument) pair.
+    """
+
+    name: str
+    argument: Any = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.argument is None:
+            return f"{self.name}()"
+        return f"{self.name}({self.argument})"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An element of ``Σ = A ∪ (A × B)``: a symbol, optionally with output.
+
+    ``Operation(symbol)`` is the bare input symbol ``α``;
+    ``Operation(symbol, output=β, has_output=True)`` is the pair ``α/β``.
+    The explicit ``has_output`` flag distinguishes "no output recorded"
+    from "output recorded and equal to ``None``".
+    """
+
+    symbol: InputSymbol
+    output: Any = None
+    has_output: bool = False
+
+    @classmethod
+    def invocation(cls, name: str, argument: Any = None) -> "Operation":
+        """Build a bare input-symbol operation ``α``."""
+        return cls(InputSymbol(name, argument))
+
+    @classmethod
+    def with_output(cls, name: str, argument: Any, output: Any) -> "Operation":
+        """Build an ``α/β`` operation."""
+        return cls(InputSymbol(name, argument), output=output, has_output=True)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.has_output:
+            return f"{self.symbol}/{self.output}"
+        return str(self.symbol)
+
+
+class SequentialHistoryError(AssertionError):
+    """Raised by :func:`replay` when a word is not in ``L(T)``.
+
+    Carries the index of the offending operation and a human-readable
+    reason, so tests and the examples can show *why* a candidate history
+    is rejected.
+    """
+
+    def __init__(self, index: int, operation: Operation, reason: str) -> None:
+        super().__init__(f"operation #{index} ({operation}): {reason}")
+        self.index = index
+        self.operation = operation
+        self.reason = reason
+
+
+class AbstractDataType(abc.ABC, Generic[StateT]):
+    """The 6-tuple ``T = ⟨A, B, Z, ξ0, τ, δ⟩`` of Definition 2.1.
+
+    Subclasses provide the initial abstract state and the two functions
+    ``τ`` (transition) and ``δ`` (output).  Both must be *pure*: they take
+    a state and return a new state / an output without mutating their
+    argument, so that :func:`replay` can explore candidate histories
+    without side effects.  Stateful convenience wrappers (the objects the
+    rest of the library actually calls, e.g. :class:`repro.core.bt_adt.BTADT`)
+    are built on top of these pure functions.
+    """
+
+    @abc.abstractmethod
+    def initial_state(self) -> StateT:
+        """Return the initial abstract state ``ξ0``."""
+
+    @abc.abstractmethod
+    def transition(self, state: StateT, symbol: InputSymbol) -> StateT:
+        """The transition function ``τ : Z × A -> Z``."""
+
+    @abc.abstractmethod
+    def output(self, state: StateT, symbol: InputSymbol) -> Any:
+        """The output function ``δ : Z × A -> B``."""
+
+    # -- the τ_T extension over operations (Definition 2.2) -----------------
+
+    def transition_operation(self, state: StateT, operation: Operation) -> StateT:
+        """Apply ``τ_T``: transitions ignore the output component of ``α/β``."""
+        return self.transition(state, operation.symbol)
+
+    def step(self, state: StateT, operation: Operation) -> Tuple[StateT, Any]:
+        """Apply one operation, returning ``(next_state, output)``."""
+        out = self.output(state, operation.symbol)
+        nxt = self.transition(state, operation.symbol)
+        return nxt, out
+
+
+def replay(
+    adt: AbstractDataType[StateT],
+    operations: Sequence[Operation],
+    *,
+    initial_state: Optional[StateT] = None,
+) -> List[StateT]:
+    """Replay ``operations`` through ``adt``, checking output compatibility.
+
+    Implements the membership test of Definition 2.3: a sequence ``σ`` is a
+    sequential history iff there is a state sequence ``(ξ_i)`` starting at
+    ``ξ0`` such that each ``σ_i`` is output-compatible with ``ξ_i``
+    (``ξ_i ∈ δ^{-1}_T(σ_i)``) and drives the state to ``ξ_{i+1}``.  Since
+    our ADTs are deterministic transducers the state sequence, if it
+    exists, is unique and is returned (including the final state, so the
+    result has ``len(operations) + 1`` entries).
+
+    Raises
+    ------
+    SequentialHistoryError
+        if some recorded output differs from ``δ(ξ_i, α_i)``.
+    """
+    state = adt.initial_state() if initial_state is None else initial_state
+    states: List[StateT] = [state]
+    for index, operation in enumerate(operations):
+        expected = adt.output(state, operation.symbol)
+        if operation.has_output and not _outputs_equal(expected, operation.output):
+            raise SequentialHistoryError(
+                index,
+                operation,
+                f"recorded output {operation.output!r} differs from "
+                f"specification output {expected!r}",
+            )
+        state = adt.transition(state, operation.symbol)
+        states.append(state)
+    return states
+
+
+def is_sequential_history(
+    adt: AbstractDataType[StateT], operations: Iterable[Operation]
+) -> bool:
+    """Return ``True`` iff the operation sequence belongs to ``L(T)``."""
+    try:
+        replay(adt, list(operations))
+    except SequentialHistoryError:
+        return False
+    return True
+
+
+def _outputs_equal(a: Any, b: Any) -> bool:
+    """Structural output comparison tolerant of Blockchain/tuple mixing."""
+    if a is b:
+        return True
+    try:
+        if a == b:
+            return True
+    except Exception:  # pragma: no cover - exotic user outputs
+        return False
+    # Allow comparing a Blockchain against a tuple/list of block ids.
+    ids_a = getattr(a, "ids", None)
+    ids_b = getattr(b, "ids", None)
+    if ids_a is not None and isinstance(b, (tuple, list)):
+        return tuple(ids_a) == tuple(b)
+    if ids_b is not None and isinstance(a, (tuple, list)):
+        return tuple(ids_b) == tuple(a)
+    return False

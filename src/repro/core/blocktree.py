@@ -1,0 +1,287 @@
+"""The BlockTree: the append-only rooted tree maintained by blockchains.
+
+Section 3.1 of the paper formalizes the data structure implemented by
+blockchain-like systems as a directed rooted tree ``bt = (V_bt, E_bt)``
+whose root is the genesis block ``b0`` and in which every edge points back
+towards the root.  A *blockchain* is a path from a leaf (or, more
+generally, any vertex) back to ``b0``.
+
+:class:`BlockTree` below is the mutable store underneath both the
+sequential BT-ADT (:mod:`repro.core.bt_adt`) and every replica of the
+message-passing protocol models (:mod:`repro.protocols`).  It supports:
+
+* appending a block under an existing parent (forks are allowed — that is
+  the whole point of the tree formulation);
+* height / depth queries, leaves and branch enumeration;
+* extraction of the chain leading to any block (``chain_to``);
+* subtree weights, which the GHOST selection function needs;
+* structural merge (used when a replica receives updates out of order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.block import GENESIS_ID, Block, Blockchain, genesis_block
+
+__all__ = ["BlockTree", "UnknownParentError", "DuplicateBlockError"]
+
+
+class UnknownParentError(KeyError):
+    """Raised when appending a block whose parent is not in the tree."""
+
+
+class DuplicateBlockError(ValueError):
+    """Raised when appending a block identifier already present in the tree."""
+
+
+class BlockTree:
+    """Append-only rooted tree of blocks.
+
+    The tree always contains the genesis block.  Blocks can only be added
+    under a parent that is already present; removing blocks is not
+    supported (the structure is append-only by construction, mirroring the
+    ADT whose transition function never deletes vertices).
+
+    The class is deliberately *not* thread-safe: concurrency in this
+    reproduction is modelled explicitly (cooperative scheduler, discrete-
+    event simulator), never via preemptive threads.
+    """
+
+    def __init__(self, genesis: Optional[Block] = None) -> None:
+        root = genesis if genesis is not None else genesis_block()
+        if not root.is_genesis:
+            raise ValueError("BlockTree must be rooted at a genesis block")
+        self._blocks: Dict[str, Block] = {root.block_id: root}
+        self._children: Dict[str, List[str]] = {root.block_id: []}
+        self._heights: Dict[str, int] = {root.block_id: 0}
+        self._subtree_weight: Dict[str, float] = {root.block_id: root.weight}
+        self._genesis = root
+
+    # -- basic introspection ------------------------------------------------
+
+    @property
+    def genesis(self) -> Block:
+        """The root ``b0`` of the tree."""
+        return self._genesis
+
+    def __len__(self) -> int:
+        """Number of blocks in the tree, genesis included."""
+        return len(self._blocks)
+
+    def __contains__(self, block_id: object) -> bool:
+        if isinstance(block_id, Block):
+            return block_id.block_id in self._blocks
+        return block_id in self._blocks
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def get(self, block_id: str) -> Block:
+        """Return the block with identifier ``block_id``.
+
+        Raises
+        ------
+        KeyError
+            if no such block is in the tree.
+        """
+        return self._blocks[block_id]
+
+    def height_of(self, block_id: str) -> int:
+        """Distance from ``block_id`` to the root (genesis has height 0)."""
+        return self._heights[block_id]
+
+    @property
+    def height(self) -> int:
+        """Height of the tree: the maximal block height."""
+        return max(self._heights.values())
+
+    def children_of(self, block_id: str) -> Tuple[str, ...]:
+        """Identifiers of the direct children of ``block_id``."""
+        return tuple(self._children[block_id])
+
+    def parent_of(self, block_id: str) -> Optional[str]:
+        """Identifier of the parent of ``block_id`` (``None`` for genesis)."""
+        return self._blocks[block_id].parent_id
+
+    def block_ids(self) -> Tuple[str, ...]:
+        """All block identifiers currently in the tree (insertion order)."""
+        return tuple(self._blocks)
+
+    # -- mutation -------------------------------------------------------------
+
+    def append(self, block: Block) -> Block:
+        """Insert ``block`` under its declared parent.
+
+        This is the side-effect of the BT-ADT ``append`` operation *after*
+        validity has been established; validity checking itself lives in
+        :mod:`repro.core.validity` / :mod:`repro.core.bt_adt`.
+
+        Returns the inserted block (handy for chaining in tests).
+
+        Raises
+        ------
+        DuplicateBlockError
+            if a block with the same identifier is already present.
+        UnknownParentError
+            if the declared parent is not in the tree.
+        ValueError
+            if ``block`` is a second genesis block.
+        """
+        if block.is_genesis:
+            raise ValueError("cannot append a second genesis block")
+        if block.block_id in self._blocks:
+            raise DuplicateBlockError(block.block_id)
+        assert block.parent_id is not None  # guaranteed by Block invariants
+        if block.parent_id not in self._blocks:
+            raise UnknownParentError(block.parent_id)
+
+        self._blocks[block.block_id] = block
+        self._children[block.block_id] = []
+        self._children[block.parent_id].append(block.block_id)
+        self._heights[block.block_id] = self._heights[block.parent_id] + 1
+        self._subtree_weight[block.block_id] = block.weight
+        # Propagate the new weight to every ancestor so GHOST queries are O(1).
+        cursor: Optional[str] = block.parent_id
+        while cursor is not None:
+            self._subtree_weight[cursor] += block.weight
+            cursor = self._blocks[cursor].parent_id
+        return block
+
+    def merge(self, other: "BlockTree") -> int:
+        """Insert every block of ``other`` not yet present, parents first.
+
+        Used by replicas that reconcile state snapshots.  Returns the
+        number of blocks actually inserted.
+        """
+        inserted = 0
+        pending = [b for b in other if not b.is_genesis and b.block_id not in self]
+        # Repeatedly sweep until no progress: parents may arrive after children.
+        while pending:
+            progressed = False
+            remaining: List[Block] = []
+            for block in pending:
+                if block.parent_id in self:
+                    self.append(block)
+                    inserted += 1
+                    progressed = True
+                else:
+                    remaining.append(block)
+            if not progressed:
+                missing = sorted({b.parent_id for b in remaining if b.parent_id})
+                raise UnknownParentError(
+                    f"cannot merge: missing ancestors {missing}"
+                )
+            pending = remaining
+        return inserted
+
+    # -- tree queries -------------------------------------------------------
+
+    def leaves(self) -> Tuple[str, ...]:
+        """Identifiers of all leaves (blocks without children)."""
+        return tuple(b for b, kids in self._children.items() if not kids)
+
+    def chain_to(self, block_id: str) -> Blockchain:
+        """Return the blockchain from genesis up to ``block_id`` inclusive."""
+        if block_id not in self._blocks:
+            raise KeyError(block_id)
+        path: List[Block] = []
+        cursor: Optional[str] = block_id
+        while cursor is not None:
+            block = self._blocks[cursor]
+            path.append(block)
+            cursor = block.parent_id
+        path.reverse()
+        return Blockchain(tuple(path))
+
+    def all_chains(self) -> Tuple[Blockchain, ...]:
+        """Every maximal blockchain (one per leaf), in insertion order."""
+        return tuple(self.chain_to(leaf) for leaf in self.leaves())
+
+    def ancestors(self, block_id: str) -> Tuple[str, ...]:
+        """Identifiers of the proper ancestors of ``block_id``, child-to-root."""
+        result: List[str] = []
+        cursor = self.parent_of(block_id)
+        while cursor is not None:
+            result.append(cursor)
+            cursor = self.parent_of(cursor)
+        return tuple(result)
+
+    def is_ancestor(self, ancestor_id: str, descendant_id: str) -> bool:
+        """``True`` iff ``ancestor_id`` lies on the path from ``descendant_id`` to genesis."""
+        if ancestor_id not in self._blocks or descendant_id not in self._blocks:
+            return False
+        if ancestor_id == descendant_id:
+            return True
+        # Walk up from the descendant; heights bound the walk.
+        cursor: Optional[str] = descendant_id
+        target_height = self._heights[ancestor_id]
+        while cursor is not None and self._heights[cursor] > target_height:
+            cursor = self.parent_of(cursor)
+        return cursor == ancestor_id
+
+    def common_ancestor(self, a: str, b: str) -> str:
+        """Lowest common ancestor of two blocks (always exists: genesis)."""
+        ca, cb = a, b
+        while self._heights[ca] > self._heights[cb]:
+            ca = self.parent_of(ca)  # type: ignore[assignment]
+        while self._heights[cb] > self._heights[ca]:
+            cb = self.parent_of(cb)  # type: ignore[assignment]
+        while ca != cb:
+            ca = self.parent_of(ca)  # type: ignore[assignment]
+            cb = self.parent_of(cb)  # type: ignore[assignment]
+        return ca
+
+    def subtree_weight(self, block_id: str) -> float:
+        """Total weight of the subtree rooted at ``block_id`` (incl. itself).
+
+        This is the quantity GHOST greedily maximizes when descending the
+        tree (Sompolinsky & Zohar; used by the Ethereum model).
+        """
+        return self._subtree_weight[block_id]
+
+    def fork_points(self) -> Tuple[str, ...]:
+        """Blocks with two or more children, i.e. where forks occurred."""
+        return tuple(b for b, kids in self._children.items() if len(kids) >= 2)
+
+    def fork_degree(self, block_id: str) -> int:
+        """Number of children of ``block_id`` — the paper's per-block fork count."""
+        return len(self._children[block_id])
+
+    def max_fork_degree(self) -> int:
+        """Maximum number of children over all blocks (0 for a bare genesis)."""
+        return max((len(kids) for kids in self._children.values()), default=0)
+
+    def blocks_at_height(self, height: int) -> Tuple[str, ...]:
+        """All block identifiers at the given height."""
+        return tuple(b for b, h in self._heights.items() if h == height)
+
+    def copy(self) -> "BlockTree":
+        """Deep-enough copy sharing immutable blocks but not the indices."""
+        clone = BlockTree(self._genesis)
+        clone._blocks = dict(self._blocks)
+        clone._children = {k: list(v) for k, v in self._children.items()}
+        clone._heights = dict(self._heights)
+        clone._subtree_weight = dict(self._subtree_weight)
+        return clone
+
+    # -- presentation ---------------------------------------------------------
+
+    def to_ascii(self) -> str:
+        """Render the tree as indented ASCII (for examples and debugging)."""
+        lines: List[str] = []
+
+        def walk(node: str, depth: int) -> None:
+            prefix = "  " * depth + ("└─ " if depth else "")
+            lines.append(f"{prefix}{node}")
+            for child in self._children[node]:
+                walk(child, depth + 1)
+
+        walk(GENESIS_ID if GENESIS_ID in self._blocks else self._genesis.block_id, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockTree(blocks={len(self)}, height={self.height}, "
+            f"leaves={len(self.leaves())})"
+        )

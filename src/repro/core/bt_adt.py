@@ -1,0 +1,193 @@
+"""The BlockTree ADT (Definition 3.1).
+
+``BT-ADT = ⟨A = {append(b), read()}, B = BC ∪ {true, false},
+Z = BT × F × (B -> {true,false}), ξ0 = (bt0, f, P), τ, δ⟩`` where
+
+* ``τ((bt, f, P), append(b)) = ({b0}⌢ f(bt) ⌢ {b}, f, P)`` if ``b ∈ B'``
+  (the block is attached to the tip of the currently selected chain),
+  and leaves the state unchanged otherwise;
+* ``τ((bt, f, P), read()) = (bt, f, P)``;
+* ``δ((bt, f, P), append(b)) = true`` iff ``b ∈ B'``;
+* ``δ((bt, f, P), read()) = {b0}⌢ f(bt)`` (just ``b0`` on the initial tree).
+
+Two views are provided:
+
+* :class:`BTADT` — the pure :class:`~repro.core.adt.AbstractDataType`
+  subclass operating on immutable-ish :class:`BTState` values, used by the
+  sequential-specification tests;
+* :class:`BlockTreeObject` — the stateful convenience object with
+  ``append``/``read`` methods that the rest of the library (recorder,
+  replicas, examples) calls, optionally recording events into a
+  :class:`repro.core.history.HistoryRecorder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.core.adt import AbstractDataType, InputSymbol
+from repro.core.block import Block, Blockchain
+from repro.core.blocktree import BlockTree
+from repro.core.history import HistoryRecorder
+from repro.core.selection import LongestChain, SelectionFunction
+from repro.core.validity import AlwaysValid, ValidityPredicate
+
+__all__ = ["BTState", "BTADT", "BlockTreeObject"]
+
+APPEND = "append"
+READ = "read"
+
+
+@dataclass(frozen=True)
+class BTState:
+    """The abstract state ``(bt, f, P)`` of the BT-ADT.
+
+    The selection function ``f`` and the predicate ``P`` "are parameters of
+    the ADT which are encoded in the state and do not change over the
+    computation"; only the tree evolves.  The tree itself is mutable, so
+    state transitions copy it — replay of sequential histories is a test
+    and verification path, not a hot path.
+    """
+
+    tree: BlockTree
+    selection: SelectionFunction
+    predicate: ValidityPredicate
+
+    def selected_chain(self) -> Blockchain:
+        """``{b0}⌢ f(bt)`` — what a read returns in this state."""
+        return self.selection(self.tree)
+
+
+class BTADT(AbstractDataType[BTState]):
+    """Pure transducer view of the BlockTree ADT (Definition 3.1)."""
+
+    def __init__(
+        self,
+        selection: Optional[SelectionFunction] = None,
+        predicate: Optional[ValidityPredicate] = None,
+        genesis: Optional[Block] = None,
+    ) -> None:
+        self._selection = selection if selection is not None else LongestChain()
+        self._predicate = predicate if predicate is not None else AlwaysValid()
+        self._genesis = genesis
+
+    # -- AbstractDataType interface -----------------------------------------
+
+    def initial_state(self) -> BTState:
+        return BTState(
+            tree=BlockTree(self._genesis),
+            selection=self._selection,
+            predicate=self._predicate,
+        )
+
+    def transition(self, state: BTState, symbol: InputSymbol) -> BTState:
+        if symbol.name == READ:
+            return state
+        if symbol.name == APPEND:
+            block = _as_block(symbol.argument)
+            attached = self._attach_to_selected(state, block)
+            if attached is None:
+                return state
+            new_tree = state.tree.copy()
+            new_tree.append(attached)
+            return replace(state, tree=new_tree)
+        raise ValueError(f"unknown BT-ADT input symbol {symbol.name!r}")
+
+    def output(self, state: BTState, symbol: InputSymbol) -> Any:
+        if symbol.name == READ:
+            return state.selected_chain()
+        if symbol.name == APPEND:
+            block = _as_block(symbol.argument)
+            return self._attach_to_selected(state, block) is not None
+        raise ValueError(f"unknown BT-ADT input symbol {symbol.name!r}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _attach_to_selected(self, state: BTState, block: Block) -> Optional[Block]:
+        """Re-parent ``block`` under the tip of ``f(bt)`` and validate it.
+
+        Returns the re-parented block when it is valid (``∈ B'``) with
+        respect to the current tree, and ``None`` otherwise.  The append
+        semantics of Definition 3.1 concatenate the new block to the
+        *selected* chain, not to whatever parent the caller proposed.
+        """
+        tip = state.selected_chain().tip
+        candidate = block.with_parent(tip.block_id)
+        if state.predicate(candidate, state.tree):
+            return candidate
+        return None
+
+
+class BlockTreeObject:
+    """Stateful BT-ADT instance: the object programs actually use.
+
+    Parameters
+    ----------
+    selection, predicate, genesis:
+        The ADT parameters ``f``, ``P`` and the genesis block.
+    recorder, process:
+        When a :class:`repro.core.history.HistoryRecorder` and a process
+        identifier are supplied, every ``append``/``read`` call is logged
+        as an invocation/response event pair, which is how the concurrent
+        histories consumed by :mod:`repro.core.consistency` are produced.
+    """
+
+    def __init__(
+        self,
+        selection: Optional[SelectionFunction] = None,
+        predicate: Optional[ValidityPredicate] = None,
+        genesis: Optional[Block] = None,
+        recorder: Optional["HistoryRecorder"] = None,
+        process: Optional[str] = None,
+    ) -> None:
+        self.selection = selection if selection is not None else LongestChain()
+        self.predicate = predicate if predicate is not None else AlwaysValid()
+        self.tree = BlockTree(genesis)
+        self._recorder = recorder
+        self._process = process
+
+    # -- BT-ADT operations ---------------------------------------------------
+
+    def append(self, block: Block) -> bool:
+        """The ``append(b)`` operation: attach ``b`` to the selected chain.
+
+        Returns ``True`` (and mutates the tree) iff the re-parented block
+        satisfies the validity predicate.
+        """
+        op = self._invoke(APPEND, block)
+        tip = self.read_quiet().tip
+        candidate = block.with_parent(tip.block_id)
+        ok = bool(self.predicate(candidate, self.tree))
+        if ok:
+            self.tree.append(candidate)
+        self._respond(op, ok)
+        return ok
+
+    def read(self) -> Blockchain:
+        """The ``read()`` operation: return ``{b0}⌢ f(bt)``."""
+        op = self._invoke(READ, None)
+        chain = self.read_quiet()
+        self._respond(op, chain)
+        return chain
+
+    def read_quiet(self) -> Blockchain:
+        """Evaluate the selection function without recording an event."""
+        return self.selection(self.tree)
+
+    # -- recording helpers ----------------------------------------------------
+
+    def _invoke(self, name: str, argument: Any):
+        if self._recorder is None:
+            return None
+        return self._recorder.invoke(self._process or "p?", name, argument)
+
+    def _respond(self, op, output: Any) -> None:
+        if self._recorder is not None and op is not None:
+            self._recorder.respond(op, output)
+
+
+def _as_block(argument: Any) -> Block:
+    if isinstance(argument, Block):
+        return argument
+    raise TypeError(f"append expects a Block argument, got {type(argument)!r}")

@@ -1,0 +1,384 @@
+"""BT consistency criteria (Definitions 3.2–3.4).
+
+The paper defines two consistency criteria over concurrent histories of
+the BT-ADT, each a conjunction of properties:
+
+* **BT Strong Consistency (SC)** = Block Validity ∧ Local Monotonic Read ∧
+  Strong Prefix ∧ Ever Growing Tree.
+* **BT Eventual Consistency (EC)** = Block Validity ∧ Local Monotonic Read ∧
+  Ever Growing Tree ∧ Eventual Prefix.
+
+Every property checker below returns a :class:`PropertyResult` carrying a
+boolean verdict *and* the witnesses of any violation (the offending events
+and chains), because the theorem-level benches and the examples want to
+show *why* a history fails, not merely that it does.
+
+Finite-prefix interpretation
+----------------------------
+
+Ever Growing Tree and Eventual Prefix quantify over infinite histories
+("the set of later reads ... is finite").  A finite recorded execution is
+always a *prefix* of such a history, so literal evaluation would accept
+everything.  We follow the standard prefix interpretation (documented in
+DESIGN.md §5):
+
+* *Ever Growing Tree* — a violation is reported only when a read of score
+  ``s`` is followed by at least ``stall_threshold`` later reads, **all** of
+  score ``≤ s`` (i.e. growth visibly stalled within the trace).  With the
+  default ``stall_threshold=None`` the property is treated as
+  non-falsifiable on finite traces (it always passes, but the result still
+  reports the stalled reads so analyses can inspect them).
+
+* *Eventual Prefix* — for each read of score ``s`` we look at the *final*
+  read of every process that reads afterwards: those limit reads must
+  pairwise share a common prefix of score ``≥ s``.  This captures "the
+  divergent interval is finite" on a finite trace: by the end of the trace
+  the replicas' latest views agree at least up to ``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.block import Block, Blockchain
+from repro.core.history import Event, EventKind, History
+from repro.core.score import LengthScore, ScoreFunction, mcps
+
+__all__ = [
+    "PropertyResult",
+    "ConsistencyReport",
+    "BlockValidityChecker",
+    "LocalMonotonicReadChecker",
+    "StrongPrefixChecker",
+    "EverGrowingTreeChecker",
+    "EventualPrefixChecker",
+    "BTStrongConsistency",
+    "BTEventualConsistency",
+    "check_strong_consistency",
+    "check_eventual_consistency",
+]
+
+BlockValidator = Callable[[Block], bool]
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Verdict of a single consistency property on a history."""
+
+    name: str
+    holds: bool
+    violations: Tuple[str, ...] = ()
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def describe(self) -> str:
+        status = "OK" if self.holds else "VIOLATED"
+        lines = [f"{self.name}: {status}"]
+        lines.extend(f"  - {v}" for v in self.violations[:10])
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Aggregate verdict of a criterion (conjunction of properties)."""
+
+    criterion: str
+    results: Tuple[PropertyResult, ...]
+
+    @property
+    def holds(self) -> bool:
+        return all(r.holds for r in self.results)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def result_for(self, name: str) -> PropertyResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        header = f"{self.criterion}: {'SATISFIED' if self.holds else 'NOT SATISFIED'}"
+        return "\n".join([header] + [r.describe() for r in self.results])
+
+
+# ---------------------------------------------------------------------------
+# Individual properties
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockValidityChecker:
+    """Block validity (Definition 3.2, first bullet).
+
+    Every block of every chain returned by a read must (i) be valid and
+    (ii) have been introduced by an ``append`` invocation that precedes the
+    read response in program order.
+
+    ``validator`` decides membership in ``B'``; the default accepts every
+    block (matching executions driven by :class:`~repro.core.validity.AlwaysValid`),
+    and callers that stage invalid blocks pass an explicit validator.
+    The genesis block is exempt (it is valid by assumption and never
+    appended).
+    """
+
+    validator: Optional[BlockValidator] = None
+
+    name: str = "block-validity"
+
+    def check(self, history: History) -> PropertyResult:
+        violations: List[str] = []
+        appended: Dict[str, int] = {}
+        for inv in history.append_invocations():
+            block = inv.argument
+            if isinstance(block, Block):
+                # Earliest append invocation time for each block id.
+                appended.setdefault(block.block_id, inv.eid)
+
+        for read in history.read_responses():
+            chain = read.chain
+            for block in chain:
+                if block.is_genesis:
+                    continue
+                if self.validator is not None and not self.validator(block):
+                    violations.append(
+                        f"read {read.eid} at {read.process} returned invalid "
+                        f"block {block.block_id}"
+                    )
+                first_append = appended.get(block.block_id)
+                if first_append is None:
+                    violations.append(
+                        f"read {read.eid} at {read.process} returned block "
+                        f"{block.block_id} that was never appended"
+                    )
+                elif first_append >= read.eid:
+                    violations.append(
+                        f"read {read.eid} at {read.process} returned block "
+                        f"{block.block_id} appended only later (event {first_append})"
+                    )
+        return PropertyResult(self.name, not violations, tuple(violations))
+
+
+@dataclass(frozen=True)
+class LocalMonotonicReadChecker:
+    """Local Monotonic Read: per-process read scores never decrease."""
+
+    score: ScoreFunction = field(default_factory=LengthScore)
+
+    name: str = "local-monotonic-read"
+
+    def check(self, history: History) -> PropertyResult:
+        violations: List[str] = []
+        for process in history.processes:
+            reads = history.read_responses(process)
+            for earlier, later in zip(reads, reads[1:]):
+                s_earlier = self.score(earlier.chain)
+                s_later = self.score(later.chain)
+                if s_earlier > s_later:
+                    violations.append(
+                        f"process {process}: read {earlier.eid} scored {s_earlier} "
+                        f"but later read {later.eid} scored {s_later}"
+                    )
+        return PropertyResult(self.name, not violations, tuple(violations))
+
+
+@dataclass(frozen=True)
+class StrongPrefixChecker:
+    """Strong Prefix: every pair of read results is prefix-related."""
+
+    name: str = "strong-prefix"
+
+    def check(self, history: History) -> PropertyResult:
+        violations: List[str] = []
+        reads = history.read_responses()
+        for i in range(len(reads)):
+            chain_i = reads[i].chain
+            for j in range(i + 1, len(reads)):
+                chain_j = reads[j].chain
+                if chain_i.diverges_from(chain_j):
+                    violations.append(
+                        f"reads {reads[i].eid} ({reads[i].process}) and "
+                        f"{reads[j].eid} ({reads[j].process}) returned diverging "
+                        f"chains {chain_i} vs {chain_j}"
+                    )
+        return PropertyResult(self.name, not violations, tuple(violations))
+
+
+@dataclass(frozen=True)
+class EverGrowingTreeChecker:
+    """Ever Growing Tree, under the finite-prefix interpretation.
+
+    ``stall_threshold=None`` (default): the property is reported as
+    holding, with the stalled-read statistics placed in ``details`` for
+    inspection.  With an integer threshold ``n``, a violation is reported
+    for a read of score ``s`` whenever at least ``n`` later reads exist and
+    *none* of the later reads exceeds ``s``.
+    """
+
+    score: ScoreFunction = field(default_factory=LengthScore)
+    stall_threshold: Optional[int] = None
+
+    name: str = "ever-growing-tree"
+
+    def check(self, history: History) -> PropertyResult:
+        violations: List[str] = []
+        stalled: Dict[int, int] = {}
+        reads = history.read_responses()
+        scores = [self.score(r.chain) for r in reads]
+        for i, read in enumerate(reads):
+            s = scores[i]
+            later = [
+                (other, scores[j])
+                for j, other in enumerate(reads)
+                if history.precedes(read, other)
+            ]
+            if not later:
+                continue
+            not_growing = [o for o, sc in later if sc <= s]
+            grew = any(sc > s for _, sc in later)
+            if not grew:
+                stalled[read.eid] = len(not_growing)
+                if (
+                    self.stall_threshold is not None
+                    and len(not_growing) >= self.stall_threshold
+                ):
+                    violations.append(
+                        f"read {read.eid} at {read.process} (score {s}) is followed "
+                        f"by {len(not_growing)} reads none of which exceeds its score"
+                    )
+        return PropertyResult(
+            self.name,
+            not violations,
+            tuple(violations),
+            details={"stalled_reads": stalled},
+        )
+
+
+@dataclass(frozen=True)
+class EventualPrefixChecker:
+    """Eventual Prefix (Definition 3.3), finite-prefix interpretation.
+
+    For every read response ``r`` of score ``s``: consider, among the reads
+    whose response follows ``r``, the *last* read of each process.  Those
+    limit reads must pairwise share a maximal common prefix of score
+    ``≥ s`` **or** be prefix-related.  (On the paper's infinite histories
+    the criterion says "only finitely many later pairs diverge below
+    ``s``"; a finite trace witnesses a violation when its final views hold
+    *conflicting branches* below ``s``.  A pair where one chain simply lags
+    behind the other is not counted as divergent: under Ever Growing Tree
+    the lag is transient, and exempting it is what keeps the finite-prefix
+    interpretation consistent with Theorem 3.1, ``H_SC ⊆ H_EC``.)
+
+    Setting ``require_all_pairs=True`` strengthens the check to *every*
+    pair of later reads (not just the limit reads); that stricter variant
+    rejects any history with a transient fork and is used in tests to
+    discriminate the two interpretations.
+    """
+
+    score: ScoreFunction = field(default_factory=LengthScore)
+    require_all_pairs: bool = False
+
+    name: str = "eventual-prefix"
+
+    def check(self, history: History) -> PropertyResult:
+        violations: List[str] = []
+        reads = history.read_responses()
+        scores = {r.eid: self.score(r.chain) for r in reads}
+
+        for read in reads:
+            s = scores[read.eid]
+            later = [r for r in reads if history.precedes(read, r)]
+            if not later:
+                continue
+            if self.require_all_pairs:
+                candidates = later
+            else:
+                last_per_process: Dict[str, Event] = {}
+                for r in later:
+                    last_per_process[r.process] = r  # later reads are time-ordered
+                candidates = list(last_per_process.values())
+            for i in range(len(candidates)):
+                for j in range(i + 1, len(candidates)):
+                    a, b = candidates[i], candidates[j]
+                    if not a.chain.diverges_from(b.chain):
+                        continue
+                    shared = mcps(a.chain, b.chain, self.score)
+                    if shared < s:
+                        violations.append(
+                            f"after read {read.eid} (score {s}), reads {a.eid} "
+                            f"({a.process}) and {b.eid} ({b.process}) share a prefix "
+                            f"of score only {shared}"
+                        )
+        return PropertyResult(self.name, not violations, tuple(violations))
+
+
+# ---------------------------------------------------------------------------
+# Criteria (conjunctions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BTStrongConsistency:
+    """The BT Strong Consistency criterion (Definition 3.2)."""
+
+    score: ScoreFunction = field(default_factory=LengthScore)
+    validator: Optional[BlockValidator] = None
+    stall_threshold: Optional[int] = None
+
+    def check(self, history: History) -> ConsistencyReport:
+        results = (
+            BlockValidityChecker(self.validator).check(history),
+            LocalMonotonicReadChecker(self.score).check(history),
+            StrongPrefixChecker().check(history),
+            EverGrowingTreeChecker(self.score, self.stall_threshold).check(history),
+        )
+        return ConsistencyReport("BT Strong Consistency", results)
+
+
+@dataclass(frozen=True)
+class BTEventualConsistency:
+    """The BT Eventual Consistency criterion (Definition 3.4)."""
+
+    score: ScoreFunction = field(default_factory=LengthScore)
+    validator: Optional[BlockValidator] = None
+    stall_threshold: Optional[int] = None
+    require_all_pairs: bool = False
+
+    def check(self, history: History) -> ConsistencyReport:
+        results = (
+            BlockValidityChecker(self.validator).check(history),
+            LocalMonotonicReadChecker(self.score).check(history),
+            EverGrowingTreeChecker(self.score, self.stall_threshold).check(history),
+            EventualPrefixChecker(self.score, self.require_all_pairs).check(history),
+        )
+        return ConsistencyReport("BT Eventual Consistency", results)
+
+
+def check_strong_consistency(
+    history: History,
+    score: Optional[ScoreFunction] = None,
+    validator: Optional[BlockValidator] = None,
+) -> ConsistencyReport:
+    """Convenience wrapper: evaluate SC with default parameters."""
+    return BTStrongConsistency(
+        score=score if score is not None else LengthScore(),
+        validator=validator,
+    ).check(history)
+
+
+def check_eventual_consistency(
+    history: History,
+    score: Optional[ScoreFunction] = None,
+    validator: Optional[BlockValidator] = None,
+) -> ConsistencyReport:
+    """Convenience wrapper: evaluate EC with default parameters."""
+    return BTEventualConsistency(
+        score=score if score is not None else LengthScore(),
+        validator=validator,
+    ).check(history)

@@ -1,0 +1,202 @@
+"""The refinement hierarchy of Figures 8 and 14.
+
+Section 3.4 combines the two consistency criteria (SC, EC) with the two
+oracle families (Θ_P prodigal; Θ_{F,k} frugal with bound ``k``) into
+refined abstract data types ``R(BT-ADT_C, Θ)`` and orders them by
+inclusion of their admissible history sets:
+
+* Theorem 3.1 — ``H_SC ⊂ H_EC`` (SC is strictly stronger than EC);
+* Theorem 3.2 / 3.3 — ``Ĥ^{R(BT,Θ_F)} ⊆ Ĥ^{R(BT,Θ_P)}``;
+* Theorem 3.4 — ``k1 ≤ k2 ⟹ Ĥ^{R(BT,Θ_{F,k1})} ⊆ Ĥ^{R(BT,Θ_{F,k2})}``;
+* Corollary 3.4.1 — ``Ĥ^{R(BT_SC,Θ)} ⊆ Ĥ^{R(BT_EC,Θ)}``.
+
+Section 4 then removes two vertices from the message-passing hierarchy:
+``R(BT-ADT_SC, Θ_P)`` and ``R(BT-ADT_SC, Θ_{F,k>1})`` are impossible in a
+message-passing system because any fork-allowing oracle lets Strong Prefix
+be violated (Theorem 4.8); hence Θ_{F,k=1} — and by Theorem 4.2 Consensus —
+is necessary for SC (Corollaries 4.8.1/4.8.2).
+
+This module provides a small declarative model of that hierarchy:
+:class:`Refinement` descriptors, the strength partial order, and the edge
+lists that the Figure 8 / Figure 14 benches render.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = [
+    "Consistency",
+    "OracleKind",
+    "Refinement",
+    "refinement_hierarchy",
+    "message_passing_hierarchy",
+    "is_weaker_or_equal",
+    "consensus_number",
+]
+
+
+class Consistency:
+    """Names of the two consistency criteria."""
+
+    STRONG = "SC"
+    EVENTUAL = "EC"
+
+    ALL = (STRONG, EVENTUAL)
+
+
+class OracleKind:
+    """Names of the two oracle families."""
+
+    FRUGAL = "frugal"
+    PRODIGAL = "prodigal"
+
+    ALL = (FRUGAL, PRODIGAL)
+
+
+@dataclass(frozen=True, order=True)
+class Refinement:
+    """A vertex of the hierarchy: ``R(BT-ADT_consistency, Θ_oracle)``.
+
+    ``k`` is the frugal bound (``math.inf`` for the prodigal oracle, which
+    the paper defines as "Θ_F with k = ∞").
+    """
+
+    consistency: str
+    oracle: str
+    k: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.consistency not in Consistency.ALL:
+            raise ValueError(f"unknown consistency {self.consistency!r}")
+        if self.oracle not in OracleKind.ALL:
+            raise ValueError(f"unknown oracle kind {self.oracle!r}")
+        if self.oracle == OracleKind.FRUGAL:
+            if not (self.k == math.inf or (isinstance(self.k, (int, float)) and self.k >= 1)):
+                raise ValueError("frugal oracle requires k >= 1")
+        if self.oracle == OracleKind.PRODIGAL and self.k != math.inf:
+            raise ValueError("prodigal oracle has k = ∞ by definition")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def sc_frugal(cls, k: float = 1) -> "Refinement":
+        return cls(Consistency.STRONG, OracleKind.FRUGAL, k)
+
+    @classmethod
+    def ec_frugal(cls, k: float = 1) -> "Refinement":
+        return cls(Consistency.EVENTUAL, OracleKind.FRUGAL, k)
+
+    @classmethod
+    def sc_prodigal(cls) -> "Refinement":
+        return cls(Consistency.STRONG, OracleKind.PRODIGAL)
+
+    @classmethod
+    def ec_prodigal(cls) -> "Refinement":
+        return cls(Consistency.EVENTUAL, OracleKind.PRODIGAL)
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def allows_forks(self) -> bool:
+        """``True`` iff the oracle may validate >1 block per parent."""
+        return self.oracle == OracleKind.PRODIGAL or self.k > 1
+
+    @property
+    def message_passing_implementable(self) -> bool:
+        """Theorem 4.8: SC cannot be implemented with a fork-allowing oracle."""
+        return not (self.consistency == Consistency.STRONG and self.allows_forks)
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's notation."""
+        if self.oracle == OracleKind.PRODIGAL:
+            oracle = "Θ_P"
+        elif self.k == math.inf:
+            oracle = "Θ_F,k=∞"
+        else:
+            k = int(self.k) if float(self.k).is_integer() else self.k
+            oracle = f"Θ_F,k={k}"
+        return f"R(BT-ADT_{self.consistency}, {oracle})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+def is_weaker_or_equal(weaker: Refinement, stronger: Refinement) -> bool:
+    """``True`` iff every history of ``stronger`` is admissible for ``weaker``.
+
+    i.e. ``Ĥ(stronger) ⊆ Ĥ(weaker)`` — "weaker admits at least as many
+    histories".  The relation combines Theorem 3.1 (SC ⇒ EC), Theorems
+    3.3/3.4 (oracle bound monotonicity) and Corollary 3.4.1.
+    """
+    consistency_ok = (
+        weaker.consistency == stronger.consistency
+        or (weaker.consistency == Consistency.EVENTUAL and stronger.consistency == Consistency.STRONG)
+    )
+    k_weaker = weaker.k if weaker.oracle == OracleKind.FRUGAL else math.inf
+    k_stronger = stronger.k if stronger.oracle == OracleKind.FRUGAL else math.inf
+    oracle_ok = k_stronger <= k_weaker
+    return consistency_ok and oracle_ok
+
+
+def consensus_number(refinement_or_oracle: "Refinement | str", k: float = math.inf) -> float:
+    """Consensus number of the oracle (Theorems 4.2 and 4.3).
+
+    ``Θ_{F,k=1}`` has consensus number ∞ (it wait-free implements
+    Compare&Swap, hence Consensus for any number of processes);
+    ``Θ_P`` (and any fork-allowing frugal oracle, which the paper treats
+    through the same snapshot construction) has consensus number 1.
+    """
+    if isinstance(refinement_or_oracle, Refinement):
+        oracle = refinement_or_oracle.oracle
+        k = refinement_or_oracle.k
+    else:
+        oracle = refinement_or_oracle
+    if oracle == OracleKind.FRUGAL and k == 1:
+        return math.inf
+    return 1
+
+
+def refinement_hierarchy(k_values: Tuple[float, ...] = (1, 2)) -> Dict[Refinement, Tuple[Refinement, ...]]:
+    """The full hierarchy of Figure 8 as an adjacency map.
+
+    An edge ``a -> b`` means "``a`` is stronger than ``b``": every history
+    admissible for ``a`` is admissible for ``b`` (``Ĥ(a) ⊆ Ĥ(b)``) and the
+    two vertices are distinct.  ``k_values`` selects which frugal bounds to
+    include (the paper's figure shows k=1 and a generic k>1; the default
+    reproduces exactly that, with 2 standing for "some k>1").
+    """
+    vertices: List[Refinement] = []
+    for consistency in Consistency.ALL:
+        for k in k_values:
+            vertices.append(Refinement(consistency, OracleKind.FRUGAL, k))
+        vertices.append(Refinement(consistency, OracleKind.PRODIGAL))
+
+    edges: Dict[Refinement, List[Refinement]] = {v: [] for v in vertices}
+    for stronger in vertices:
+        for weaker in vertices:
+            if stronger == weaker:
+                continue
+            if is_weaker_or_equal(weaker, stronger):
+                edges[stronger].append(weaker)
+    return {v: tuple(sorted(targets, key=lambda r: r.label())) for v, targets in edges.items()}
+
+
+def message_passing_hierarchy(
+    k_values: Tuple[float, ...] = (1, 2)
+) -> Dict[Refinement, Tuple[Refinement, ...]]:
+    """The Figure 14 hierarchy: Figure 8 minus the impossible vertices.
+
+    The vertices ``R(BT-ADT_SC, Θ_P)`` and ``R(BT-ADT_SC, Θ_{F,k>1})`` are
+    removed (greyed out in the paper) because Theorem 4.8 shows they cannot
+    be implemented in a message-passing system.
+    """
+    full = refinement_hierarchy(k_values)
+    feasible = {v for v in full if v.message_passing_implementable}
+    return {
+        v: tuple(t for t in targets if t in feasible)
+        for v, targets in full.items()
+        if v in feasible
+    }

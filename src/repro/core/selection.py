@@ -1,0 +1,148 @@
+"""Selection functions ``f : BT -> BC``.
+
+The BT-ADT is parameterized by a selection function ``f`` drawn from a set
+``F``: ``f(bt)`` selects a blockchain from the BlockTree, and both the
+``read()`` output and the parent of an appended block are defined through
+it (Definition 3.1).  The paper leaves ``f`` generic "to suit the different
+blockchain implementations" and names two concrete instances — the longest
+chain and the heaviest chain — plus, in Section 5, the GHOST rule used by
+Ethereum and the trivial projection used by single-chain (consensus-based)
+systems.
+
+All implementations here are *deterministic*: ties are broken by the
+lexicographic order of the tip identifier, exactly as in the worked
+example of Figure 2 ("in case of equality, selects the largest based on
+the lexicographical order").  Determinism matters because the consistency
+criteria are stated over read outputs; a nondeterministic ``f`` would make
+the sequential specification ill-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.core.block import Blockchain
+from repro.core.blocktree import BlockTree
+from repro.core.score import LengthScore, ScoreFunction, WeightScore
+
+__all__ = [
+    "SelectionFunction",
+    "LongestChain",
+    "HeaviestChain",
+    "GHOSTSelection",
+    "ScoreMaximizingSelection",
+    "FixedTipSelection",
+]
+
+
+@runtime_checkable
+class SelectionFunction(Protocol):
+    """Protocol for the paper's selection functions ``f ∈ F``.
+
+    ``f(bt)`` must return a blockchain of ``bt`` (a root-to-vertex path);
+    when the tree only contains the genesis block the returned chain is
+    the genesis-only chain ``{b0}``.
+    """
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        """Select a chain from ``tree``."""
+        ...
+
+
+def _lexicographic_tiebreak(candidates: Sequence[str]) -> str:
+    """Deterministic tie-break: the lexicographically largest identifier.
+
+    Matches the convention of the paper's Figure 2 example.
+    """
+    return max(candidates)
+
+
+@dataclass(frozen=True)
+class ScoreMaximizingSelection:
+    """Select the leaf chain maximizing an arbitrary score function.
+
+    This is the generic form of which :class:`LongestChain` and
+    :class:`HeaviestChain` are the two named instances.  Ties on the score
+    are broken lexicographically on the tip identifier.
+    """
+
+    score: ScoreFunction = field(default_factory=LengthScore)
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        chains = tree.all_chains()
+        if not chains:  # pragma: no cover - a tree always has >= 1 leaf
+            return Blockchain.genesis_only(tree.genesis)
+        best_score = max(self.score(c) for c in chains)
+        tied = [c for c in chains if self.score(c) == best_score]
+        winner_tip = _lexicographic_tiebreak([c.tip.block_id for c in tied])
+        for chain in tied:
+            if chain.tip.block_id == winner_tip:
+                return chain
+        raise AssertionError("unreachable: tie-break winner must be among ties")
+
+
+@dataclass(frozen=True)
+class LongestChain:
+    """The longest-chain rule (Bitcoin's original description, Figure 2)."""
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        return ScoreMaximizingSelection(LengthScore())(tree)
+
+
+@dataclass(frozen=True)
+class HeaviestChain:
+    """The heaviest-chain ("most accumulated work") rule.
+
+    The paper notes that Bitcoin's ``f`` "returns the blockchain which has
+    required the most computational work"; block weights model per-block
+    difficulty.
+    """
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        return ScoreMaximizingSelection(WeightScore())(tree)
+
+
+@dataclass(frozen=True)
+class GHOSTSelection:
+    """The GHOST rule (Greedy Heaviest-Observed Sub-Tree).
+
+    Used by the Ethereum model (Section 5.2): starting from the genesis
+    block, repeatedly descend into the child whose *subtree* carries the
+    most weight, until a leaf is reached.  Ties are broken
+    lexicographically for determinism.
+    """
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        cursor = tree.genesis.block_id
+        while True:
+            children = tree.children_of(cursor)
+            if not children:
+                return tree.chain_to(cursor)
+            best_weight = max(tree.subtree_weight(c) for c in children)
+            tied = [c for c in children if tree.subtree_weight(c) == best_weight]
+            cursor = _lexicographic_tiebreak(tied)
+
+
+@dataclass(frozen=True)
+class FixedTipSelection:
+    """Selection that follows an externally decided tip (consensus systems).
+
+    Red Belly, Hyperledger Fabric and the other strongly consistent
+    systems of Table 1 keep a *single* chain: the "selection" is the
+    trivial projection from the (fork-free) tree to its unique chain.
+    When a tip has been pinned (by the consensus/ordering layer) the
+    selection returns the chain to that tip; otherwise it behaves as the
+    longest-chain rule over what is necessarily a path.
+    """
+
+    tip_id: Optional[str] = None
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        if self.tip_id is not None and self.tip_id in tree:
+            return tree.chain_to(self.tip_id)
+        return LongestChain()(tree)
+
+    def pinned_to(self, tip_id: str) -> "FixedTipSelection":
+        """Return a copy pinned to ``tip_id`` (selection functions are frozen)."""
+        return FixedTipSelection(tip_id=tip_id)

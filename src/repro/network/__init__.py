@@ -1,0 +1,52 @@
+"""Message-passing substrate (Section 4.2 of the paper).
+
+A deterministic discrete-event simulator plus the communication
+abstractions the paper reasons about:
+
+* :mod:`repro.network.simulator` — the event loop and virtual clock;
+* :mod:`repro.network.channels` — channel models: asynchronous,
+  synchronous (δ-bounded), partially synchronous (GST), lossy;
+* :mod:`repro.network.process` — the process framework, including crash
+  and Byzantine behaviours, wired to a shared
+  :class:`~repro.core.history.HistoryRecorder`;
+* :mod:`repro.network.broadcast` — best-effort flooding and the Light
+  Reliable Communication (LRC) abstraction of Definition 4.4;
+* :mod:`repro.network.update_agreement` — the Update Agreement properties
+  R1–R3 (Definition 4.3) and the LRC property checker used by the
+  Theorem 4.6/4.7 benches.
+"""
+
+from repro.network.simulator import Simulator, Network, Message
+from repro.network.channels import (
+    ChannelModel,
+    SynchronousChannel,
+    AsynchronousChannel,
+    PartiallySynchronousChannel,
+    LossyChannel,
+)
+from repro.network.process import Process, CrashingProcess, SilentProcess
+from repro.network.broadcast import FloodingBroadcast, LightReliableCommunication
+from repro.network.update_agreement import (
+    UpdateAgreementResult,
+    check_update_agreement,
+    check_light_reliable_communication,
+)
+
+__all__ = [
+    "Simulator",
+    "Network",
+    "Message",
+    "ChannelModel",
+    "SynchronousChannel",
+    "AsynchronousChannel",
+    "PartiallySynchronousChannel",
+    "LossyChannel",
+    "Process",
+    "CrashingProcess",
+    "SilentProcess",
+    "FloodingBroadcast",
+    "LightReliableCommunication",
+    "UpdateAgreementResult",
+    "check_update_agreement",
+    "check_light_reliable_communication",
+]

@@ -1,0 +1,173 @@
+"""Channel models: asynchrony, synchrony, partial synchrony, loss.
+
+Section 4.2 distinguishes three synchrony assumptions:
+
+* **asynchronous** — no upper bound on message delay;
+* **synchronous** — messages sent by correct processes at time ``t`` are
+  delivered by ``t + δ``;
+* **weakly/partially synchronous** — there is an unknown time (GST) after
+  which channels behave synchronously.
+
+A channel model answers one question per message: *when* is it delivered
+(a non-negative delay) or is it dropped (``None``)?  Keeping that decision
+in one object makes the necessity results easy to exercise: the Theorem
+4.6/4.7 benches wrap any model in :class:`LossyChannel` and sweep the drop
+probability, and the Theorem 4.8 construction uses a plain
+:class:`SynchronousChannel` to show the impossibility does not rely on
+asynchrony at all.
+
+All randomness is drawn from a seeded generator owned by the model, so a
+given (seed, workload) pair always yields the same execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "ChannelModel",
+    "SynchronousChannel",
+    "AsynchronousChannel",
+    "PartiallySynchronousChannel",
+    "LossyChannel",
+    "TargetedLossChannel",
+]
+
+
+@runtime_checkable
+class ChannelModel(Protocol):
+    """Decides the fate of each message."""
+
+    def delay_for(self, sender: str, receiver: str, now: float) -> Optional[float]:
+        """Return the delivery delay, or ``None`` if the message is lost."""
+        ...
+
+
+class SynchronousChannel:
+    """Delivery within a known bound δ.
+
+    Delays are drawn uniformly from ``[min_delay, delta]``; local delivery
+    (sender == receiver) is immediate, which matches the convention that a
+    process "receives" its own update as part of issuing it.
+    """
+
+    def __init__(self, delta: float = 1.0, min_delay: float = 0.1, seed: int = 0) -> None:
+        if delta <= 0 or min_delay < 0 or min_delay > delta:
+            raise ValueError("require 0 <= min_delay <= delta and delta > 0")
+        self.delta = float(delta)
+        self.min_delay = float(min_delay)
+        self._rng = np.random.default_rng(seed)
+
+    def delay_for(self, sender: str, receiver: str, now: float) -> Optional[float]:  # noqa: ARG002
+        if sender == receiver:
+            return 0.0
+        return float(self._rng.uniform(self.min_delay, self.delta))
+
+
+class AsynchronousChannel:
+    """No bound on delays: exponentially distributed with a heavy tail knob.
+
+    ``tail_probability`` of messages receive an extra ``tail_factor``
+    multiplier, modelling the unbounded-delay adversary within a finite
+    simulation.  Messages are never dropped by this model (losses are the
+    job of :class:`LossyChannel`).
+    """
+
+    def __init__(
+        self,
+        mean_delay: float = 1.0,
+        tail_probability: float = 0.05,
+        tail_factor: float = 20.0,
+        seed: int = 0,
+    ) -> None:
+        if mean_delay <= 0:
+            raise ValueError("mean_delay must be positive")
+        if not 0 <= tail_probability <= 1:
+            raise ValueError("tail_probability must be in [0, 1]")
+        self.mean_delay = float(mean_delay)
+        self.tail_probability = float(tail_probability)
+        self.tail_factor = float(tail_factor)
+        self._rng = np.random.default_rng(seed)
+
+    def delay_for(self, sender: str, receiver: str, now: float) -> Optional[float]:  # noqa: ARG002
+        if sender == receiver:
+            return 0.0
+        delay = float(self._rng.exponential(self.mean_delay))
+        if self._rng.random() < self.tail_probability:
+            delay *= self.tail_factor
+        return delay
+
+
+class PartiallySynchronousChannel:
+    """Partial synchrony (Dwork–Lynch–Stockmeyer): synchronous after GST.
+
+    Before the Global Stabilization Time messages behave asynchronously
+    (``pre_gst`` model); at or after GST they are delivered within ``delta``.
+    """
+
+    def __init__(
+        self,
+        gst: float = 50.0,
+        delta: float = 1.0,
+        pre_gst_mean: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if gst < 0:
+            raise ValueError("GST must be non-negative")
+        self.gst = float(gst)
+        self._post = SynchronousChannel(delta=delta, seed=seed)
+        self._pre = AsynchronousChannel(mean_delay=pre_gst_mean, seed=seed + 1)
+
+    def delay_for(self, sender: str, receiver: str, now: float) -> Optional[float]:
+        if now >= self.gst:
+            return self._post.delay_for(sender, receiver, now)
+        return self._pre.delay_for(sender, receiver, now)
+
+
+class LossyChannel:
+    """Wrap another model and drop each message with a fixed probability.
+
+    Local (self-addressed) messages are never dropped: the paper's R1/R2
+    arguments are about *other* processes missing an update, and a replica
+    trivially has its own update.
+    """
+
+    def __init__(self, inner: ChannelModel, drop_probability: float, seed: int = 0) -> None:
+        if not 0 <= drop_probability <= 1:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.inner = inner
+        self.drop_probability = float(drop_probability)
+        self._rng = np.random.default_rng(seed)
+        self.dropped = 0
+
+    def delay_for(self, sender: str, receiver: str, now: float) -> Optional[float]:
+        if sender != receiver and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return None
+        return self.inner.delay_for(sender, receiver, now)
+
+
+class TargetedLossChannel:
+    """Drop exactly the messages selected by a predicate.
+
+    Used to realise the paper's proof constructions where *one specific*
+    update never reaches *one specific* process (Lemma 4.5): pass
+    ``lambda sender, receiver, now: receiver == "k"`` style predicates.
+    """
+
+    def __init__(
+        self,
+        inner: ChannelModel,
+        drop_if: Callable[[str, str, float], bool],
+    ) -> None:
+        self.inner = inner
+        self.drop_if = drop_if
+        self.dropped = 0
+
+    def delay_for(self, sender: str, receiver: str, now: float) -> Optional[float]:
+        if sender != receiver and self.drop_if(sender, receiver, now):
+            self.dropped += 1
+            return None
+        return self.inner.delay_for(sender, receiver, now)

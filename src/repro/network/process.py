@@ -1,0 +1,139 @@
+"""Process framework for the message-passing substrate.
+
+A :class:`Process` is a state machine driven by two callbacks —
+``on_start`` (at time 0) and ``on_message`` (per delivery) — plus whatever
+timers it schedules on the simulator.  Protocol replicas
+(:mod:`repro.protocols.base`) subclass it.
+
+Failure behaviours follow Section 4.2's Byzantine model:
+
+* :class:`CrashingProcess` mixin — halts at a configured time (crash
+  fault); the network stops delivering to it and it stops emitting;
+* :class:`SilentProcess` — a Byzantine process that withholds every
+  message it should send (the adversary used by the update-agreement and
+  LRC necessity experiments);
+* arbitrary Byzantine behaviours are obtained by overriding the callbacks
+  in protocol-specific subclasses (e.g. the equivocating proposer used by
+  the consensus-protocol tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.core.history import HistoryRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.simulator import Message, Network
+
+__all__ = ["Process", "CrashingProcess", "SilentProcess"]
+
+
+class Process:
+    """Base class for all simulated processes."""
+
+    def __init__(self, pid: str) -> None:
+        self.pid = pid
+        self.network: Optional["Network"] = None
+        self.alive = True
+        self.byzantine = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called by :meth:`Network.register`."""
+        self.network = network
+
+    @property
+    def recorder(self) -> HistoryRecorder:
+        assert self.network is not None, "process not attached to a network"
+        return self.network.recorder
+
+    @property
+    def now(self) -> float:
+        assert self.network is not None
+        return self.network.simulator.now
+
+    @property
+    def is_correct(self) -> bool:
+        """Correct = neither crashed nor Byzantine."""
+        return self.alive and not self.byzantine
+
+    # -- messaging helpers ------------------------------------------------------
+
+    def send(self, receiver: str, kind: str, payload: Any) -> bool:
+        """Send a point-to-point message (dropped silently if not alive)."""
+        assert self.network is not None
+        if not self.alive:
+            return False
+        return self.network.send(self.pid, receiver, kind, payload)
+
+    def broadcast(self, kind: str, payload: Any, include_self: bool = True) -> int:
+        """Best-effort broadcast to every process."""
+        assert self.network is not None
+        if not self.alive:
+            return 0
+        return self.network.broadcast(self.pid, kind, payload, include_self=include_self)
+
+    def schedule(self, delay: float, action) -> None:
+        """Schedule a local timer; the action is skipped if we are dead by then."""
+        assert self.network is not None
+
+        def guarded() -> None:
+            if self.alive:
+                action()
+
+        self.network.simulator.schedule(delay, guarded)
+
+    # -- lifecycle callbacks ------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the network starts (override as needed)."""
+
+    def on_message(self, message: "Message") -> None:
+        """Called for every delivered message (override as needed)."""
+
+    def crash(self) -> None:
+        """Crash this process immediately."""
+        self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = []
+        if not self.alive:
+            flags.append("crashed")
+        if self.byzantine:
+            flags.append("byzantine")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"{type(self).__name__}({self.pid}{suffix})"
+
+
+class CrashingProcess(Process):
+    """A process that crashes at a pre-programmed virtual time."""
+
+    def __init__(self, pid: str, crash_at: float) -> None:
+        super().__init__(pid)
+        if crash_at < 0:
+            raise ValueError("crash_at must be non-negative")
+        self.crash_at = crash_at
+
+    def on_start(self) -> None:
+        self.schedule(self.crash_at, self.crash)
+
+
+class SilentProcess(Process):
+    """A Byzantine process that never sends anything.
+
+    It still receives messages (and may update internal state), but all
+    outbound traffic is suppressed — the cheapest adversary able to break
+    properties that need every correct process's updates to circulate.
+    """
+
+    def __init__(self, pid: str) -> None:
+        super().__init__(pid)
+        self.byzantine = True
+
+    def send(self, receiver: str, kind: str, payload: Any) -> bool:  # noqa: ARG002
+        return False
+
+    def broadcast(self, kind: str, payload: Any, include_self: bool = True) -> int:  # noqa: ARG002
+        return 0

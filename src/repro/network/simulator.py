@@ -1,0 +1,205 @@
+"""Discrete-event simulator and network fabric.
+
+The paper's message-passing model has ``n`` processes, a fictional global
+clock the processes cannot read, and channels of varying synchrony.  This
+module provides:
+
+* :class:`Simulator` — a classical discrete-event engine: a priority queue
+  of timestamped callbacks, a virtual clock, and a run loop.  Everything is
+  deterministic given the seeds of the channel models and protocols, which
+  makes every benchmark re-run bit-identical.
+* :class:`Message` — an immutable envelope (sender, receiver, kind,
+  payload, send time).
+* :class:`Network` — glue between the simulator, a channel model deciding
+  per-message delays/drops, and the registered processes.  Delivery is the
+  only way processes interact; there is no shared memory across processes
+  in this substrate.
+
+The simulator is intentionally single-threaded: determinism and
+reproducibility of the paper's histories matter far more here than wall
+clock parallelism, and the event loop is already dominated by protocol
+logic rather than queue overhead (heap operations are O(log n)).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.history import HistoryRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.network.channels import ChannelModel
+    from repro.network.process import Process
+
+__all__ = ["Simulator", "Message", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message envelope."""
+
+    sender: str
+    receiver: str
+    kind: str
+    payload: Any
+    sent_at: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.sender}->{self.receiver} @{self.sent_at:.2f})"
+
+
+class Simulator:
+    """Priority-queue discrete-event engine with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), action))
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at an absolute virtual time."""
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (time, next(self._sequence), action))
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Process queued events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (events scheduled
+            later stay in the queue).  ``None`` drains the queue.
+        max_events:
+            Safety bound against runaway protocols.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._queue and processed < max_events:
+            time, _, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = max(self.now, time)
+            action()
+            processed += 1
+            self.events_processed += 1
+        if processed >= max_events and self._queue:
+            raise RuntimeError(
+                f"simulation did not quiesce within {max_events} events "
+                f"({len(self._queue)} still pending at t={self.now:.2f})"
+            )
+        if until is not None and self.now < until and not self._queue:
+            self.now = until
+        elif until is not None and self.now < until:
+            self.now = until
+        return processed
+
+
+class Network:
+    """Processes + channel model + simulator.
+
+    The network owns the shared :class:`~repro.core.history.HistoryRecorder`
+    so that every replica's operation events and every ``send``/``receive``/
+    ``update`` replication event land in a single concurrent history, ready
+    for the consistency and update-agreement checkers.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        channel: "ChannelModel",
+        recorder: Optional[HistoryRecorder] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.channel = channel
+        self.recorder = recorder if recorder is not None else HistoryRecorder()
+        self._processes: Dict[str, "Process"] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- membership -------------------------------------------------------------
+
+    def register(self, process: "Process") -> None:
+        if process.pid in self._processes:
+            raise ValueError(f"process {process.pid!r} already registered")
+        self._processes[process.pid] = process
+        process.attach(self)
+
+    def process(self, pid: str) -> "Process":
+        return self._processes[pid]
+
+    @property
+    def process_ids(self) -> Tuple[str, ...]:
+        return tuple(self._processes)
+
+    def correct_process_ids(self) -> Tuple[str, ...]:
+        """Processes that are neither crashed nor Byzantine."""
+        return tuple(p.pid for p in self._processes.values() if p.is_correct)
+
+    # -- message plane ---------------------------------------------------------------
+
+    def send(self, sender: str, receiver: str, kind: str, payload: Any) -> bool:
+        """Send one message; returns ``False`` if the channel dropped it."""
+        if receiver not in self._processes:
+            raise KeyError(f"unknown receiver {receiver!r}")
+        message = Message(sender, receiver, kind, payload, self.simulator.now)
+        self.messages_sent += 1
+        delay = self.channel.delay_for(sender, receiver, self.simulator.now)
+        if delay is None:
+            self.messages_dropped += 1
+            return False
+        self.simulator.schedule(delay, lambda m=message: self._deliver(m))
+        return True
+
+    def broadcast(self, sender: str, kind: str, payload: Any, include_self: bool = True) -> int:
+        """Send to every registered process; returns messages not dropped."""
+        delivered = 0
+        for pid in self._processes:
+            if pid == sender and not include_self:
+                continue
+            if self.send(sender, pid, kind, payload):
+                delivered += 1
+        return delivered
+
+    def _deliver(self, message: Message) -> None:
+        process = self._processes.get(message.receiver)
+        if process is None:  # pragma: no cover - receivers cannot unregister
+            return
+        if not process.alive:
+            # Crashed processes receive nothing.
+            return
+        self.messages_delivered += 1
+        process.on_message(message)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke ``on_start`` on every process (at time 0)."""
+        for process in self._processes.values():
+            process.on_start()
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Convenience: start (if not already) is caller's business; run the clock."""
+        return self.simulator.run(until=until, max_events=max_events)
+
+    def history(self):
+        """The concurrent history recorded so far."""
+        return self.recorder.history()

@@ -1,0 +1,218 @@
+"""Update Agreement (Definition 4.3) and LRC (Definition 4.4) checkers.
+
+Both definitions are predicates over concurrent histories that contain the
+replication events ``send_i(b_g, b)``, ``receive_i(b_g, b)`` and
+``update_i(b_g, b)``:
+
+Update Agreement
+    * **R1** — every ``update_i(b_g, b_i)`` (a process inserting a block it
+      generated) is accompanied by a ``send_i(b_g, b_i)``;
+    * **R2** — every ``update_i(b_g, b_j)`` for a block generated elsewhere
+      is preceded (at ``i``) by a ``receive_i(b_g, b_j)``;
+    * **R3** — every update is eventually received by *every* process:
+      ``∀ update_i(b_g, b_j), ∀ k: ∃ receive_k(b_g, b_j)``.
+
+Light Reliable Communication
+    * **Validity** — a correct sender eventually receives its own message;
+    * **Agreement** — if any correct process receives a message, every
+      correct process eventually receives it.
+
+Theorems 4.6/4.7 establish both as *necessary* for BT Eventual
+Consistency; the benches pair these checkers with the Eventual Prefix
+checker to show that whenever loss injection breaks R3/Agreement, the
+convergence property breaks too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.history import Event, EventKind, History
+
+__all__ = [
+    "UpdateAgreementResult",
+    "LRCResult",
+    "check_update_agreement",
+    "check_light_reliable_communication",
+]
+
+
+def _key(event: Event) -> Tuple[str, str]:
+    """The ``(parent id, block id)`` pair carried by a replication event."""
+    parent_id, block_id = event.argument
+    return str(parent_id), str(block_id)
+
+
+@dataclass(frozen=True)
+class UpdateAgreementResult:
+    """Outcome of the R1/R2/R3 checks."""
+
+    r1_holds: bool
+    r2_holds: bool
+    r3_holds: bool
+    violations: Tuple[str, ...] = ()
+    missing_receivers: Dict[Tuple[str, str], Tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def holds(self) -> bool:
+        return self.r1_holds and self.r2_holds and self.r3_holds
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+@dataclass(frozen=True)
+class LRCResult:
+    """Outcome of the LRC Validity/Agreement checks."""
+
+    validity_holds: bool
+    agreement_holds: bool
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def holds(self) -> bool:
+        return self.validity_holds and self.agreement_holds
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_update_agreement(
+    history: History,
+    processes: Optional[Iterable[str]] = None,
+    block_creators: Optional[Dict[str, str]] = None,
+) -> UpdateAgreementResult:
+    """Check R1–R3 over a recorded history.
+
+    Parameters
+    ----------
+    history:
+        A history containing send/receive/update events.
+    processes:
+        The set of processes over which R3 quantifies ("every correct
+        process"); defaults to every process that recorded at least one
+        replication event.
+    block_creators:
+        Optional map block id → creator process.  When provided, R1 is
+        checked only for updates of locally generated blocks and R2 only
+        for updates of remotely generated blocks (the paper's reading);
+        without it, the checks fall back to "an update not preceded by a
+        local receive must be locally generated, hence must have a send".
+    """
+    sends = history.replication_events(EventKind.SEND)
+    receives = history.replication_events(EventKind.RECEIVE)
+    updates = history.replication_events(EventKind.UPDATE)
+
+    send_index: Set[Tuple[str, str, str]] = {(e.process, *_key(e)) for e in sends}
+    receive_index: Dict[Tuple[str, str, str], int] = {}
+    for e in receives:
+        key = (e.process, *_key(e))
+        receive_index.setdefault(key, e.eid)
+
+    if processes is None:
+        procs = sorted(
+            {e.process for e in sends} | {e.process for e in receives} | {e.process for e in updates}
+        )
+    else:
+        procs = sorted(set(processes))
+
+    violations: List[str] = []
+    r1 = r2 = r3 = True
+    missing_receivers: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+    for update in updates:
+        parent_id, block_id = _key(update)
+        creator = None
+        if block_creators is not None:
+            creator = block_creators.get(block_id)
+        if creator is not None:
+            locally_generated = creator == update.process
+        else:
+            # Fallback heuristic: a process that *sent* the update generated
+            # it (R1's premise); otherwise, an update never received locally
+            # must also have been generated locally.
+            locally_generated = (
+                (update.process, parent_id, block_id) in send_index
+                or (update.process, parent_id, block_id) not in receive_index
+            )
+        if locally_generated:
+            # R1: the generating process must send its update.
+            if (update.process, parent_id, block_id) not in send_index:
+                r1 = False
+                violations.append(
+                    f"R1: update of {block_id} at {update.process} has no matching send"
+                )
+        else:
+            # R2: a foreign update must be preceded by a local receive.
+            received_at = receive_index.get((update.process, parent_id, block_id))
+            if received_at is None or received_at > update.eid:
+                r2 = False
+                violations.append(
+                    f"R2: update of {block_id} at {update.process} not preceded by a receive"
+                )
+        # R3: every process must (eventually) receive this update.
+        missing = tuple(
+            p
+            for p in procs
+            if (p, parent_id, block_id) not in receive_index
+        )
+        if missing:
+            r3 = False
+            missing_receivers[(parent_id, block_id)] = missing
+            violations.append(
+                f"R3: update of {block_id} never received by {', '.join(missing)}"
+            )
+
+    return UpdateAgreementResult(
+        r1_holds=r1,
+        r2_holds=r2,
+        r3_holds=r3,
+        violations=tuple(violations),
+        missing_receivers=missing_receivers,
+    )
+
+
+def check_light_reliable_communication(
+    history: History, correct_processes: Iterable[str]
+) -> LRCResult:
+    """Check LRC Validity and Agreement over a recorded history."""
+    correct = sorted(set(correct_processes))
+    sends = history.replication_events(EventKind.SEND)
+    receives = history.replication_events(EventKind.RECEIVE)
+    received_by: Dict[Tuple[str, str], Set[str]] = {}
+    for e in receives:
+        received_by.setdefault(_key(e), set()).add(e.process)
+
+    violations: List[str] = []
+    validity = True
+    agreement = True
+
+    # Validity: a correct sender eventually receives its own message.
+    for send in sends:
+        if send.process not in correct:
+            continue
+        key = _key(send)
+        if send.process not in received_by.get(key, set()):
+            validity = False
+            violations.append(
+                f"Validity: {send.process} sent {key[1]} but never received it"
+            )
+
+    # Agreement: if any correct process received m, all correct processes do.
+    for key, receivers in received_by.items():
+        if not receivers.intersection(correct):
+            continue
+        missing = [p for p in correct if p not in receivers]
+        if missing:
+            agreement = False
+            violations.append(
+                f"Agreement: {key[1]} received by {sorted(receivers & set(correct))} "
+                f"but never by {missing}"
+            )
+
+    return LRCResult(
+        validity_holds=validity,
+        agreement_holds=agreement,
+        violations=tuple(violations),
+    )

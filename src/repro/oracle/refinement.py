@@ -1,0 +1,175 @@
+"""The refinement R(BT-ADT, Θ) (Definition 3.7, Figure 7).
+
+The refinement replaces the BT-ADT's bare ``append(b)`` with the oracle
+protocol:
+
+1. repeatedly invoke ``getToken(last_block(f(bt)), b)`` until the oracle
+   grants a token (``τ_b ∘ τ_a*`` in the paper's notation);
+2. invoke ``consumeToken(b^{tkn_h})``;
+3. the block is inserted under ``b_h`` in the BlockTree iff its token was
+   actually consumed (i.e. it appears in the returned ``K[h]`` set), and
+   the ``append`` output is the paper's ``evaluate`` of that outcome.
+
+The paper stipulates that the ``getToken``/``consumeToken``/concatenation
+sequence of a single append "occur atomically"; in this single-threaded
+model atomicity is automatic (the protocol models introduce concurrency
+explicitly through the simulator, where each replica's append is a single
+simulator action).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.block import Block, Blockchain
+from repro.core.blocktree import BlockTree
+from repro.core.history import HistoryRecorder
+from repro.core.selection import LongestChain, SelectionFunction
+from repro.core.validity import AlwaysValid, ValidityPredicate
+from repro.oracle.theta import TokenOracle, ValidatedBlock
+
+__all__ = ["AppendOutcome", "RefinedBTADT"]
+
+
+@dataclass(frozen=True)
+class AppendOutcome:
+    """Detailed outcome of a refined append (useful to tests and analyses)."""
+
+    success: bool
+    attempts: int
+    validated: Optional[ValidatedBlock]
+    parent_id: Optional[str]
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+class RefinedBTADT:
+    """BT-ADT whose ``append`` is implemented through a token oracle.
+
+    Parameters
+    ----------
+    oracle:
+        The Θ oracle (frugal or prodigal) controlling validation and forks.
+    selection, predicate, genesis:
+        The BT-ADT parameters; the predicate is still applied to the
+        oracle-validated block (the oracle guarantees membership in ``B'``
+        for its own notion of validity, and the predicate lets callers add
+        application-level constraints on top).
+    recorder, process:
+        Optional history recording, as for
+        :class:`repro.core.bt_adt.BlockTreeObject`.
+    max_token_attempts:
+        Bound on the number of ``getToken`` retries per append.  The paper
+        loops "as long as it returns a token"; a finite bound keeps runs
+        terminating when a test configures a zero-probability tape, and
+        exceeding it makes the append fail (output ``False``).
+    """
+
+    def __init__(
+        self,
+        oracle: TokenOracle,
+        selection: Optional[SelectionFunction] = None,
+        predicate: Optional[ValidityPredicate] = None,
+        genesis: Optional[Block] = None,
+        recorder: Optional[HistoryRecorder] = None,
+        process: Optional[str] = None,
+        max_token_attempts: int = 10_000,
+    ) -> None:
+        if max_token_attempts < 1:
+            raise ValueError("max_token_attempts must be at least 1")
+        self.oracle = oracle
+        self.selection = selection if selection is not None else LongestChain()
+        self.predicate = predicate if predicate is not None else AlwaysValid()
+        self.tree = BlockTree(genesis)
+        self.max_token_attempts = max_token_attempts
+        self._recorder = recorder
+        self._process = process
+
+    # -- operations --------------------------------------------------------------
+
+    def read(self) -> Blockchain:
+        """``read()``: unchanged by the refinement, returns ``{b0}⌢ f(bt)``."""
+        op = self._invoke("read", None)
+        chain = self.selection(self.tree)
+        self._respond(op, chain)
+        return chain
+
+    def append(self, block: Block) -> bool:
+        """The refined ``append``: ``getToken*; consumeToken``; insert on success."""
+        return bool(self.append_detailed(block))
+
+    def append_detailed(self, block: Block) -> AppendOutcome:
+        """As :meth:`append` but returning the full :class:`AppendOutcome`."""
+        op = self._invoke("append", block)
+        process = self._process or block.creator or "p?"
+
+        parent = self.selection(self.tree).tip
+        validated: Optional[ValidatedBlock] = None
+        attempts = 0
+        while attempts < self.max_token_attempts:
+            attempts += 1
+            validated = self.oracle.get_token(parent, block, process=process)
+            if validated is not None:
+                break
+        if validated is None:
+            outcome = AppendOutcome(False, attempts, None, parent.block_id)
+            self._respond(op, False)
+            return outcome
+
+        consumed = self.oracle.consume_token(validated, process=process)
+        success = self._evaluate(validated, consumed)
+        if success and self.predicate(validated.block, self.tree):
+            # {b0}⌢ f(bt)|⌢_h {b_ℓ}: the block joins the tree under b_h.
+            self.tree.append(validated.block)
+        else:
+            success = False
+        self._respond(op, success)
+        return AppendOutcome(success, attempts, validated, parent.block_id)
+
+    @staticmethod
+    def _evaluate(validated: ValidatedBlock, consumed: Tuple[ValidatedBlock, ...]) -> bool:
+        """The paper's ``evaluate(b, δ_b ∘ δ_a*)``.
+
+        True iff the validated block actually entered the oracle's
+        ``K[h]`` set (its token was consumed), i.e. it is among the at most
+        ``k`` winners for its parent.
+        """
+        return any(v.block_id == validated.block_id for v in consumed)
+
+    # -- integration hooks ---------------------------------------------------------
+
+    def adopt(self, block: Block) -> bool:
+        """Insert a block produced elsewhere (a received update).
+
+        Replica protocols call this when applying an ``update`` event for a
+        block validated (token-stamped) by another process.  The block must
+        name a parent already in the local tree.  Returns ``True`` iff the
+        block was inserted (``False`` when it was already known).
+        """
+        if block.block_id in self.tree:
+            return False
+        self.tree.append(block)
+        return True
+
+    @property
+    def k(self) -> float:
+        """Fork bound of the underlying oracle (``∞`` for prodigal)."""
+        return self.oracle.k
+
+    # -- recording -------------------------------------------------------------------
+
+    def _invoke(self, operation: str, argument: object):
+        if self._recorder is None:
+            return None
+        return self._recorder.invoke(self._process or "p?", operation, argument)
+
+    def _respond(self, op, output: object) -> None:
+        if self._recorder is not None and op is not None:
+            self._recorder.respond(op, output)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = "∞" if self.oracle.k == math.inf else str(self.oracle.k)
+        return f"RefinedBTADT(k={k}, blocks={len(self.tree)})"

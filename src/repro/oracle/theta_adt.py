@@ -1,0 +1,152 @@
+"""Pure transducer view of the token oracles (Definitions 3.5–3.6, Figure 6).
+
+:mod:`repro.oracle.theta` provides the *stateful* oracle objects the rest
+of the library calls; this module provides the complementary *pure* view —
+Θ_F as an :class:`~repro.core.adt.AbstractDataType` whose transition and
+output functions operate on immutable state values — so that oracle
+operation sequences can be checked for membership in the oracle's
+sequential specification exactly like BT-ADT words are (Figure 6 draws one
+such path).
+
+The abstract state mirrors the paper's Figure 5: a map of per-merit tapes
+(represented by their *remaining* scripted cells, since only the prefix a
+finite word consumes matters) and the array ``K`` of consumed-token sets,
+plus the bound ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.core.adt import AbstractDataType, InputSymbol
+
+__all__ = ["ThetaState", "GetToken", "ConsumeToken", "ThetaADT", "ProdigalADT"]
+
+GET_TOKEN = "getToken"
+CONSUME_TOKEN = "consumeToken"
+
+
+@dataclass(frozen=True)
+class GetToken:
+    """Argument of a ``getToken(obj_h, obj_ℓ)`` symbol.
+
+    ``process`` selects the invoking merit's tape (the oracle knows the
+    invoker's merit α_i even if the process itself does not).
+    """
+
+    parent: str
+    obj: str
+    process: str
+
+
+@dataclass(frozen=True)
+class ConsumeToken:
+    """Argument of a ``consumeToken(obj_ℓ^{tkn_h})`` symbol."""
+
+    parent: str
+    obj: str
+
+
+@dataclass(frozen=True)
+class ThetaState:
+    """Immutable oracle state ``({tape_{α_i}}, K, k)``.
+
+    ``tapes`` maps a process (standing for its merit α) to the tuple of
+    *remaining* scripted cells of its tape, head first; ``consumed`` is the
+    array ``K`` restricted to the parents touched so far.
+    """
+
+    tapes: Mapping[str, Tuple[bool, ...]]
+    consumed: Mapping[str, FrozenSet[str]]
+    k: float
+
+    def tape_head(self, process: str) -> bool:
+        """Head cell of ``process``'s tape (an exhausted tape yields ⊥)."""
+        cells = self.tapes.get(process, ())
+        return bool(cells[0]) if cells else False
+
+    def bucket(self, parent: str) -> FrozenSet[str]:
+        """Current content of ``K[parent]``."""
+        return self.consumed.get(parent, frozenset())
+
+
+class ThetaADT(AbstractDataType[ThetaState]):
+    """Θ_F as a pure abstract data type.
+
+    Parameters
+    ----------
+    k:
+        The fork bound (``math.inf`` for Θ_P; :class:`ProdigalADT` is the
+        convenience subclass).
+    tapes:
+        The scripted tape of each process, as a sequence of booleans
+        (``True`` = the cell holds ``tkn``).  Pure replay needs the whole
+        lottery fixed up front; randomized tapes belong to the stateful
+        oracle.
+    """
+
+    def __init__(self, k: float = 1, tapes: Optional[Mapping[str, Tuple[bool, ...]]] = None) -> None:
+        if not (k == math.inf or k >= 1):
+            raise ValueError("k must be >= 1 or infinite")
+        self._k = k
+        self._tapes: Dict[str, Tuple[bool, ...]] = {
+            process: tuple(bool(c) for c in cells) for process, cells in (tapes or {}).items()
+        }
+
+    # -- AbstractDataType interface ------------------------------------------------
+
+    def initial_state(self) -> ThetaState:
+        return ThetaState(tapes=dict(self._tapes), consumed={}, k=self._k)
+
+    def transition(self, state: ThetaState, symbol: InputSymbol) -> ThetaState:
+        if symbol.name == GET_TOKEN:
+            request = _as_get(symbol.argument)
+            cells = state.tapes.get(request.process, ())
+            new_tapes = dict(state.tapes)
+            new_tapes[request.process] = cells[1:] if cells else ()
+            return replace(state, tapes=new_tapes)
+        if symbol.name == CONSUME_TOKEN:
+            request = _as_consume(symbol.argument)
+            bucket = state.bucket(request.parent)
+            if request.obj not in bucket and len(bucket) < state.k:
+                new_consumed = dict(state.consumed)
+                new_consumed[request.parent] = bucket | {request.obj}
+                return replace(state, consumed=new_consumed)
+            return state
+        raise ValueError(f"unknown oracle symbol {symbol.name!r}")
+
+    def output(self, state: ThetaState, symbol: InputSymbol) -> Any:
+        if symbol.name == GET_TOKEN:
+            request = _as_get(symbol.argument)
+            if state.tape_head(request.process):
+                # The validated object obj_ℓ^{tkn_h}, identified textually.
+                return f"{request.obj}^tkn_{request.parent}"
+            return None
+        if symbol.name == CONSUME_TOKEN:
+            request = _as_consume(symbol.argument)
+            bucket = state.bucket(request.parent)
+            if request.obj not in bucket and len(bucket) < state.k:
+                bucket = bucket | {request.obj}
+            return frozenset(bucket)
+        raise ValueError(f"unknown oracle symbol {symbol.name!r}")
+
+
+class ProdigalADT(ThetaADT):
+    """Θ_P as a pure ADT: Θ_F with ``k = ∞`` (Definition 3.6)."""
+
+    def __init__(self, tapes: Optional[Mapping[str, Tuple[bool, ...]]] = None) -> None:
+        super().__init__(k=math.inf, tapes=tapes)
+
+
+def _as_get(argument: Any) -> GetToken:
+    if isinstance(argument, GetToken):
+        return argument
+    raise TypeError(f"getToken expects a GetToken argument, got {type(argument)!r}")
+
+
+def _as_consume(argument: Any) -> ConsumeToken:
+    if isinstance(argument, ConsumeToken):
+        return argument
+    raise TypeError(f"consumeToken expects a ConsumeToken argument, got {type(argument)!r}")

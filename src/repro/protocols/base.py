@@ -1,0 +1,329 @@
+"""Replicated-BlockTree replica and the protocol run harness.
+
+The BlockTree of Section 4.2 "being now a shared object replicated at each
+process", every protocol model follows the same skeleton:
+
+* each replica ``i`` maintains a local copy ``bt_i`` of the BlockTree,
+  exposes the BT-ADT ``read()`` operation on it, and records the
+  replication events ``update_i``/``send_i``/``receive_i`` exactly as the
+  paper defines them;
+* blocks produced locally are validated through the (shared) token
+  oracle, applied locally (``update`` + ``send``) and disseminated through
+  a communication primitive (flooding or LRC);
+* blocks received from the network are applied (``receive`` then
+  ``update``) provided their parent is known, otherwise parked in an
+  orphan buffer until the parent arrives — the standard reconstruction
+  used by every real system modelled here.
+
+Protocol-specific behaviour (who may create blocks and when, which
+selection function picks the parent, how a block is committed) lives in
+subclasses.  :func:`run_protocol` wires replicas, channels, the shared
+oracle and a read workload together and returns everything the analyses
+need (the recorded history, the replicas, the oracle, network counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.block import Block, BlockIdFactory, Blockchain
+from repro.core.blocktree import BlockTree
+from repro.core.history import History, HistoryRecorder
+from repro.core.score import LengthScore, ScoreFunction
+from repro.core.selection import LongestChain, SelectionFunction
+from repro.network.broadcast import (
+    BlockAnnouncement,
+    FloodingBroadcast,
+    LightReliableCommunication,
+)
+from repro.network.channels import ChannelModel, SynchronousChannel
+from repro.network.process import Process
+from repro.network.simulator import Message, Network, Simulator
+from repro.oracle.theta import TokenOracle, ValidatedBlock
+
+__all__ = ["ReplicaConfig", "BlockchainReplica", "RunResult", "run_protocol"]
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Configuration shared by all replica types.
+
+    Attributes
+    ----------
+    selection:
+        The selection function ``f`` applied to the local tree.
+    read_interval:
+        Virtual-time interval between the periodic ``read()`` operations
+        each replica performs (reads are the observable events the
+        consistency criteria constrain, so every run needs a read
+        workload).
+    use_lrc:
+        Disseminate blocks through :class:`LightReliableCommunication`
+        (relay on first reception) rather than plain flooding.
+    merit:
+        The replica's merit ``α`` (hashing power / stake / permission
+        weight), registered with the oracle's tape family.
+    """
+
+    selection: SelectionFunction = field(default_factory=LongestChain)
+    read_interval: float = 5.0
+    use_lrc: bool = True
+    merit: float = 1.0
+
+
+class BlockchainReplica(Process):
+    """A process maintaining a replicated BlockTree."""
+
+    def __init__(
+        self,
+        pid: str,
+        oracle: TokenOracle,
+        config: Optional[ReplicaConfig] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.oracle = oracle
+        self.config = config if config is not None else ReplicaConfig()
+        self.tree = BlockTree()
+        self.ids = BlockIdFactory(prefix=f"{pid}_b")
+        self._orphans: Dict[str, List[Block]] = {}
+        self.blocks_created = 0
+        self.blocks_adopted = 0
+        self.producing = True
+        self._transport: Optional[FloodingBroadcast] = None
+
+    # -- wiring --------------------------------------------------------------------
+
+    def attach(self, network: Network) -> None:
+        super().attach(network)
+        transport_cls = (
+            LightReliableCommunication if self.config.use_lrc else FloodingBroadcast
+        )
+        self._transport = transport_cls(self)
+        self._transport.on_deliver(self._on_block_delivered)
+        self.oracle.tapes.register_merit(self.pid, self.config.merit)
+
+    @property
+    def transport(self) -> FloodingBroadcast:
+        assert self._transport is not None, "replica not attached to a network"
+        return self._transport
+
+    # -- BT-ADT operations ----------------------------------------------------------
+
+    def local_read(self) -> Blockchain:
+        """Perform (and record) a ``read()`` on the local replica."""
+        token = self.recorder.invoke(self.pid, "read", None)
+        chain = self.config.selection(self.tree)
+        self.recorder.respond(token, chain)
+        return chain
+
+    def current_tip(self) -> Block:
+        """Tip of the locally selected chain (no event recorded)."""
+        return self.config.selection(self.tree).tip
+
+    # -- block production -------------------------------------------------------------
+
+    def make_candidate(self, payload: Tuple[object, ...] = ()) -> Block:
+        """Create a candidate block extending the locally selected chain."""
+        tip = self.current_tip()
+        return self.ids.make_block(
+            tip.block_id,
+            payload=payload,
+            creator=self.pid,
+            round=int(self.now),
+        )
+
+    def commit_local_block(self, validated: ValidatedBlock, announce: bool = True) -> bool:
+        """Apply a locally produced, oracle-validated block and disseminate it.
+
+        Records the append operation (invocation + response), the
+        ``update`` replication event and — when ``announce`` — the ``send``
+        event through the transport.
+        """
+        block = validated.block
+        token = self.recorder.invoke(self.pid, "append", block)
+        applied = self._insert(block)
+        self.recorder.respond(token, applied)
+        if applied:
+            self.blocks_created += 1
+            self.recorder.update(self.pid, block.parent_id or "b0", block.block_id)
+            if announce:
+                self.transport.disseminate(
+                    BlockAnnouncement(parent_id=block.parent_id or "b0", block=block)
+                )
+        return applied
+
+    # -- block reception ----------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "block":
+            self.transport.handle(message)
+        else:
+            self.on_protocol_message(message)
+
+    def on_protocol_message(self, message: Message) -> None:
+        """Hook for protocol-specific (non-block) messages."""
+
+    def _on_block_delivered(self, announcement: BlockAnnouncement, sender: str) -> None:
+        block = announcement.block
+        if sender == self.pid or block.creator == self.pid:
+            # Our own dissemination echo; the local update already happened.
+            return
+        self.adopt_block(block)
+
+    def adopt_block(self, block: Block) -> bool:
+        """Apply a remotely produced block (the ``update_j`` of the paper)."""
+        if block.block_id in self.tree:
+            return False
+        if block.parent_id is not None and block.parent_id not in self.tree:
+            self._orphans.setdefault(block.parent_id, []).append(block)
+            return False
+        applied = self._insert(block)
+        if applied:
+            self.blocks_adopted += 1
+            self.recorder.update(self.pid, block.parent_id or "b0", block.block_id)
+            self._flush_orphans(block.block_id)
+        return applied
+
+    def _insert(self, block: Block) -> bool:
+        if block.block_id in self.tree:
+            return False
+        if block.parent_id is not None and block.parent_id not in self.tree:
+            return False
+        self.tree.append(block)
+        return True
+
+    def _flush_orphans(self, parent_id: str) -> None:
+        pending = self._orphans.pop(parent_id, [])
+        for orphan in pending:
+            self.adopt_block(orphan)
+
+    # -- read workload ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._schedule_next_read()
+
+    def stop_production(self) -> None:
+        """Stop creating blocks and issuing periodic reads.
+
+        The run harness calls this at the end of the configured duration so
+        that the remaining in-flight messages can drain; without it the
+        self-rescheduling timers would keep the event queue non-empty
+        forever and the replicas' final views could not converge.
+        """
+        self.producing = False
+
+    def _schedule_next_read(self) -> None:
+        if self.config.read_interval <= 0:
+            return
+        self.schedule(self.config.read_interval, self._periodic_read)
+
+    def _periodic_read(self) -> None:
+        if not self.producing:
+            return
+        self.local_read()
+        self._schedule_next_read()
+
+
+@dataclass
+class RunResult:
+    """Everything a protocol run produces."""
+
+    name: str
+    history: History
+    replicas: Dict[str, BlockchainReplica]
+    oracle: TokenOracle
+    network: Network
+    duration: float
+    score: ScoreFunction = field(default_factory=LengthScore)
+
+    @property
+    def correct_replicas(self) -> Tuple[str, ...]:
+        return tuple(pid for pid, r in self.replicas.items() if r.is_correct)
+
+    def final_chains(self) -> Dict[str, Blockchain]:
+        """The chain each replica would return from a final read."""
+        return {
+            pid: replica.config.selection(replica.tree)
+            for pid, replica in self.replicas.items()
+        }
+
+    def block_creators(self) -> Dict[str, str]:
+        """Map block id → creator process (for the update-agreement checker)."""
+        creators: Dict[str, str] = {}
+        for replica in self.replicas.values():
+            for block in replica.tree:
+                if block.creator is not None:
+                    creators.setdefault(block.block_id, block.creator)
+        return creators
+
+
+def run_protocol(
+    name: str,
+    replica_factory: Callable[[str, TokenOracle, Network], BlockchainReplica],
+    oracle: TokenOracle,
+    *,
+    n: int = 8,
+    duration: float = 200.0,
+    channel: Optional[ChannelModel] = None,
+    final_reads: bool = True,
+    drain: bool = True,
+    max_events: int = 2_000_000,
+) -> RunResult:
+    """Run a protocol model and collect its history.
+
+    Parameters
+    ----------
+    name:
+        Label for reports (e.g. ``"bitcoin"``).
+    replica_factory:
+        Called once per process id to build (but not register) the replica.
+    oracle:
+        The shared token oracle; its tape family is also the merit registry.
+    n, duration, channel:
+        Number of replicas, virtual run length, channel model (default: a
+        synchronous channel with δ = 1).
+    final_reads:
+        Issue one last ``read()`` at every replica after the run quiesces,
+        so the "limit views" used by the eventual-prefix interpretation are
+        part of the history.
+    drain:
+        After ``duration``, stop block production and keep processing the
+        already-queued deliveries until the network quiesces.  This is what
+        lets correct replicas converge under reliable communication (and is
+        deliberately *not* enough to make them converge when messages were
+        dropped, which is the Theorem 4.6/4.7 experiment).
+    """
+    simulator = Simulator()
+    recorder = HistoryRecorder()
+    network = Network(
+        simulator,
+        channel if channel is not None else SynchronousChannel(delta=1.0, seed=7),
+        recorder=recorder,
+    )
+    replicas: Dict[str, BlockchainReplica] = {}
+    for index in range(n):
+        pid = f"p{index}"
+        replica = replica_factory(pid, oracle, network)
+        network.register(replica)
+        replicas[pid] = replica
+
+    network.start()
+    network.run(until=duration, max_events=max_events)
+    if drain:
+        for replica in replicas.values():
+            replica.stop_production()
+        network.run(max_events=max_events)
+    if final_reads:
+        for replica in replicas.values():
+            if replica.alive:
+                replica.local_read()
+
+    return RunResult(
+        name=name,
+        history=recorder.history(),
+        replicas=replicas,
+        oracle=oracle,
+        network=network,
+        duration=duration,
+    )

@@ -1,0 +1,177 @@
+"""Fault injection for the protocol models.
+
+Section 4.2's failure model allows Byzantine processes and makes "no
+assumption on the number of failures"; the theorem-level experiments in
+this reproduction mostly rely on *message*-level adversaries (loss,
+targeted drops), but the protocol models also support *process*-level
+faults, provided here:
+
+* **crash faults** — a replica halts at a configured virtual time and
+  neither produces, relays nor applies anything afterwards;
+* **silent Byzantine faults** — a replica keeps receiving and updating its
+  local state but never sends anything (votes, proposals, blocks), the
+  cheapest adversary against quorum-based commit and against block
+  dissemination.
+
+The two runner helpers mirror :func:`repro.protocols.nakamoto.run_bitcoin`
+and :func:`repro.protocols.committee.run_committee_protocol` and are used
+by the fault-injection tests and the resilience ablation bench: a
+committee system keeps Strong Consistency as long as the faulty replicas
+stay below the quorum slack, and a proof-of-work system keeps Eventual
+Consistency among its *correct* replicas as long as dissemination still
+reaches them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.selection import FixedTipSelection, HeaviestChain
+from repro.network.channels import ChannelModel, SynchronousChannel
+from repro.network.simulator import Network
+from repro.oracle.tape import TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle, TokenOracle
+from repro.protocols.base import ReplicaConfig, RunResult, run_protocol
+from repro.protocols.committee import (
+    CommitteeConfig,
+    CommitteeReplica,
+    round_robin_proposer,
+)
+from repro.protocols.nakamoto import NakamotoReplica
+from repro.workload.merit import MeritDistribution, uniform_merit
+from repro.workload.transactions import TransactionGenerator
+
+__all__ = [
+    "CrashingNakamotoReplica",
+    "SilentCommitteeReplica",
+    "run_bitcoin_with_crashes",
+    "run_committee_with_byzantine",
+]
+
+
+class CrashingNakamotoReplica(NakamotoReplica):
+    """A proof-of-work replica that crashes at ``crash_at``."""
+
+    def __init__(self, *args, crash_at: float, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if crash_at < 0:
+            raise ValueError("crash_at must be non-negative")
+        self.crash_at = crash_at
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.schedule(self.crash_at, self.crash)
+
+
+class SilentCommitteeReplica(CommitteeReplica):
+    """A Byzantine committee member that withholds every outbound message.
+
+    It still processes deliveries (so its local state stays plausible) but
+    never proposes, never votes and never relays — the standard "silent"
+    adversary against quorum intersection.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.byzantine = True
+
+    def send(self, receiver: str, kind: str, payload) -> bool:  # noqa: ARG002
+        return False
+
+    def broadcast(self, kind: str, payload, include_self: bool = True) -> int:  # noqa: ARG002
+        return 0
+
+
+def run_bitcoin_with_crashes(
+    *,
+    n: int = 6,
+    duration: float = 150.0,
+    crash_at: Mapping[str, float],
+    token_rate: float = 0.3,
+    merit: Optional[MeritDistribution] = None,
+    channel: Optional[ChannelModel] = None,
+    read_interval: float = 5.0,
+    seed: int = 0,
+) -> RunResult:
+    """Bitcoin model with the replicas named in ``crash_at`` crashing."""
+    merit_distribution = merit if merit is not None else uniform_merit(n)
+    tapes = TapeFamily(seed=seed, probability_scale=token_rate)
+    oracle: TokenOracle = ProdigalOracle(tapes=tapes)
+
+    def factory(pid: str, orc: TokenOracle, network: Network) -> NakamotoReplica:  # noqa: ARG001
+        config = ReplicaConfig(
+            selection=HeaviestChain(),
+            read_interval=read_interval,
+            use_lrc=True,
+            merit=merit_distribution.merit_of(pid),
+        )
+        if pid in crash_at:
+            return CrashingNakamotoReplica(pid, orc, config, crash_at=crash_at[pid])
+        return NakamotoReplica(pid, orc, config)
+
+    return run_protocol(
+        "bitcoin-crash",
+        factory,
+        oracle,
+        n=n,
+        duration=duration,
+        channel=channel if channel is not None else SynchronousChannel(delta=1.0, seed=seed),
+    )
+
+
+def run_committee_with_byzantine(
+    *,
+    n: int = 7,
+    duration: float = 150.0,
+    byzantine: Sequence[str] = (),
+    round_interval: float = 5.0,
+    channel: Optional[ChannelModel] = None,
+    read_interval: float = 5.0,
+    transactions_per_block: int = 4,
+    seed: int = 0,
+) -> RunResult:
+    """Round-robin committee protocol with silent Byzantine members.
+
+    The committee is the full replica set, so with ``f`` silent members the
+    commit quorum (⌊2n/3⌋ + 1 votes) is still reachable as long as
+    ``f ≤ n - quorum`` — the classical ``f < n/3`` resilience.  Rounds led
+    by a Byzantine proposer simply produce no block.
+    """
+    all_pids = tuple(f"p{i}" for i in range(n))
+    byz = set(byzantine)
+    unknown = byz - set(all_pids)
+    if unknown:
+        raise ValueError(f"unknown byzantine replicas {sorted(unknown)}")
+    committee_config = CommitteeConfig(
+        committee=all_pids,
+        proposer_strategy=round_robin_proposer(all_pids),
+        round_interval=round_interval,
+        transactions_per_block=transactions_per_block,
+    )
+    tapes = TapeFamily(seed=seed, probability_scale=float(n))
+    oracle = FrugalOracle(k=1, tapes=tapes)
+
+    def factory(pid: str, orc: TokenOracle, network: Network) -> CommitteeReplica:  # noqa: ARG001
+        config = ReplicaConfig(
+            selection=FixedTipSelection(),
+            read_interval=read_interval,
+            use_lrc=True,
+            merit=1.0 / n,
+        )
+        cls = SilentCommitteeReplica if pid in byz else CommitteeReplica
+        return cls(
+            pid,
+            orc,
+            config,
+            committee_config,
+            tx_generator=TransactionGenerator(seed=seed + sum(ord(c) for c in pid)),
+        )
+
+    return run_protocol(
+        "committee-byzantine",
+        factory,
+        oracle,
+        n=n,
+        duration=duration,
+        channel=channel if channel is not None else SynchronousChannel(delta=0.5, seed=seed),
+    )

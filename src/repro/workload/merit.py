@@ -1,0 +1,138 @@
+"""Merit distributions.
+
+Throughout Section 5 every system characterizes its participants by a
+merit parameter ``α_p`` normalized so that ``Σ_p α_p = 1``: hashing power
+(Bitcoin), memory bandwidth (Ethereum), stake (Algorand), or a uniform
+``1/|M|`` over the permitted writers with ``0`` for everyone else
+(Red Belly, Hyperledger Fabric).  This module provides those
+distributions as small immutable objects consumed by the protocol runners
+and by the oracle's tape family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MeritDistribution",
+    "uniform_merit",
+    "zipf_merit",
+    "proportional_merit",
+    "permissioned_merit",
+]
+
+
+@dataclass(frozen=True)
+class MeritDistribution:
+    """An immutable map process id → normalized merit."""
+
+    merits: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.merits:
+            raise ValueError("a merit distribution needs at least one process")
+        total = sum(m for _, m in self.merits)
+        if total <= 0:
+            raise ValueError("total merit must be positive")
+        if any(m < 0 for _, m in self.merits):
+            raise ValueError("merits must be non-negative")
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, float], normalize: bool = True) -> "MeritDistribution":
+        items = tuple(sorted(mapping.items()))
+        if normalize:
+            total = sum(v for _, v in items)
+            if total <= 0:
+                raise ValueError("total merit must be positive")
+            items = tuple((k, v / total) for k, v in items)
+        return cls(items)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def merit_of(self, process: str) -> float:
+        """Merit of ``process`` (0.0 for unknown processes, as for V \\ M)."""
+        for pid, merit in self.merits:
+            if pid == process:
+                return merit
+        return 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.merits)
+
+    @property
+    def processes(self) -> Tuple[str, ...]:
+        return tuple(pid for pid, _ in self.merits)
+
+    @property
+    def total(self) -> float:
+        return float(sum(m for _, m in self.merits))
+
+    def writers(self) -> Tuple[str, ...]:
+        """Processes with strictly positive merit (the permitted appenders)."""
+        return tuple(pid for pid, merit in self.merits if merit > 0)
+
+    def dominant(self) -> str:
+        """Process with the largest merit (ties → lexicographically first)."""
+        best = max(m for _, m in self.merits)
+        return min(pid for pid, m in self.merits if m == best)
+
+
+def _pids(n: int, prefix: str = "p") -> Tuple[str, ...]:
+    if n < 1:
+        raise ValueError("need at least one process")
+    return tuple(f"{prefix}{i}" for i in range(n))
+
+
+def uniform_merit(n: int, prefix: str = "p") -> MeritDistribution:
+    """``α_p = 1/n`` for every process — the symmetric baseline."""
+    pids = _pids(n, prefix)
+    return MeritDistribution(tuple((pid, 1.0 / n) for pid in pids))
+
+
+def zipf_merit(n: int, exponent: float = 1.0, prefix: str = "p") -> MeritDistribution:
+    """Zipf-skewed merits: ``α_{p_i} ∝ 1 / (i + 1)^exponent``.
+
+    Models mining-pool style concentration; the ablation benches sweep the
+    exponent to study how merit skew affects fork/convergence behaviour.
+    """
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    pids = _pids(n, prefix)
+    raw = np.array([1.0 / (i + 1) ** exponent for i in range(n)], dtype=float)
+    weights = raw / raw.sum()
+    return MeritDistribution(tuple(zip(pids, (float(w) for w in weights))))
+
+
+def proportional_merit(weights: Sequence[float], prefix: str = "p") -> MeritDistribution:
+    """Merits proportional to explicit weights (e.g. stake amounts)."""
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    arr = np.asarray(weights, dtype=float)
+    if (arr < 0).any() or arr.sum() <= 0:
+        raise ValueError("weights must be non-negative with a positive sum")
+    pids = _pids(len(weights), prefix)
+    normalized = arr / arr.sum()
+    return MeritDistribution(tuple(zip(pids, (float(w) for w in normalized))))
+
+
+def permissioned_merit(
+    writers: Iterable[str], readers: Iterable[str] = ()
+) -> MeritDistribution:
+    """The consortium/permissioned pattern of Red Belly and Hyperledger.
+
+    Every process in ``writers`` gets merit ``1/|writers|``; every process
+    in ``readers`` gets merit ``0`` (it may read the BlockTree but never
+    append).
+    """
+    writer_list = sorted(set(writers))
+    reader_list = sorted(set(readers) - set(writer_list))
+    if not writer_list:
+        raise ValueError("a permissioned system needs at least one writer")
+    share = 1.0 / len(writer_list)
+    merits = [(pid, share) for pid in writer_list] + [(pid, 0.0) for pid in reader_list]
+    return MeritDistribution(tuple(sorted(merits)))

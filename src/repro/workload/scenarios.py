@@ -1,0 +1,275 @@
+"""Hand-built histories reproducing the paper's figures, plus generators.
+
+Figures 2, 3 and 4 of the paper are concrete two-process concurrent
+histories used to illustrate (respectively) a history satisfying BT Strong
+Consistency, one satisfying BT Eventual Consistency but not SC, and one
+satisfying neither.  Figure 13 illustrates the Update Agreement
+replication events.  The functions below rebuild those histories exactly
+(same chains, same per-process read sequences, length score, longest-chain
+selection), so the figure-level benches and tests can check the paper's
+verdicts mechanically.
+
+The module also provides two parameterized generators used by the
+property-based tests and the hierarchy benches:
+
+* :func:`generate_chain_history` — a fork-free history with interleaved
+  reads at ``n`` processes (always SC);
+* :func:`generate_forked_history` — a history with a transient fork that
+  is resolved (EC, not SC) or left unresolved (neither), depending on
+  ``resolve``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.block import Block, Blockchain, GENESIS, GENESIS_ID
+from repro.core.history import History, HistoryRecorder
+
+__all__ = [
+    "figure2_history",
+    "figure3_history",
+    "figure4_history",
+    "figure13_history",
+    "generate_chain_history",
+    "generate_forked_history",
+]
+
+
+def _block(block_id: str, parent_id: str, creator: str = "i") -> Block:
+    return Block(block_id=block_id, parent_id=parent_id, creator=creator)
+
+
+def _chain(*blocks: Block) -> Blockchain:
+    return Blockchain((GENESIS, *blocks))
+
+
+def _record_append(recorder: HistoryRecorder, process: str, block: Block) -> None:
+    recorder.complete(process, "append", block, True)
+
+
+def _record_read(recorder: HistoryRecorder, process: str, chain: Blockchain) -> None:
+    recorder.complete(process, "read", None, chain)
+
+
+def figure2_history() -> History:
+    """The SC history of Figure 2.
+
+    Two processes ``i`` and ``j``; a single chain ``b0·1·2·3·4`` grows over
+    time; ``i`` reads prefixes of length 2, 3, 4 and ``j`` reads prefixes
+    of length 1, 2, 4.  Every pair of returned chains is prefix-related.
+    """
+    b1 = _block("1", GENESIS_ID)
+    b2 = _block("2", "1")
+    b3 = _block("3", "2")
+    b4 = _block("4", "3")
+    chain1 = _chain(b1)
+    chain2 = _chain(b1, b2)
+    chain3 = _chain(b1, b2, b3)
+    chain4 = _chain(b1, b2, b3, b4)
+
+    rec = HistoryRecorder()
+    _record_append(rec, "i", b1)
+    _record_read(rec, "j", chain1)
+    _record_append(rec, "i", b2)
+    _record_read(rec, "i", chain2)
+    _record_read(rec, "j", chain2)
+    _record_append(rec, "j", b3)
+    _record_read(rec, "i", chain3)
+    _record_append(rec, "i", b4)
+    _record_read(rec, "i", chain4)
+    _record_read(rec, "j", chain4)
+    return rec.history()
+
+
+def figure3_history() -> History:
+    """The EC-but-not-SC history of Figure 3.
+
+    The tree forks below the genesis block: one branch ``1·3·5`` and one
+    branch ``2·4``.  Process ``i`` initially follows the ``2·4`` branch
+    while ``j`` follows ``1``; eventually both adopt ``b0·1·3·5``.  The
+    first reads of ``i`` and ``j`` diverge (Strong Prefix fails) but the
+    final reads agree, so the Eventual Prefix property holds.
+    """
+    b1 = _block("1", GENESIS_ID, creator="j")
+    b2 = _block("2", GENESIS_ID, creator="i")
+    b3 = _block("3", "1", creator="j")
+    b4 = _block("4", "2", creator="i")
+    b5 = _block("5", "3", creator="j")
+    branch_24 = _chain(b2, b4)
+    branch_1 = _chain(b1)
+    branch_13 = _chain(b1, b3)
+    branch_135 = _chain(b1, b3, b5)
+
+    rec = HistoryRecorder()
+    _record_append(rec, "j", b1)
+    _record_append(rec, "i", b2)
+    _record_append(rec, "i", b4)
+    _record_read(rec, "j", branch_1)
+    _record_read(rec, "i", branch_24)
+    _record_append(rec, "j", b3)
+    _record_read(rec, "j", branch_13)
+    _record_append(rec, "j", b5)
+    _record_read(rec, "i", branch_135)
+    _record_read(rec, "j", branch_135)
+    return rec.history()
+
+
+def figure4_history() -> History:
+    """The history of Figure 4, satisfying neither criterion.
+
+    Processes ``i`` and ``j`` adopt permanently diverging branches
+    (``2·4·6`` at ``i`` versus ``1·3·5`` at ``j``); their views never
+    re-converge, so both Strong Prefix and Eventual Prefix fail.
+    """
+    b1 = _block("1", GENESIS_ID, creator="j")
+    b2 = _block("2", GENESIS_ID, creator="i")
+    b3 = _block("3", "1", creator="j")
+    b4 = _block("4", "2", creator="i")
+    b5 = _block("5", "3", creator="j")
+    b6 = _block("6", "4", creator="i")
+
+    rec = HistoryRecorder()
+    for process, block in (("j", b1), ("i", b2), ("j", b3), ("i", b4), ("j", b5), ("i", b6)):
+        _record_append(rec, process, block)
+    _record_read(rec, "i", _chain(b2, b4))
+    _record_read(rec, "j", _chain(b1, b3))
+    _record_read(rec, "i", _chain(b2, b4, b6))
+    _record_read(rec, "j", _chain(b1, b3, b5))
+    return rec.history()
+
+
+def figure13_history(drop_for: Sequence[str] = ()) -> History:
+    """The Update Agreement history of Figure 13.
+
+    Process ``i`` generates a block ``b`` on the genesis block: it records
+    ``send_i``, ``update_i`` and ``receive_i``; processes ``j`` and ``k``
+    then receive and update.  Passing process names in ``drop_for``
+    suppresses their ``receive``/``update`` events, producing exactly the
+    broken histories used in the proofs of Lemmas 4.4/4.5.
+    """
+    dropped = set(drop_for)
+    rec = HistoryRecorder()
+    block = _block("b", GENESIS_ID, creator="i")
+    _record_append(rec, "i", block)
+    rec.send("i", GENESIS_ID, "b")
+    rec.update("i", GENESIS_ID, "b")
+    rec.receive("i", GENESIS_ID, "b")
+    for other in ("j", "k"):
+        if other in dropped:
+            continue
+        rec.receive(other, GENESIS_ID, "b")
+        rec.update(other, GENESIS_ID, "b")
+    return rec.history()
+
+
+# ---------------------------------------------------------------------------
+# Parameterized generators
+# ---------------------------------------------------------------------------
+
+
+def generate_chain_history(
+    n_processes: int = 3,
+    chain_length: int = 10,
+    reads_per_process: int = 5,
+    seed: int = 0,
+) -> History:
+    """A fork-free history: one growing chain, interleaved prefix reads.
+
+    Every read returns a prefix of the single chain whose length is at
+    least the length returned by the same process's previous read, so the
+    history satisfies BT Strong Consistency by construction.
+    """
+    if n_processes < 1 or chain_length < 1 or reads_per_process < 0:
+        raise ValueError("invalid generator parameters")
+    rng = np.random.default_rng(seed)
+    processes = [f"p{i}" for i in range(n_processes)]
+    rec = HistoryRecorder()
+
+    blocks: List[Block] = []
+    parent = GENESIS_ID
+    for height in range(1, chain_length + 1):
+        creator = processes[int(rng.integers(0, n_processes))]
+        block = Block(f"c{height}", parent, creator=creator)
+        blocks.append(block)
+        parent = block.block_id
+
+    # Interleave appends and reads; track the per-process floor so Local
+    # Monotonic Read holds by construction.
+    appended = 0
+    last_read_length: Dict[str, int] = {p: 0 for p in processes}
+    total_reads = reads_per_process * n_processes
+    read_budget: Dict[str, int] = {p: reads_per_process for p in processes}
+    while appended < chain_length or any(read_budget.values()):
+        do_append = appended < chain_length and (
+            not any(read_budget.values()) or rng.random() < 0.5
+        )
+        if do_append:
+            block = blocks[appended]
+            _record_append(rec, block.creator or processes[0], block)
+            appended += 1
+        else:
+            eligible = [p for p in processes if read_budget[p] > 0]
+            process = eligible[int(rng.integers(0, len(eligible)))]
+            lo = last_read_length[process]
+            length = int(rng.integers(lo, appended + 1)) if appended >= lo else lo
+            chain = Blockchain((GENESIS, *blocks[:length]))
+            _record_read(rec, process, chain)
+            last_read_length[process] = length
+            read_budget[process] -= 1
+    del total_reads
+    return rec.history()
+
+
+def generate_forked_history(
+    branch_length: int = 4,
+    resolve: bool = True,
+    reads_per_process: int = 4,
+    seed: int = 0,
+) -> History:
+    """A two-branch history with (optionally resolved) divergence.
+
+    Two processes each grow their own branch off the genesis block and
+    read their own chain after every level (so the divergent views are
+    always observable in the history).  With ``resolve=True`` one branch
+    eventually overtakes the other and both processes' final reads return
+    the winning chain (EC holds, SC does not); with ``resolve=False`` the
+    branches stay separate to the end (neither criterion holds).
+    """
+    if branch_length < 1 or reads_per_process < 1:
+        raise ValueError("invalid generator parameters")
+    rng = np.random.default_rng(seed)
+    rec = HistoryRecorder()
+
+    branch_a: List[Block] = []
+    branch_b: List[Block] = []
+    parent_a = parent_b = GENESIS_ID
+    for height in range(1, branch_length + 1):
+        block_a = Block(f"a{height}", parent_a, creator="i")
+        block_b = Block(f"b{height}", parent_b, creator="j")
+        branch_a.append(block_a)
+        branch_b.append(block_b)
+        parent_a, parent_b = block_a.block_id, block_b.block_id
+        _record_append(rec, "i", block_a)
+        _record_append(rec, "j", block_b)
+        _record_read(rec, "i", Blockchain((GENESIS, *branch_a)))
+        _record_read(rec, "j", Blockchain((GENESIS, *branch_b)))
+        if rng.random() < 0.3:
+            # Occasional extra read (same view) to vary history shapes.
+            _record_read(rec, "j", Blockchain((GENESIS, *branch_b)))
+
+    if resolve:
+        # Branch A wins: extend it one block beyond, and both processes'
+        # final reads adopt it.
+        extra = Block(f"a{branch_length + 1}", parent_a, creator="i")
+        branch_a.append(extra)
+        _record_append(rec, "i", extra)
+        winner = Blockchain((GENESIS, *branch_a))
+        for process in ("i", "j"):
+            _record_read(rec, process, winner)
+    else:
+        _record_read(rec, "i", Blockchain((GENESIS, *branch_a)))
+        _record_read(rec, "j", Blockchain((GENESIS, *branch_b)))
+    return rec.history()

@@ -1,0 +1,106 @@
+"""Transaction streams and client workloads.
+
+Block payloads throughout the library are tuples of opaque transaction
+identifiers.  The permissioned-system models (Hyperledger, Red Belly) cut
+blocks from a transaction stream ("transactions are appended in a block
+until a stop condition is met"); the examples and the double-spend
+validity tests need conflicting transactions.  This module provides both,
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Transaction", "TransactionGenerator", "ClientWorkload"]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A minimal UTXO-flavoured transaction.
+
+    ``spends`` names the identifiers this transaction consumes; two
+    transactions spending the same identifier conflict, which is what the
+    :class:`~repro.core.validity.NoDoubleSpend` predicate detects when
+    payloads carry the spent identifiers.
+    """
+
+    tx_id: str
+    sender: str
+    spends: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.tx_id
+
+
+class TransactionGenerator:
+    """Deterministic transaction id factory with optional conflicts."""
+
+    def __init__(self, seed: int = 0, conflict_rate: float = 0.0) -> None:
+        if not 0 <= conflict_rate <= 1:
+            raise ValueError("conflict_rate must be in [0, 1]")
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+        self._spent_pool: List[str] = []
+        self.conflict_rate = conflict_rate
+
+    def next_transaction(self, sender: str) -> Transaction:
+        """Produce the next transaction from ``sender``.
+
+        With probability ``conflict_rate`` the transaction re-spends an
+        identifier already spent by an earlier transaction (a double
+        spend); otherwise it spends a fresh identifier.
+        """
+        self._counter += 1
+        tx_id = f"tx{self._counter}"
+        if self._spent_pool and self._rng.random() < self.conflict_rate:
+            spends = (str(self._rng.choice(self._spent_pool)),)
+        else:
+            coin = f"coin{self._counter}"
+            self._spent_pool.append(coin)
+            spends = (coin,)
+        return Transaction(tx_id=tx_id, sender=sender, spends=spends)
+
+    def batch(self, sender: str, size: int) -> Tuple[Transaction, ...]:
+        """A batch of ``size`` transactions (a block payload)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return tuple(self.next_transaction(sender) for _ in range(size))
+
+    def payload(self, sender: str, size: int) -> Tuple[str, ...]:
+        """Just the spent identifiers — the form block payloads use."""
+        return tuple(spend for tx in self.batch(sender, size) for spend in tx.spends)
+
+
+@dataclass
+class ClientWorkload:
+    """Poisson-ish client load feeding a permissioned ordering service.
+
+    ``arrivals_between(t0, t1)`` returns the number of transactions that
+    arrived in the virtual-time interval — deterministic given the seed, so
+    protocol runs remain reproducible.
+    """
+
+    rate_per_time_unit: float = 2.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _carry: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_time_unit < 0:
+            raise ValueError("rate must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def arrivals_between(self, t0: float, t1: float) -> int:
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        expected = self.rate_per_time_unit * (t1 - t0) + self._carry
+        count = int(expected)
+        self._carry = expected - count
+        if count > 0:
+            # Jitter ±1 to avoid a perfectly periodic stream while keeping determinism.
+            count = max(0, count + int(self._rng.integers(-1, 2)))
+        return count

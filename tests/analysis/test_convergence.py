@@ -1,0 +1,72 @@
+"""Unit tests for convergence metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import (
+    common_prefix_depth,
+    convergence_summary,
+    divergence_by_pair,
+)
+
+
+class TestCommonPrefixDepth:
+    def test_identical_chains(self, chain_factory):
+        chain = chain_factory("a", "b")
+        assert common_prefix_depth([chain, chain]) == 2.0
+
+    def test_divergent_chains_share_only_genesis(self, chain_factory):
+        assert common_prefix_depth([chain_factory("a"), chain_factory("x")]) == 0.0
+
+    def test_empty_input(self):
+        assert common_prefix_depth([]) == 0.0
+
+    def test_three_way_prefix(self, chain_factory):
+        chains = [
+            chain_factory("a", "b", "c"),
+            chain_factory("a", "b"),
+            chain_factory("a", "b", "x"),
+        ]
+        assert common_prefix_depth(chains) == 2.0
+
+
+class TestDivergenceByPair:
+    def test_pairs_are_sorted_and_complete(self, chain_factory):
+        views = {
+            "p0": chain_factory("a"),
+            "p1": chain_factory("a", "b"),
+            "p2": chain_factory("x"),
+        }
+        pairs = divergence_by_pair(views)
+        assert set(pairs) == {("p0", "p1"), ("p0", "p2"), ("p1", "p2")}
+        assert pairs[("p0", "p1")] == 1.0
+        assert pairs[("p0", "p2")] == 0.0
+
+
+class TestConvergenceSummary:
+    def test_fully_agreeing_views(self, chain_factory):
+        views = {"p0": chain_factory("a", "b"), "p1": chain_factory("a", "b")}
+        summary = convergence_summary(views)
+        assert summary.agreement_ratio == 1.0
+        assert summary.common_prefix_score == 2.0
+        assert summary.max_divergence == 0.0
+
+    def test_partially_diverging_views(self, chain_factory):
+        views = {
+            "p0": chain_factory("a", "b", "c"),
+            "p1": chain_factory("a", "b"),
+            "p2": chain_factory("a", "x"),
+        }
+        summary = convergence_summary(views)
+        assert summary.replicas == 3
+        assert summary.common_prefix_score == 1.0
+        assert summary.min_score == 2.0
+        assert summary.max_score == 3.0
+        assert 0.0 < summary.agreement_ratio < 1.0
+        assert summary.max_divergence == 2.0
+
+    def test_single_view(self, chain_factory):
+        summary = convergence_summary({"p0": chain_factory("a")})
+        assert summary.total_pairs == 0
+        assert summary.agreement_ratio == 1.0

@@ -1,0 +1,34 @@
+"""Unit tests for the text report rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_classification_table, render_table
+from repro.protocols.classification import classify_run
+from repro.protocols.hyperledger import run_hyperledger
+
+
+class TestRenderTable:
+    def test_columns_are_aligned(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_title_is_underlined(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_rows_longer_than_headers_are_handled(self):
+        text = render_table(["a"], [["1", "extra"]])
+        assert "extra" in text
+
+
+class TestClassificationTable:
+    def test_renders_classification_results(self):
+        run = run_hyperledger(n=4, duration=40.0, seed=3)
+        table = render_classification_table({"hyperledger": classify_run(run)})
+        assert "hyperledger" in table
+        assert "R(BT-ADT_SC" in table
+        assert "yes" in table

@@ -1,0 +1,75 @@
+"""Unit tests for the consensus object and its CAS implementation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrent.consensus_object import (
+    CASConsensus,
+    ConsensusViolation,
+    check_consensus_properties,
+)
+
+
+class TestCASConsensus:
+    def test_first_proposer_wins(self):
+        consensus = CASConsensus()
+        assert consensus.propose("a", "va") == "va"
+        assert consensus.propose("b", "vb") == "va"
+        assert consensus.propose("c", "vc") == "va"
+
+    def test_every_process_decides_the_same_value(self):
+        consensus = CASConsensus()
+        decisions = [consensus.propose(f"p{i}", f"v{i}") for i in range(5)]
+        assert len(set(decisions)) == 1
+
+    def test_double_proposal_rejected(self):
+        consensus = CASConsensus()
+        consensus.propose("a", 1)
+        with pytest.raises(ConsensusViolation):
+            consensus.propose("a", 2)
+
+    def test_decided_values_accessor(self):
+        consensus = CASConsensus()
+        consensus.propose("a", 1)
+        consensus.propose("b", 2)
+        assert set(consensus.decided_values) == {1}
+
+
+class TestPropertyChecker:
+    def test_clean_instance_passes(self):
+        consensus = CASConsensus()
+        for i in range(3):
+            consensus.propose(f"p{i}", i)
+        check_consensus_properties(consensus)  # does not raise
+
+    def test_validity_check_uses_predicate(self):
+        consensus = CASConsensus()
+        consensus.propose("a", "invalid-value")
+        with pytest.raises(ConsensusViolation):
+            check_consensus_properties(consensus, validator=lambda v: v == "ok")
+
+    def test_agreement_violation_detected(self):
+        consensus = CASConsensus()
+        consensus.propose("a", 1)
+        consensus.propose("b", 2)
+        # Tamper with the recorded decisions to simulate a broken object.
+        consensus.decisions["b"] = 2
+        with pytest.raises(ConsensusViolation):
+            check_consensus_properties(consensus)
+
+    def test_termination_violation_detected(self):
+        consensus = CASConsensus()
+        consensus.propose("a", 1)
+        consensus.proposals["ghost"] = 99  # proposed but never decided
+        with pytest.raises(ConsensusViolation):
+            check_consensus_properties(consensus)
+
+    def test_correct_processes_restriction(self):
+        consensus = CASConsensus()
+        consensus.propose("a", 1)
+        consensus.proposals["crashed"] = 2  # never decided, but it crashed
+        check_consensus_properties(consensus, correct_processes=("a",))
+
+    def test_empty_instance_passes(self):
+        check_consensus_properties(CASConsensus())

@@ -1,0 +1,167 @@
+"""Unit tests for the Section 4.1 reductions (Theorems 4.1, 4.2, 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS, GENESIS_ID, Block
+from repro.concurrent.consensus_object import check_consensus_properties
+from repro.concurrent.reductions import (
+    CASFromConsumeToken,
+    OracleConsensus,
+    SnapshotTokenStore,
+    snapshot_prodigal_oracle,
+)
+from repro.concurrent.scheduler import Scheduler
+from repro.oracle.tape import DeterministicTape, TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+
+
+def _k1_oracle(*processes: str, patterns=None) -> FrugalOracle:
+    family = TapeFamily()
+    for process in processes:
+        pattern = [True] if patterns is None else patterns.get(process, [True])
+        family.set_tape(process, DeterministicTape(pattern))
+    return FrugalOracle(k=1, tapes=family)
+
+
+class TestCASFromConsumeToken:
+    """Figure 10 / Theorem 4.1."""
+
+    def test_requires_k_equal_one(self):
+        with pytest.raises(ValueError):
+            CASFromConsumeToken(ProdigalOracle(), GENESIS_ID)
+
+    def test_first_cas_succeeds_and_returns_empty(self):
+        oracle = _k1_oracle("p")
+        cas = CASFromConsumeToken(oracle, GENESIS_ID)
+        validated = oracle.get_token(GENESIS, Block("x", GENESIS_ID), process="p")
+        assert cas.compare_and_swap(validated, process="p") == ()
+        assert [b.block_id for b in cas.read()] == ["x"]
+
+    def test_second_cas_fails_and_returns_stored_value(self):
+        oracle = _k1_oracle("p", "q")
+        cas = CASFromConsumeToken(oracle, GENESIS_ID)
+        first = oracle.get_token(GENESIS, Block("x", GENESIS_ID), process="p")
+        second = oracle.get_token(GENESIS, Block("y", GENESIS_ID), process="q")
+        assert cas.compare_and_swap(first, process="p") == ()
+        returned = cas.compare_and_swap(second, process="q")
+        assert [b.block_id for b in returned] == ["x"]
+
+    def test_wrong_parent_rejected(self):
+        oracle = _k1_oracle("p")
+        cas = CASFromConsumeToken(oracle, "other_parent")
+        validated = oracle.get_token(GENESIS, Block("x", GENESIS_ID), process="p")
+        with pytest.raises(ValueError):
+            cas.compare_and_swap(validated, process="p")
+
+
+class TestOracleConsensus:
+    """Protocol A (Figure 11) / Theorem 4.2."""
+
+    def test_requires_k_equal_one(self):
+        with pytest.raises(ValueError):
+            OracleConsensus(ProdigalOracle())
+
+    def test_sequential_proposers_agree_on_first_consumed_block(self):
+        oracle = _k1_oracle("a", "b", "c")
+        consensus = OracleConsensus(oracle)
+        decisions = [
+            consensus.propose(p, Block(f"blk_{p}", GENESIS_ID, creator=p))
+            for p in ("a", "b", "c")
+        ]
+        block_ids = {d.block_id for d in decisions}
+        assert len(block_ids) == 1
+        check_consensus_properties(consensus)
+
+    def test_decided_block_is_oracle_validated(self):
+        oracle = _k1_oracle("a")
+        consensus = OracleConsensus(oracle)
+        decision = consensus.propose("a", Block("mine", GENESIS_ID, creator="a"))
+        assert decision.token == f"tkn_{GENESIS_ID}"
+        check_consensus_properties(
+            consensus, validator=lambda v: v.token is not None
+        )
+
+    def test_proposer_retries_until_token_granted(self):
+        oracle = _k1_oracle("a", patterns={"a": [False, False, False, True]})
+        consensus = OracleConsensus(oracle)
+        decision = consensus.propose("a", Block("slow", GENESIS_ID, creator="a"))
+        assert decision.block_id == "slow"
+
+    def test_double_propose_rejected(self):
+        oracle = _k1_oracle("a")
+        consensus = OracleConsensus(oracle)
+        consensus.propose("a", Block("x", GENESIS_ID, creator="a"))
+        with pytest.raises(ValueError):
+            consensus.propose("a", Block("y", GENESIS_ID, creator="a"))
+
+    def test_agreement_under_adversarial_interleaving(self):
+        # Run the generator bodies under the cooperative scheduler with a
+        # random schedule: all processes still decide the same block.
+        for seed in range(5):
+            oracle = _k1_oracle("a", "b", "c")
+            consensus = OracleConsensus(oracle)
+            scheduler = Scheduler(seed=seed, strategy="random")
+            for p in ("a", "b", "c"):
+                scheduler.spawn(
+                    p, consensus.propose_steps(p, Block(f"blk_{p}", GENESIS_ID, creator=p))
+                )
+            result = scheduler.run()
+            decided = {result.results[p].block_id for p in ("a", "b", "c")}
+            assert len(decided) == 1
+            check_consensus_properties(consensus)
+
+    def test_wait_freedom_under_crashes(self):
+        # Crashing all but one proposer must not prevent the survivor from
+        # deciding (wait-freedom of the construction).
+        oracle = _k1_oracle("a", "b", "c")
+        consensus = OracleConsensus(oracle)
+        scheduler = Scheduler(strategy="round_robin")
+        for p in ("a", "b", "c"):
+            scheduler.spawn(
+                p, consensus.propose_steps(p, Block(f"blk_{p}", GENESIS_ID, creator=p))
+            )
+        scheduler.crash("a")
+        scheduler.crash("b")
+        result = scheduler.run()
+        assert "c" in result.results
+        check_consensus_properties(consensus, correct_processes=("c",))
+
+
+class TestSnapshotProdigalOracle:
+    """Figure 12 / Theorem 4.3."""
+
+    def test_consume_token_accumulates_all_tokens(self):
+        store = SnapshotTokenStore(["a", "b", "c"])
+        assert set(store.consume_token("a", "tkn_a")) == {"tkn_a"}
+        assert set(store.consume_token("b", "tkn_b")) == {"tkn_a", "tkn_b"}
+        assert set(store.consume_token("c", "tkn_c")) == {"tkn_a", "tkn_b", "tkn_c"}
+
+    def test_unbounded_consumption_matches_prodigal_semantics(self):
+        store = SnapshotTokenStore([f"p{i}" for i in range(10)])
+        for i in range(10):
+            store.consume_token(f"p{i}", f"t{i}")
+        assert len(store.read_tokens()) == 10
+
+    def test_no_agreement_is_forced(self):
+        # Unlike the k=1 construction, different consumers can see different
+        # "first" tokens — the object never forces a single winner.
+        store = SnapshotTokenStore(["a", "b"])
+        view_a = store.consume_token("a", "tkn_a")
+        view_b = store.consume_token("b", "tkn_b")
+        assert view_a != view_b
+
+    def test_unknown_process_rejected(self):
+        store = SnapshotTokenStore(["a"])
+        with pytest.raises(KeyError):
+            store.consume_token("ghost", "t")
+
+    def test_requires_processes(self):
+        with pytest.raises(ValueError):
+            SnapshotTokenStore([])
+
+    def test_helper_builds_store_for_genesis(self):
+        stores = snapshot_prodigal_oracle(["a", "b"])
+        assert "b0" in stores
+        assert stores["b0"].snapshot.components == 2

@@ -1,0 +1,58 @@
+"""Unit tests for atomic registers and the Compare&Swap register."""
+
+from __future__ import annotations
+
+from repro.concurrent.registers import AtomicRegister, CASRegister
+
+
+class TestAtomicRegister:
+    def test_initial_value_and_read(self):
+        assert AtomicRegister().read() is None
+        assert AtomicRegister(value=7).read() == 7
+
+    def test_write_then_read(self):
+        register = AtomicRegister()
+        register.write("hello", process="p")
+        assert register.read() == "hello"
+
+    def test_write_history_order(self):
+        register = AtomicRegister()
+        register.write(1, process="a")
+        register.write(2, process="b")
+        assert register.write_history == (("a", 1), ("b", 2))
+
+
+class TestCASRegister:
+    def test_successful_cas_updates_and_returns_previous(self):
+        register = CASRegister(value=None)
+        previous = register.compare_and_swap(None, "winner", process="p")
+        assert previous is None
+        assert register.read() == "winner"
+
+    def test_failed_cas_keeps_value_and_returns_previous(self):
+        register = CASRegister(value="taken")
+        previous = register.compare_and_swap(None, "late", process="q")
+        assert previous == "taken"
+        assert register.read() == "taken"
+
+    def test_only_first_of_two_competing_cas_succeeds(self):
+        register = CASRegister(value=None)
+        register.compare_and_swap(None, "first", process="a")
+        register.compare_and_swap(None, "second", process="b")
+        assert register.read() == "first"
+        assert len(register.successful_operations) == 1
+        assert register.successful_operations[0][0] == "a"
+
+    def test_operation_history_records_everything(self):
+        register = CASRegister(value=None)
+        register.compare_and_swap(None, 1, process="a")
+        register.compare_and_swap(None, 2, process="b")
+        register.compare_and_swap(1, 3, process="c")
+        assert len(register.operation_history) == 3
+        assert register.read() == 3
+
+    def test_cas_with_matching_nonempty_old_value(self):
+        register = CASRegister(value=10)
+        previous = register.compare_and_swap(10, 20)
+        assert previous == 10
+        assert register.read() == 20

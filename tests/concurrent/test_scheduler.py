@@ -1,0 +1,129 @@
+"""Unit tests for the cooperative scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrent.scheduler import ProcessCrashed, Scheduler, StepLimitExceeded
+
+
+def counting_process(result, name, steps):
+    """A process that appends its name to a shared list at each step."""
+    for _ in range(steps):
+        result.append(name)
+        yield
+    return f"{name}-done"
+
+
+class TestSpawnAndRun:
+    def test_all_processes_run_to_completion(self):
+        log: list[str] = []
+        scheduler = Scheduler()
+        scheduler.spawn("a", counting_process(log, "a", 3))
+        scheduler.spawn("b", counting_process(log, "b", 2))
+        result = scheduler.run()
+        assert result.results == {"a": "a-done", "b": "b-done"}
+        assert log.count("a") == 3
+        assert log.count("b") == 2
+
+    def test_round_robin_alternates(self):
+        log: list[str] = []
+        scheduler = Scheduler(strategy="round_robin")
+        scheduler.spawn("a", counting_process(log, "a", 2))
+        scheduler.spawn("b", counting_process(log, "b", 2))
+        scheduler.run()
+        assert log[:4] == ["a", "b", "a", "b"]
+
+    def test_duplicate_names_rejected(self):
+        scheduler = Scheduler()
+        scheduler.spawn("a", counting_process([], "a", 1))
+        with pytest.raises(ValueError):
+            scheduler.spawn("a", counting_process([], "a", 1))
+
+    def test_non_generator_body_rejected(self):
+        scheduler = Scheduler()
+        with pytest.raises(TypeError):
+            scheduler.spawn("a", lambda: None)  # type: ignore[arg-type]
+
+    def test_step_limit(self):
+        def forever():
+            while True:
+                yield
+
+        scheduler = Scheduler()
+        scheduler.spawn("loop", forever())
+        with pytest.raises(StepLimitExceeded):
+            scheduler.run(max_steps=10)
+
+    def test_schedule_and_step_counts(self):
+        scheduler = Scheduler()
+        scheduler.spawn("a", counting_process([], "a", 2))
+        result = scheduler.run()
+        assert result.steps == len(result.schedule) == 3  # 2 yields + final return
+
+
+class TestStrategies:
+    def test_random_strategy_is_seed_deterministic(self):
+        def run(seed: int):
+            log: list[str] = []
+            scheduler = Scheduler(seed=seed, strategy="random")
+            scheduler.spawn("a", counting_process(log, "a", 5))
+            scheduler.spawn("b", counting_process(log, "b", 5))
+            scheduler.run()
+            return log
+
+        assert run(3) == run(3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(strategy="chaotic")
+
+    def test_adversarial_requires_chooser(self):
+        with pytest.raises(ValueError):
+            Scheduler(strategy="adversarial")
+
+    def test_adversarial_chooser_controls_order(self):
+        log: list[str] = []
+        chooser = lambda step, runnable: sorted(runnable)[-1]  # noqa: E731
+        scheduler = Scheduler(strategy="adversarial", chooser=chooser)
+        scheduler.spawn("a", counting_process(log, "a", 2))
+        scheduler.spawn("b", counting_process(log, "b", 2))
+        scheduler.run()
+        # "b" is always preferred while runnable.
+        assert log[:2] == ["b", "b"]
+
+    def test_adversarial_chooser_must_pick_runnable(self):
+        scheduler = Scheduler(strategy="adversarial", chooser=lambda s, r: "ghost")
+        scheduler.spawn("a", counting_process([], "a", 1))
+        with pytest.raises(ValueError):
+            scheduler.run()
+
+    def test_explicit_interleaving(self):
+        log: list[str] = []
+        scheduler = Scheduler()
+        scheduler.spawn("a", counting_process(log, "a", 2))
+        scheduler.spawn("b", counting_process(log, "b", 2))
+        result = scheduler.run_interleaving(["b", "b", "a"])
+        assert log[:3] == ["b", "b", "a"]
+        assert set(result.results) == {"a", "b"}
+
+
+class TestCrashes:
+    def test_crashed_process_never_finishes_but_run_completes(self):
+        log: list[str] = []
+        scheduler = Scheduler()
+        scheduler.spawn("victim", counting_process(log, "victim", 100))
+        scheduler.spawn("survivor", counting_process(log, "survivor", 3))
+        scheduler.crash("victim")
+        result = scheduler.run()
+        assert "survivor" in result.results
+        assert "victim" not in result.results
+        assert result.crashed == ("victim",)
+        assert "victim" not in log
+
+    def test_stepping_a_crashed_process_raises(self):
+        scheduler = Scheduler()
+        scheduler.spawn("a", counting_process([], "a", 1))
+        scheduler.crash("a")
+        with pytest.raises(ProcessCrashed):
+            scheduler.step("a")

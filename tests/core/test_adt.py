@@ -1,0 +1,110 @@
+"""Unit tests for the generic ADT machinery (Definitions 2.1–2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adt import (
+    AbstractDataType,
+    InputSymbol,
+    Operation,
+    SequentialHistoryError,
+    is_sequential_history,
+    replay,
+)
+
+
+class CounterADT(AbstractDataType[int]):
+    """A tiny ADT used to exercise the framework: an integer counter.
+
+    ``inc`` adds its argument (output: new value), ``get`` outputs the
+    current value without changing state.
+    """
+
+    def initial_state(self) -> int:
+        return 0
+
+    def transition(self, state: int, symbol: InputSymbol) -> int:
+        if symbol.name == "inc":
+            return state + int(symbol.argument)
+        if symbol.name == "get":
+            return state
+        raise ValueError(symbol.name)
+
+    def output(self, state: int, symbol: InputSymbol):
+        if symbol.name == "inc":
+            return state + int(symbol.argument)
+        if symbol.name == "get":
+            return state
+        raise ValueError(symbol.name)
+
+
+class TestOperations:
+    def test_invocation_constructor(self):
+        op = Operation.invocation("get")
+        assert not op.has_output
+        assert op.symbol.name == "get"
+
+    def test_with_output_constructor(self):
+        op = Operation.with_output("inc", 2, 2)
+        assert op.has_output
+        assert op.output == 2
+
+    def test_str_forms(self):
+        assert "inc(2)/2" in str(Operation.with_output("inc", 2, 2))
+        assert str(Operation.invocation("get")) == "get()"
+
+
+class TestReplay:
+    def test_replay_returns_state_sequence(self):
+        adt = CounterADT()
+        ops = [
+            Operation.with_output("inc", 1, 1),
+            Operation.with_output("inc", 2, 3),
+            Operation.with_output("get", None, 3),
+        ]
+        states = replay(adt, ops)
+        assert states == [0, 1, 3, 3]
+
+    def test_replay_without_outputs_never_fails_on_output(self):
+        adt = CounterADT()
+        ops = [Operation.invocation("inc", 5), Operation.invocation("get")]
+        states = replay(adt, ops)
+        assert states[-1] == 5
+
+    def test_replay_rejects_wrong_output(self):
+        adt = CounterADT()
+        ops = [Operation.with_output("inc", 1, 99)]
+        with pytest.raises(SequentialHistoryError) as err:
+            replay(adt, ops)
+        assert err.value.index == 0
+
+    def test_replay_from_custom_initial_state(self):
+        adt = CounterADT()
+        states = replay(adt, [Operation.with_output("get", None, 7)], initial_state=7)
+        assert states == [7, 7]
+
+    def test_transition_operation_ignores_output_component(self):
+        adt = CounterADT()
+        op = Operation.with_output("inc", 3, 3)
+        assert adt.transition_operation(0, op) == 3
+
+    def test_step_returns_state_and_output(self):
+        adt = CounterADT()
+        state, output = adt.step(1, Operation.invocation("inc", 4))
+        assert (state, output) == (5, 5)
+
+
+class TestMembership:
+    def test_valid_word_is_in_language(self):
+        adt = CounterADT()
+        ops = [Operation.with_output("inc", 1, 1), Operation.with_output("get", None, 1)]
+        assert is_sequential_history(adt, ops)
+
+    def test_invalid_word_is_rejected(self):
+        adt = CounterADT()
+        ops = [Operation.with_output("get", None, 42)]
+        assert not is_sequential_history(adt, ops)
+
+    def test_empty_word_is_in_language(self):
+        assert is_sequential_history(CounterADT(), [])

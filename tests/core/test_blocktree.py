@@ -1,0 +1,166 @@
+"""Unit tests for the BlockTree structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS, GENESIS_ID, Block
+from repro.core.blocktree import BlockTree, DuplicateBlockError, UnknownParentError
+
+
+class TestConstruction:
+    def test_new_tree_contains_only_genesis(self):
+        tree = BlockTree()
+        assert len(tree) == 1
+        assert GENESIS_ID in tree
+        assert tree.height == 0
+
+    def test_tree_rejects_non_genesis_root(self):
+        with pytest.raises(ValueError):
+            BlockTree(Block("b1", GENESIS_ID))
+
+
+class TestAppend:
+    def test_append_under_genesis(self):
+        tree = BlockTree()
+        tree.append(Block("x", GENESIS_ID))
+        assert "x" in tree
+        assert tree.height_of("x") == 1
+
+    def test_append_requires_known_parent(self):
+        tree = BlockTree()
+        with pytest.raises(UnknownParentError):
+            tree.append(Block("x", "missing"))
+
+    def test_duplicate_append_rejected(self):
+        tree = BlockTree()
+        tree.append(Block("x", GENESIS_ID))
+        with pytest.raises(DuplicateBlockError):
+            tree.append(Block("x", GENESIS_ID))
+
+    def test_second_genesis_rejected(self):
+        tree = BlockTree()
+        with pytest.raises(ValueError):
+            tree.append(Block(GENESIS_ID, None))
+
+    def test_append_returns_block(self):
+        tree = BlockTree()
+        block = Block("x", GENESIS_ID)
+        assert tree.append(block) is block
+
+    def test_contains_accepts_blocks_and_ids(self, linear_tree):
+        assert "x1" in linear_tree
+        assert Block("x1", GENESIS_ID) in linear_tree
+
+
+class TestQueries:
+    def test_heights_along_chain(self, linear_tree):
+        assert linear_tree.height == 3
+        assert linear_tree.height_of("x2") == 2
+
+    def test_children_and_parent(self, forked_tree):
+        assert set(forked_tree.children_of(GENESIS_ID)) == {"a1", "b1"}
+        assert forked_tree.parent_of("a2") == "a1"
+        assert forked_tree.parent_of(GENESIS_ID) is None
+
+    def test_leaves(self, forked_tree):
+        assert set(forked_tree.leaves()) == {"a3", "b2"}
+
+    def test_chain_to(self, forked_tree):
+        chain = forked_tree.chain_to("a3")
+        assert chain.ids == (GENESIS_ID, "a1", "a2", "a3")
+
+    def test_chain_to_unknown_raises(self, linear_tree):
+        with pytest.raises(KeyError):
+            linear_tree.chain_to("missing")
+
+    def test_all_chains_one_per_leaf(self, forked_tree):
+        chains = forked_tree.all_chains()
+        assert len(chains) == 2
+        tips = {c.tip.block_id for c in chains}
+        assert tips == {"a3", "b2"}
+
+    def test_ancestors(self, forked_tree):
+        assert forked_tree.ancestors("a3") == ("a2", "a1", GENESIS_ID)
+        assert forked_tree.ancestors(GENESIS_ID) == ()
+
+    def test_is_ancestor(self, forked_tree):
+        assert forked_tree.is_ancestor(GENESIS_ID, "a3")
+        assert forked_tree.is_ancestor("a1", "a3")
+        assert forked_tree.is_ancestor("a3", "a3")
+        assert not forked_tree.is_ancestor("b1", "a3")
+        assert not forked_tree.is_ancestor("missing", "a3")
+
+    def test_common_ancestor(self, forked_tree):
+        assert forked_tree.common_ancestor("a3", "b2") == GENESIS_ID
+        assert forked_tree.common_ancestor("a3", "a1") == "a1"
+        assert forked_tree.common_ancestor("a2", "a3") == "a2"
+
+    def test_blocks_at_height(self, forked_tree):
+        assert set(forked_tree.blocks_at_height(1)) == {"a1", "b1"}
+        assert set(forked_tree.blocks_at_height(3)) == {"a3"}
+
+    def test_fork_points_and_degree(self, forked_tree, linear_tree):
+        assert forked_tree.fork_points() == (GENESIS_ID,)
+        assert forked_tree.fork_degree(GENESIS_ID) == 2
+        assert forked_tree.max_fork_degree() == 2
+        assert linear_tree.fork_points() == ()
+        assert linear_tree.max_fork_degree() == 1
+
+    def test_subtree_weight_accumulates(self):
+        tree = BlockTree()
+        tree.append(Block("a", GENESIS_ID, weight=1.0))
+        tree.append(Block("b", "a", weight=2.0))
+        tree.append(Block("c", GENESIS_ID, weight=5.0))
+        assert tree.subtree_weight("a") == pytest.approx(3.0)
+        assert tree.subtree_weight(GENESIS_ID) == pytest.approx(8.0)
+
+    def test_block_ids_in_insertion_order(self, linear_tree):
+        assert linear_tree.block_ids() == (GENESIS_ID, "x1", "x2", "x3")
+
+
+class TestCopyAndMerge:
+    def test_copy_is_independent(self, linear_tree):
+        clone = linear_tree.copy()
+        clone.append(Block("extra", "x3"))
+        assert "extra" in clone
+        assert "extra" not in linear_tree
+
+    def test_merge_inserts_missing_blocks(self, linear_tree):
+        other = BlockTree()
+        other.append(Block("x1", GENESIS_ID))
+        other.append(Block("y1", "x1"))
+        inserted = linear_tree.merge(other)
+        assert inserted == 1
+        assert "y1" in linear_tree
+
+    def test_merge_handles_out_of_order_parents(self):
+        target = BlockTree()
+        source = BlockTree()
+        source.append(Block("p", GENESIS_ID))
+        source.append(Block("q", "p"))
+        inserted = target.merge(source)
+        assert inserted == 2
+        assert target.height == 2
+
+    def test_merge_with_missing_ancestor_raises(self):
+        target = BlockTree()
+
+        class _FakeTree:
+            def __iter__(self):
+                return iter([Block("child", "nowhere")])
+
+        with pytest.raises(UnknownParentError):
+            target.merge(_FakeTree())  # type: ignore[arg-type]
+
+
+class TestPresentation:
+    def test_ascii_render_mentions_all_blocks(self, forked_tree):
+        art = forked_tree.to_ascii()
+        for bid in ("a1", "a2", "a3", "b1", "b2", GENESIS_ID):
+            assert bid in art
+
+    def test_repr_contains_summary(self, forked_tree):
+        text = repr(forked_tree)
+        assert "blocks=6" in text
+        assert "leaves=2" in text

@@ -1,0 +1,124 @@
+"""Unit tests for the refinement hierarchy (Figures 8 and 14)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.hierarchy import (
+    Consistency,
+    OracleKind,
+    Refinement,
+    consensus_number,
+    is_weaker_or_equal,
+    message_passing_hierarchy,
+    refinement_hierarchy,
+)
+
+
+class TestRefinement:
+    def test_constructors(self):
+        assert Refinement.sc_frugal(1).k == 1
+        assert Refinement.ec_prodigal().oracle == OracleKind.PRODIGAL
+        assert Refinement.sc_prodigal().consistency == Consistency.STRONG
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Refinement("XX", OracleKind.FRUGAL, 1)
+        with pytest.raises(ValueError):
+            Refinement(Consistency.STRONG, "magic", 1)
+        with pytest.raises(ValueError):
+            Refinement(Consistency.STRONG, OracleKind.FRUGAL, 0)
+        with pytest.raises(ValueError):
+            Refinement(Consistency.STRONG, OracleKind.PRODIGAL, 3)
+
+    def test_allows_forks(self):
+        assert not Refinement.sc_frugal(1).allows_forks
+        assert Refinement.sc_frugal(2).allows_forks
+        assert Refinement.ec_prodigal().allows_forks
+
+    def test_message_passing_implementability(self):
+        # Theorem 4.8: SC with a fork-allowing oracle is impossible.
+        assert Refinement.sc_frugal(1).message_passing_implementable
+        assert not Refinement.sc_frugal(2).message_passing_implementable
+        assert not Refinement.sc_prodigal().message_passing_implementable
+        assert Refinement.ec_prodigal().message_passing_implementable
+        assert Refinement.ec_frugal(4).message_passing_implementable
+
+    def test_labels_match_paper_notation(self):
+        assert Refinement.sc_frugal(1).label() == "R(BT-ADT_SC, Θ_F,k=1)"
+        assert Refinement.ec_prodigal().label() == "R(BT-ADT_EC, Θ_P)"
+
+
+class TestStrengthRelation:
+    def test_sc_stronger_than_ec_same_oracle(self):
+        assert is_weaker_or_equal(Refinement.ec_frugal(1), Refinement.sc_frugal(1))
+        assert not is_weaker_or_equal(Refinement.sc_frugal(1), Refinement.ec_frugal(1))
+
+    def test_smaller_k_is_stronger(self):
+        assert is_weaker_or_equal(Refinement.ec_frugal(4), Refinement.ec_frugal(2))
+        assert not is_weaker_or_equal(Refinement.ec_frugal(2), Refinement.ec_frugal(4))
+
+    def test_prodigal_is_weakest_oracle(self):
+        assert is_weaker_or_equal(Refinement.ec_prodigal(), Refinement.ec_frugal(3))
+        assert not is_weaker_or_equal(Refinement.ec_frugal(3), Refinement.ec_prodigal())
+
+    def test_relation_is_reflexive(self):
+        for refinement in (Refinement.sc_frugal(1), Refinement.ec_prodigal()):
+            assert is_weaker_or_equal(refinement, refinement)
+
+    def test_strongest_vertex_dominates_everything(self):
+        strongest = Refinement.sc_frugal(1)
+        for vertex in refinement_hierarchy():
+            assert is_weaker_or_equal(vertex, strongest)
+
+
+class TestConsensusNumbers:
+    def test_frugal_k1_has_infinite_consensus_number(self):
+        assert consensus_number(Refinement.sc_frugal(1)) == math.inf
+        assert consensus_number(OracleKind.FRUGAL, k=1) == math.inf
+
+    def test_prodigal_has_consensus_number_one(self):
+        assert consensus_number(Refinement.ec_prodigal()) == 1
+        assert consensus_number(OracleKind.PRODIGAL) == 1
+
+    def test_fork_allowing_frugal_is_also_one(self):
+        assert consensus_number(OracleKind.FRUGAL, k=3) == 1
+
+
+class TestHierarchyGraphs:
+    def test_full_hierarchy_has_six_vertices(self):
+        hierarchy = refinement_hierarchy()
+        assert len(hierarchy) == 6
+
+    def test_edges_follow_strength(self):
+        hierarchy = refinement_hierarchy()
+        for stronger, weaker_set in hierarchy.items():
+            for weaker in weaker_set:
+                assert is_weaker_or_equal(weaker, stronger)
+                assert weaker != stronger
+
+    def test_figure8_key_edges_present(self):
+        hierarchy = refinement_hierarchy()
+        strongest = Refinement.sc_frugal(1)
+        assert Refinement.ec_frugal(1) in hierarchy[strongest]
+        assert Refinement.sc_frugal(2) in hierarchy[strongest]
+        assert Refinement.ec_prodigal() in hierarchy[strongest]
+
+    def test_message_passing_hierarchy_removes_impossible_vertices(self):
+        mp = message_passing_hierarchy()
+        assert len(mp) == 4
+        assert Refinement.sc_prodigal() not in mp
+        assert Refinement.sc_frugal(2) not in mp
+        assert Refinement.sc_frugal(1) in mp
+
+    def test_message_passing_edges_only_point_to_feasible_vertices(self):
+        mp = message_passing_hierarchy()
+        for targets in mp.values():
+            for target in targets:
+                assert target in mp
+
+    def test_custom_k_values(self):
+        hierarchy = refinement_hierarchy(k_values=(1, 2, 4))
+        assert len(hierarchy) == 8  # (2 consistencies) x (3 frugal + 1 prodigal)

@@ -1,0 +1,160 @@
+"""Unit tests for concurrent histories and the recorder (Definition 2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS_ID, Block
+from repro.core.history import Event, EventKind, History, HistoryRecorder
+
+
+@pytest.fixture()
+def sample_history() -> History:
+    rec = HistoryRecorder()
+    block = Block("x", GENESIS_ID)
+    append_token = rec.invoke("i", "append", block)
+    rec.respond(append_token, True)
+    read_token = rec.invoke("j", "read", None)
+    from repro.core.block import GENESIS, Blockchain
+
+    rec.respond(read_token, Blockchain((GENESIS, block)))
+    rec.send("i", GENESIS_ID, "x")
+    rec.receive("j", GENESIS_ID, "x")
+    rec.update("j", GENESIS_ID, "x")
+    return rec.history()
+
+
+class TestRecorder:
+    def test_timestamps_strictly_increase(self, sample_history):
+        eids = [e.eid for e in sample_history]
+        assert eids == sorted(eids)
+        assert len(set(eids)) == len(eids)
+
+    def test_per_process_sequence_numbers(self, sample_history):
+        for process in sample_history.processes:
+            seqs = [e.seq for e in sample_history.events_of(process)]
+            assert seqs == sorted(seqs)
+
+    def test_complete_records_both_events(self):
+        rec = HistoryRecorder()
+        rec.complete("p", "read", None, "out")
+        history = rec.history()
+        assert len(history) == 2
+        assert history[0].kind is EventKind.INVOCATION
+        assert history[1].kind is EventKind.RESPONSE
+        assert history[0].op_id == history[1].op_id
+
+    def test_len_tracks_recorded_events(self):
+        rec = HistoryRecorder()
+        rec.send("p", "b0", "x")
+        assert len(rec) == 1
+
+
+class TestSelectors:
+    def test_read_responses_and_invocations(self, sample_history):
+        assert len(sample_history.read_responses()) == 1
+        assert len(sample_history.read_invocations()) == 1
+        assert len(sample_history.read_responses("i")) == 0
+
+    def test_append_selectors(self, sample_history):
+        assert len(sample_history.append_invocations()) == 1
+        assert len(sample_history.append_responses(successful_only=True)) == 1
+
+    def test_replication_event_selector(self, sample_history):
+        assert len(sample_history.replication_events(EventKind.SEND)) == 1
+        assert len(sample_history.replication_events(EventKind.RECEIVE)) == 1
+        assert len(sample_history.replication_events(EventKind.UPDATE)) == 1
+        with pytest.raises(ValueError):
+            sample_history.replication_events(EventKind.RESPONSE)
+
+    def test_chain_accessor_on_read_response(self, sample_history):
+        read = sample_history.read_responses()[0]
+        assert read.chain.ids == (GENESIS_ID, "x")
+
+    def test_chain_accessor_rejects_other_events(self, sample_history):
+        send = sample_history.replication_events(EventKind.SEND)[0]
+        with pytest.raises(TypeError):
+            _ = send.chain
+
+    def test_matching_response_and_invocation(self, sample_history):
+        inv = sample_history.append_invocations()[0]
+        rsp = sample_history.matching_response(inv)
+        assert rsp is not None and rsp.output is True
+        assert sample_history.matching_invocation(rsp) == inv
+        with pytest.raises(ValueError):
+            sample_history.matching_response(rsp)
+        with pytest.raises(ValueError):
+            sample_history.matching_invocation(inv)
+
+
+class TestOrders:
+    def test_process_order_same_process_only(self, sample_history):
+        events_i = sample_history.events_of("i")
+        events_j = sample_history.events_of("j")
+        assert sample_history.process_order(events_i[0], events_i[1])
+        assert not sample_history.process_order(events_i[0], events_j[0])
+
+    def test_operation_order_invocation_before_own_response(self, sample_history):
+        inv = sample_history.append_invocations()[0]
+        rsp = sample_history.matching_response(inv)
+        assert sample_history.operation_order(inv, rsp)
+        assert not sample_history.operation_order(rsp, inv)
+
+    def test_operation_order_response_before_later_invocation(self, sample_history):
+        append_rsp = sample_history.append_responses()[0]
+        read_inv = sample_history.read_invocations()[0]
+        assert sample_history.operation_order(append_rsp, read_inv)
+
+    def test_program_order_is_union(self, sample_history):
+        append_inv = sample_history.append_invocations()[0]
+        append_rsp = sample_history.append_responses()[0]
+        read_inv = sample_history.read_invocations()[0]
+        assert sample_history.program_order(append_inv, append_rsp)
+        assert sample_history.program_order(append_rsp, read_inv)
+        assert not sample_history.program_order(append_inv, append_inv)
+
+    def test_precedes_refines_program_order(self, sample_history):
+        events = list(sample_history)
+        for a in events:
+            for b in events:
+                if sample_history.program_order(a, b):
+                    assert sample_history.precedes(a, b)
+
+
+class TestComposition:
+    def test_restricted_to(self, sample_history):
+        only_i = sample_history.restricted_to(["i"])
+        assert set(only_i.processes) == {"i"}
+
+    def test_without_failed_appends(self):
+        rec = HistoryRecorder()
+        ok = Block("ok", GENESIS_ID)
+        bad = Block("bad", GENESIS_ID)
+        rec.complete("p", "append", ok, True)
+        rec.complete("p", "append", bad, False)
+        purged = rec.history().without_failed_appends()
+        args = [e.argument.block_id for e in purged.append_invocations()]
+        assert args == ["ok"]
+
+    def test_merge_requires_distinct_event_ids(self, sample_history):
+        with pytest.raises(ValueError):
+            sample_history.merge(sample_history)
+
+    def test_merge_of_disjoint_histories(self):
+        rec1 = HistoryRecorder()
+        rec1.complete("p", "read", None, None)
+        extra = History(
+            [
+                Event(eid=100, kind=EventKind.SEND, process="q", operation="send", argument=("b0", "x")),
+                Event(eid=101, kind=EventKind.SEND, process="q", operation="send", argument=("b0", "y")),
+            ]
+        )
+        merged = rec1.history().merge(extra)
+        assert len(merged) == 4
+        assert set(merged.processes) == {"p", "q"}
+
+    def test_empty_history(self):
+        history = History()
+        assert len(history) == 0
+        assert history.processes == ()
+        assert history.read_responses() == ()

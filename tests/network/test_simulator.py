@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event simulator and network fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.channels import SynchronousChannel
+from repro.network.process import Process
+from repro.network.simulator import Message, Network, Simulator
+
+
+class Echo(Process):
+    """Test process that logs every delivery and can ping a peer."""
+
+    def __init__(self, pid: str) -> None:
+        super().__init__(pid)
+        self.received: list[Message] = []
+
+    def on_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+class TestSimulator:
+    def test_events_run_in_timestamp_order(self):
+        simulator = Simulator()
+        log: list[str] = []
+        simulator.schedule(5.0, lambda: log.append("late"))
+        simulator.schedule(1.0, lambda: log.append("early"))
+        simulator.run()
+        assert log == ["early", "late"]
+        assert simulator.now == 5.0
+
+    def test_equal_timestamps_preserve_insertion_order(self):
+        simulator = Simulator()
+        log: list[int] = []
+        for i in range(5):
+            simulator.schedule(1.0, lambda i=i: log.append(i))
+        simulator.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_run_until_leaves_later_events_pending(self):
+        simulator = Simulator()
+        log: list[str] = []
+        simulator.schedule(1.0, lambda: log.append("a"))
+        simulator.schedule(10.0, lambda: log.append("b"))
+        simulator.run(until=5.0)
+        assert log == ["a"]
+        assert simulator.pending == 1
+        assert simulator.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator()
+        log: list[str] = []
+        simulator.schedule_at(3.0, lambda: log.append("x"))
+        with pytest.raises(ValueError):
+            simulator.schedule_at(-1.0, lambda: None)
+        simulator.run()
+        assert log == ["x"] and simulator.now == 3.0
+
+    def test_event_cascades_are_processed(self):
+        simulator = Simulator()
+        log: list[float] = []
+
+        def first():
+            log.append(simulator.now)
+            simulator.schedule(2.0, second)
+
+        def second():
+            log.append(simulator.now)
+
+        simulator.schedule(1.0, first)
+        simulator.run()
+        assert log == [1.0, 3.0]
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def rearm():
+            simulator.schedule(1.0, rearm)
+
+        simulator.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError):
+            simulator.run(max_events=100)
+
+
+class TestNetwork:
+    def _network(self, delta: float = 1.0) -> tuple[Network, Echo, Echo]:
+        network = Network(Simulator(), SynchronousChannel(delta=delta, seed=1))
+        a, b = Echo("a"), Echo("b")
+        network.register(a)
+        network.register(b)
+        return network, a, b
+
+    def test_send_and_deliver(self):
+        network, a, b = self._network()
+        network.send("a", "b", "ping", {"x": 1})
+        network.run()
+        assert len(b.received) == 1
+        assert b.received[0].kind == "ping"
+        assert network.messages_delivered == 1
+
+    def test_unknown_receiver_rejected(self):
+        network, _, _ = self._network()
+        with pytest.raises(KeyError):
+            network.send("a", "ghost", "ping", None)
+
+    def test_duplicate_registration_rejected(self):
+        network, a, _ = self._network()
+        with pytest.raises(ValueError):
+            network.register(a)
+
+    def test_broadcast_reaches_everyone(self):
+        network, a, b = self._network()
+        network.broadcast("a", "hello", None, include_self=True)
+        network.run()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+
+    def test_broadcast_can_exclude_self(self):
+        network, a, b = self._network()
+        network.broadcast("a", "hello", None, include_self=False)
+        network.run()
+        assert len(a.received) == 0
+        assert len(b.received) == 1
+
+    def test_crashed_process_receives_nothing(self):
+        network, a, b = self._network()
+        b.crash()
+        network.send("a", "b", "ping", None)
+        network.run()
+        assert b.received == []
+
+    def test_correct_process_ids_excludes_crashed(self):
+        network, a, b = self._network()
+        b.crash()
+        assert network.correct_process_ids() == ("a",)
+
+    def test_history_accessor_returns_recorded_events(self):
+        network, a, _ = self._network()
+        network.recorder.send("a", "b0", "x")
+        assert len(network.history()) == 1
+
+    def test_process_helpers(self):
+        network, a, b = self._network()
+        assert network.process("a") is a
+        assert set(network.process_ids) == {"a", "b"}
+        assert a.now == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for the Update Agreement (R1–R3) and LRC checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.history import HistoryRecorder
+from repro.network.update_agreement import (
+    check_light_reliable_communication,
+    check_update_agreement,
+)
+from repro.workload.scenarios import figure13_history
+
+
+class TestUpdateAgreementOnFigure13:
+    def test_complete_history_satisfies_r1_r2_r3(self):
+        result = check_update_agreement(figure13_history(), processes=("i", "j", "k"))
+        assert result.r1_holds and result.r2_holds and result.r3_holds
+        assert result.holds and bool(result)
+
+    def test_missing_receiver_breaks_r3(self):
+        history = figure13_history(drop_for=["k"])
+        result = check_update_agreement(history, processes=("i", "j", "k"))
+        assert result.r1_holds
+        assert not result.r3_holds
+        assert ("b0", "b") in result.missing_receivers
+        assert "k" in result.missing_receivers[("b0", "b")]
+
+
+class TestUpdateAgreementConstructions:
+    def test_update_without_send_breaks_r1(self):
+        rec = HistoryRecorder()
+        rec.update("i", "b0", "blk")  # locally generated, never sent
+        result = check_update_agreement(rec.history(), processes=("i", "j"))
+        assert not result.r1_holds
+        assert any("R1" in v for v in result.violations)
+
+    def test_foreign_update_without_receive_breaks_r2(self):
+        rec = HistoryRecorder()
+        rec.send("i", "b0", "blk")
+        rec.update("i", "b0", "blk")
+        rec.receive("i", "b0", "blk")
+        rec.receive("j", "b0", "blk")
+        rec.update("j", "b0", "blk")
+        rec.update("k", "b0", "blk")  # k never received it
+        result = check_update_agreement(
+            rec.history(),
+            processes=("i", "j", "k"),
+            block_creators={"blk": "i"},
+        )
+        assert not result.r2_holds
+
+    def test_receive_after_update_breaks_r2(self):
+        rec = HistoryRecorder()
+        rec.send("i", "b0", "blk")
+        rec.update("i", "b0", "blk")
+        rec.receive("i", "b0", "blk")
+        rec.update("j", "b0", "blk")    # update first...
+        rec.receive("j", "b0", "blk")   # ...receive only afterwards
+        result = check_update_agreement(
+            rec.history(), processes=("i", "j"), block_creators={"blk": "i"}
+        )
+        assert not result.r2_holds
+
+    def test_creator_map_distinguishes_local_and_foreign_updates(self):
+        rec = HistoryRecorder()
+        rec.send("i", "b0", "blk")
+        rec.update("i", "b0", "blk")
+        for p in ("i", "j"):
+            rec.receive(p, "b0", "blk")
+        rec.update("j", "b0", "blk")
+        result = check_update_agreement(
+            rec.history(), processes=("i", "j"), block_creators={"blk": "i"}
+        )
+        assert result.holds
+
+    def test_empty_history_trivially_holds(self):
+        assert check_update_agreement(HistoryRecorder().history()).holds
+
+
+class TestLRC:
+    def _base_history(self):
+        rec = HistoryRecorder()
+        rec.send("i", "b0", "m")
+        rec.receive("i", "b0", "m")
+        rec.receive("j", "b0", "m")
+        rec.receive("k", "b0", "m")
+        return rec
+
+    def test_complete_dissemination_satisfies_lrc(self):
+        result = check_light_reliable_communication(
+            self._base_history().history(), correct_processes=("i", "j", "k")
+        )
+        assert result.holds
+
+    def test_sender_not_receiving_breaks_validity(self):
+        rec = HistoryRecorder()
+        rec.send("i", "b0", "m")
+        rec.receive("j", "b0", "m")
+        rec.receive("k", "b0", "m")
+        result = check_light_reliable_communication(
+            rec.history(), correct_processes=("i", "j", "k")
+        )
+        assert not result.validity_holds
+
+    def test_partial_reception_breaks_agreement(self):
+        rec = HistoryRecorder()
+        rec.send("i", "b0", "m")
+        rec.receive("i", "b0", "m")
+        rec.receive("j", "b0", "m")  # k never receives
+        result = check_light_reliable_communication(
+            rec.history(), correct_processes=("i", "j", "k")
+        )
+        assert not result.agreement_holds
+        assert any("Agreement" in v for v in result.violations)
+
+    def test_byzantine_sender_is_ignored_for_validity(self):
+        rec = HistoryRecorder()
+        rec.send("byz", "b0", "m")  # byz is not in the correct set
+        result = check_light_reliable_communication(
+            rec.history(), correct_processes=("i", "j")
+        )
+        assert result.validity_holds
+
+    def test_message_received_only_by_faulty_processes_is_exempt(self):
+        rec = HistoryRecorder()
+        rec.send("byz", "b0", "m")
+        rec.receive("byz", "b0", "m")
+        result = check_light_reliable_communication(
+            rec.history(), correct_processes=("i", "j")
+        )
+        assert result.agreement_holds

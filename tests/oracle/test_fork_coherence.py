@@ -1,0 +1,102 @@
+"""Unit tests for the k-Fork-Coherence checker (Definition 3.9 / Theorem 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS, GENESIS_ID, Block
+from repro.core.history import HistoryRecorder
+from repro.oracle.fork_coherence import (
+    check_fork_coherence_from_history,
+    check_fork_coherence_from_oracle,
+)
+from repro.oracle.tape import DeterministicTape, TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+
+
+def _always(*processes: str) -> TapeFamily:
+    family = TapeFamily()
+    for p in processes:
+        family.set_tape(p, DeterministicTape([True]))
+    return family
+
+
+class TestOracleLevelCheck:
+    def test_frugal_oracle_satisfies_its_own_bound(self):
+        oracle = FrugalOracle(k=2, tapes=_always("p"))
+        for name in ("a", "b", "c", "d"):
+            validated = oracle.get_token(GENESIS, Block(name, GENESIS_ID), process="p")
+            oracle.consume_token(validated, process="p")
+        result = check_fork_coherence_from_oracle(oracle)
+        assert result.holds
+        assert result.max_forks == 2
+
+    def test_prodigal_oracle_exceeds_small_bounds(self):
+        oracle = ProdigalOracle(tapes=_always("p"))
+        for i in range(5):
+            validated = oracle.get_token(GENESIS, Block(f"x{i}", GENESIS_ID), process="p")
+            oracle.consume_token(validated, process="p")
+        assert check_fork_coherence_from_oracle(oracle).holds  # bound = ∞
+        tighter = check_fork_coherence_from_oracle(oracle, k=2)
+        assert not tighter.holds
+        assert tighter.max_forks == 5
+        assert tighter.violations
+
+    def test_empty_oracle_trivially_holds(self):
+        assert check_fork_coherence_from_oracle(FrugalOracle(k=1)).holds
+
+
+class TestHistoryLevelCheck:
+    def _history_with_appends(self, blocks):
+        rec = HistoryRecorder()
+        for process, block, success in blocks:
+            rec.complete(process, "append", block, success)
+        return rec.history()
+
+    def test_history_within_bound(self):
+        history = self._history_with_appends(
+            [
+                ("p", Block("a", GENESIS_ID, token="tkn_b0"), True),
+                ("q", Block("b", "a", token="tkn_a"), True),
+            ]
+        )
+        assert check_fork_coherence_from_history(history, k=1).holds
+
+    def test_history_exceeding_bound(self):
+        history = self._history_with_appends(
+            [
+                ("p", Block("a", GENESIS_ID, token="tkn_b0"), True),
+                ("q", Block("b", GENESIS_ID, token="tkn_b0"), True),
+            ]
+        )
+        result = check_fork_coherence_from_history(history, k=1)
+        assert not result.holds
+        assert result.per_token["tkn_b0"] == 2
+
+    def test_failed_appends_do_not_count(self):
+        history = self._history_with_appends(
+            [
+                ("p", Block("a", GENESIS_ID, token="tkn_b0"), True),
+                ("q", Block("b", GENESIS_ID, token="tkn_b0"), False),
+            ]
+        )
+        assert check_fork_coherence_from_history(history, k=1).holds
+
+    def test_blocks_without_token_group_by_parent(self):
+        history = self._history_with_appends(
+            [
+                ("p", Block("a", GENESIS_ID), True),
+                ("q", Block("b", GENESIS_ID), True),
+            ]
+        )
+        result = check_fork_coherence_from_history(history, k=1)
+        assert not result.holds
+        assert result.per_token[f"parent:{GENESIS_ID}"] == 2
+
+    def test_result_bool_and_max_forks(self):
+        history = self._history_with_appends(
+            [("p", Block("a", GENESIS_ID, token="t"), True)]
+        )
+        result = check_fork_coherence_from_history(history, k=3)
+        assert bool(result)
+        assert result.max_forks == 1

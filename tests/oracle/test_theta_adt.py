@@ -1,0 +1,104 @@
+"""Unit tests for the pure transducer view of the oracles (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adt import Operation, is_sequential_history, replay
+from repro.oracle.theta_adt import ConsumeToken, GetToken, ProdigalADT, ThetaADT
+
+
+def _get(parent: str, obj: str, process: str = "p") -> Operation:
+    return Operation.invocation("getToken", GetToken(parent, obj, process))
+
+
+def _get_out(parent: str, obj: str, output, process: str = "p") -> Operation:
+    return Operation.with_output("getToken", GetToken(parent, obj, process), output)
+
+
+def _consume_out(parent: str, obj: str, output) -> Operation:
+    return Operation.with_output("consumeToken", ConsumeToken(parent, obj), output)
+
+
+class TestConstruction:
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            ThetaADT(k=0)
+
+    def test_initial_state_has_empty_buckets(self):
+        state = ThetaADT(k=1, tapes={"p": (True,)}).initial_state()
+        assert state.bucket("b0") == frozenset()
+        assert state.tape_head("p") is True
+        assert state.tape_head("stranger") is False
+
+
+class TestFigure6Path:
+    def test_figure6_word_is_a_sequential_history(self):
+        # Figure 6: a failed draw (⊥), then a granted token, then a consume
+        # that stores the validated object and returns the singleton set.
+        adt = ThetaADT(k=1, tapes={"p": (False, True)})
+        word = [
+            _get_out("obj1", "objk", None),
+            _get_out("obj1", "objk", "objk^tkn_obj1"),
+            _consume_out("obj1", "objk", frozenset({"objk"})),
+        ]
+        assert is_sequential_history(adt, word)
+
+    def test_wrong_get_token_output_rejected(self):
+        adt = ThetaADT(k=1, tapes={"p": (False,)})
+        word = [_get_out("obj1", "objk", "objk^tkn_obj1")]  # tape says ⊥
+        assert not is_sequential_history(adt, word)
+
+    def test_consume_beyond_k_keeps_bucket_and_output(self):
+        adt = ThetaADT(k=1, tapes={"p": (True, True)})
+        word = [
+            _get_out("b0", "x", "x^tkn_b0"),
+            _consume_out("b0", "x", frozenset({"x"})),
+            _get_out("b0", "y", "y^tkn_b0"),
+            _consume_out("b0", "y", frozenset({"x"})),  # y is rejected, K unchanged
+        ]
+        states = replay(adt, word)
+        assert states[-1].bucket("b0") == frozenset({"x"})
+
+    def test_prodigal_accepts_unboundedly(self):
+        adt = ProdigalADT(tapes={"p": tuple([True] * 5)})
+        word = []
+        expected = set()
+        for i in range(5):
+            name = f"blk{i}"
+            expected.add(name)
+            word.append(_get_out("b0", name, f"{name}^tkn_b0"))
+            word.append(_consume_out("b0", name, frozenset(expected)))
+        assert is_sequential_history(adt, word)
+
+
+class TestTransitions:
+    def test_get_token_pops_the_tape(self):
+        adt = ThetaADT(k=1, tapes={"p": (True, False)})
+        state = adt.initial_state()
+        state = adt.transition(state, _get("b0", "x").symbol)
+        assert state.tape_head("p") is False
+        state = adt.transition(state, _get("b0", "x").symbol)
+        assert state.tape_head("p") is False  # exhausted tape stays at ⊥
+
+    def test_transitions_do_not_mutate_previous_states(self):
+        adt = ThetaADT(k=2, tapes={"p": (True,)})
+        initial = adt.initial_state()
+        consumed = adt.transition(initial, Operation.invocation(
+            "consumeToken", ConsumeToken("b0", "x")).symbol)
+        assert initial.bucket("b0") == frozenset()
+        assert consumed.bucket("b0") == frozenset({"x"})
+
+    def test_unknown_symbol_rejected(self):
+        adt = ThetaADT(k=1)
+        with pytest.raises(ValueError):
+            adt.output(adt.initial_state(), Operation.invocation("mine", None).symbol)
+        with pytest.raises(ValueError):
+            adt.transition(adt.initial_state(), Operation.invocation("mine", None).symbol)
+
+    def test_argument_types_are_checked(self):
+        adt = ThetaADT(k=1)
+        with pytest.raises(TypeError):
+            adt.output(adt.initial_state(), Operation.invocation("getToken", "bad").symbol)
+        with pytest.raises(TypeError):
+            adt.output(adt.initial_state(), Operation.invocation("consumeToken", "bad").symbol)

@@ -1,0 +1,69 @@
+"""Property-based tests on the consistency criteria and their relationships."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consistency import (
+    check_eventual_consistency,
+    check_strong_consistency,
+)
+from repro.workload.scenarios import generate_chain_history, generate_forked_history
+
+
+class TestTheorem31Property:
+    """Theorem 3.1: every SC history is an EC history (H_SC ⊂ H_EC)."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_processes=st.integers(min_value=1, max_value=4),
+        chain_length=st.integers(min_value=1, max_value=12),
+        reads=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sc_histories_are_ec(self, seed, n_processes, chain_length, reads):
+        history = generate_chain_history(
+            n_processes=n_processes,
+            chain_length=chain_length,
+            reads_per_process=reads,
+            seed=seed,
+        )
+        assert check_strong_consistency(history).holds
+        assert check_eventual_consistency(history).holds
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        branch_length=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_resolved_forks_are_ec_but_not_sc(self, seed, branch_length):
+        history = generate_forked_history(
+            branch_length=branch_length, resolve=True, seed=seed
+        )
+        assert not check_strong_consistency(history).holds
+        assert check_eventual_consistency(history).holds
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        branch_length=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unresolved_forks_satisfy_neither(self, seed, branch_length):
+        history = generate_forked_history(
+            branch_length=branch_length, resolve=False, seed=seed
+        )
+        assert not check_strong_consistency(history).holds
+        assert not check_eventual_consistency(history).holds
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_ec_never_holds_when_sc_holds_and_ec_fails(self, seed):
+        # Contrapositive sanity check of the inclusion on random histories:
+        # there must be no history where SC holds but EC fails.
+        for resolve in (True, False):
+            history = generate_forked_history(branch_length=3, resolve=resolve, seed=seed)
+            if check_strong_consistency(history).holds:
+                assert check_eventual_consistency(history).holds
+        chain_history = generate_chain_history(seed=seed)
+        if check_strong_consistency(chain_history).holds:
+            assert check_eventual_consistency(chain_history).holds

@@ -1,0 +1,91 @@
+"""Property-based tests on the token oracles (k-fork coherence, inclusion)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.block import GENESIS, GENESIS_ID, Block
+from repro.oracle.fork_coherence import check_fork_coherence_from_oracle
+from repro.oracle.tape import DeterministicTape, TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle
+
+
+def _oracle(k, granting=True):
+    family = TapeFamily()
+    family.set_tape("p", DeterministicTape([granting]))
+    if k is None:
+        return ProdigalOracle(tapes=family)
+    return FrugalOracle(k=k, tapes=family)
+
+
+@st.composite
+def consume_workloads(draw):
+    """A random sequence of (parent index, block name) consume attempts."""
+    n_parents = draw(st.integers(min_value=1, max_value=4))
+    n_attempts = draw(st.integers(min_value=0, max_value=30))
+    attempts = [
+        (draw(st.integers(min_value=0, max_value=n_parents - 1)), f"blk{i}")
+        for i in range(n_attempts)
+    ]
+    return n_parents, attempts
+
+
+class TestForkCoherenceProperty:
+    """Theorem 3.2: Θ_F(k) never consumes more than k tokens per parent."""
+
+    @given(k=st.integers(min_value=1, max_value=5), workload=consume_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_frugal_oracle_respects_k(self, k, workload):
+        n_parents, attempts = workload
+        oracle = _oracle(k)
+        parents = [GENESIS_ID] + [f"parent{i}" for i in range(1, n_parents)]
+        for parent_index, name in attempts:
+            parent = parents[parent_index]
+            validated = oracle.get_token(parent, Block(name, GENESIS_ID, creator="p"), process="p")
+            assert validated is not None
+            oracle.consume_token(validated, process="p")
+        result = check_fork_coherence_from_oracle(oracle)
+        assert result.holds
+        assert result.max_forks <= k
+
+    @given(workload=consume_workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_prodigal_consumes_everything(self, workload):
+        n_parents, attempts = workload
+        oracle = _oracle(None)
+        parents = [GENESIS_ID] + [f"parent{i}" for i in range(1, n_parents)]
+        for parent_index, name in attempts:
+            parent = parents[parent_index]
+            validated = oracle.get_token(parent, Block(name, GENESIS_ID, creator="p"), process="p")
+            oracle.consume_token(validated, process="p")
+        assert sum(oracle.consumed_counts().values()) == len(attempts)
+
+    @given(
+        k1=st.integers(min_value=1, max_value=4),
+        k2=st.integers(min_value=1, max_value=4),
+        workload=consume_workloads(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_consumed_sets_nest_with_k(self, k1, k2, workload):
+        """Theorems 3.3/3.4: the same workload consumes nested block sets."""
+        if k1 > k2:
+            k1, k2 = k2, k1
+        n_parents, attempts = workload
+        parents = [GENESIS_ID] + [f"parent{i}" for i in range(1, n_parents)]
+
+        def run(k):
+            oracle = _oracle(k)
+            for parent_index, name in attempts:
+                parent = parents[parent_index]
+                validated = oracle.get_token(
+                    parent, Block(name, GENESIS_ID, creator="p"), process="p"
+                )
+                oracle.consume_token(validated, process="p")
+            return {
+                parent: {b.block_id for b in oracle.consumed_for(parent)}
+                for parent in parents
+            }
+
+        smaller, larger, prodigal = run(k1), run(k2), run(None)
+        for parent in parents:
+            assert smaller[parent] <= larger[parent] <= prodigal[parent]

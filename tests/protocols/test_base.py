@@ -1,0 +1,112 @@
+"""Unit tests for the replica framework and run harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import GENESIS_ID, Block
+from repro.core.history import EventKind
+from repro.network.channels import SynchronousChannel
+from repro.network.simulator import Network, Simulator
+from repro.oracle.tape import DeterministicTape, TapeFamily
+from repro.oracle.theta import ProdigalOracle
+from repro.protocols.base import BlockchainReplica, ReplicaConfig, RunResult, run_protocol
+from repro.oracle.theta import ValidatedBlock
+
+
+def _attached_replica(read_interval: float = 0.0) -> tuple[Network, BlockchainReplica]:
+    network = Network(Simulator(), SynchronousChannel(seed=1))
+    oracle = ProdigalOracle(tapes=TapeFamily())
+    replica = BlockchainReplica("p0", oracle, ReplicaConfig(read_interval=read_interval))
+    network.register(replica)
+    return network, replica
+
+
+class TestReplicaBasics:
+    def test_local_read_records_event_and_returns_chain(self):
+        network, replica = _attached_replica()
+        chain = replica.local_read()
+        assert chain.ids == (GENESIS_ID,)
+        assert len(network.history().read_responses("p0")) == 1
+
+    def test_make_candidate_extends_current_tip(self):
+        _, replica = _attached_replica()
+        candidate = replica.make_candidate(payload=("tx1",))
+        assert candidate.parent_id == GENESIS_ID
+        assert candidate.creator == "p0"
+
+    def test_commit_local_block_updates_tree_and_records_events(self):
+        network, replica = _attached_replica()
+        block = replica.make_candidate()
+        validated = ValidatedBlock(block=block.with_token("tkn_b0"), token="tkn_b0", parent_id=GENESIS_ID)
+        assert replica.commit_local_block(validated)
+        history = network.history()
+        assert len(history.append_responses("p0", successful_only=True)) == 1
+        assert len(history.replication_events(EventKind.UPDATE)) == 1
+        assert len(history.replication_events(EventKind.SEND)) == 1
+        assert replica.blocks_created == 1
+
+    def test_adopt_block_with_known_parent(self):
+        network, replica = _attached_replica()
+        foreign = Block("f1", GENESIS_ID, creator="p9")
+        assert replica.adopt_block(foreign)
+        assert replica.blocks_adopted == 1
+        assert len(network.history().replication_events(EventKind.UPDATE)) == 1
+
+    def test_adopt_block_twice_is_noop(self):
+        _, replica = _attached_replica()
+        foreign = Block("f1", GENESIS_ID, creator="p9")
+        assert replica.adopt_block(foreign)
+        assert not replica.adopt_block(foreign)
+
+    def test_orphans_are_buffered_until_parent_arrives(self):
+        _, replica = _attached_replica()
+        child = Block("child", "parent", creator="p9")
+        parent = Block("parent", GENESIS_ID, creator="p9")
+        assert not replica.adopt_block(child)  # parked
+        assert replica.adopt_block(parent)
+        assert "child" in replica.tree  # flushed automatically
+
+    def test_periodic_reads_follow_interval(self):
+        network, replica = _attached_replica(read_interval=2.0)
+        network.start()
+        network.simulator.run(until=7.0)
+        assert len(network.history().read_responses("p0")) == 3
+
+    def test_stop_production_halts_periodic_reads(self):
+        network, replica = _attached_replica(read_interval=2.0)
+        network.start()
+        network.simulator.run(until=3.0)
+        replica.stop_production()
+        network.simulator.run(until=20.0)
+        assert len(network.history().read_responses("p0")) == 1
+
+
+class TestRunHarness:
+    def _factory(self, pid, oracle, network):  # noqa: ARG002
+        return BlockchainReplica(pid, oracle, ReplicaConfig(read_interval=5.0))
+
+    def test_run_protocol_produces_history_and_final_reads(self):
+        oracle = ProdigalOracle(tapes=TapeFamily())
+        result = run_protocol("noop", self._factory, oracle, n=3, duration=20.0)
+        assert isinstance(result, RunResult)
+        assert len(result.replicas) == 3
+        # Periodic reads plus one final read per replica.
+        assert len(result.history.read_responses()) >= 3
+        assert set(result.final_chains()) == {"p0", "p1", "p2"}
+
+    def test_run_without_final_reads(self):
+        oracle = ProdigalOracle(tapes=TapeFamily())
+        result = run_protocol(
+            "noop", self._factory, oracle, n=2, duration=10.0, final_reads=False
+        )
+        reads_per_process = {
+            pid: len(result.history.read_responses(pid)) for pid in result.replicas
+        }
+        assert all(count == 2 for count in reads_per_process.values())
+
+    def test_correct_replicas_and_creator_map(self):
+        oracle = ProdigalOracle(tapes=TapeFamily())
+        result = run_protocol("noop", self._factory, oracle, n=2, duration=5.0)
+        assert set(result.correct_replicas) == {"p0", "p1"}
+        assert result.block_creators() == {}  # nobody mined anything

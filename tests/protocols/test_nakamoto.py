@@ -1,0 +1,83 @@
+"""Unit tests for the Bitcoin / Nakamoto proof-of-work model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.consistency import check_eventual_consistency
+from repro.core.selection import LongestChain
+from repro.network.channels import LossyChannel, SynchronousChannel
+from repro.network.update_agreement import check_update_agreement
+from repro.oracle.fork_coherence import check_fork_coherence_from_oracle
+from repro.protocols.nakamoto import run_bitcoin
+from repro.workload.merit import zipf_merit
+
+
+@pytest.fixture(scope="module")
+def bitcoin_run():
+    """A moderately fork-prone Bitcoin run shared by the read-only tests."""
+    return run_bitcoin(n=5, duration=150.0, token_rate=0.3, seed=11,
+                       channel=SynchronousChannel(delta=2.0, seed=11))
+
+
+class TestBitcoinRun:
+    def test_blocks_are_produced(self, bitcoin_run):
+        assert sum(r.blocks_created for r in bitcoin_run.replicas.values()) > 5
+
+    def test_oracle_is_prodigal(self, bitcoin_run):
+        assert bitcoin_run.oracle.k == math.inf
+        assert check_fork_coherence_from_oracle(bitcoin_run.oracle).holds
+
+    def test_replicas_converge_after_drain(self, bitcoin_run):
+        views = bitcoin_run.final_chains()
+        tips = {chain.tip.block_id for chain in views.values()}
+        assert len(tips) == 1
+
+    def test_history_satisfies_eventual_consistency(self, bitcoin_run):
+        history = bitcoin_run.history.without_failed_appends()
+        assert check_eventual_consistency(history).holds
+
+    def test_update_agreement_holds_under_reliable_channels(self, bitcoin_run):
+        result = check_update_agreement(
+            bitcoin_run.history,
+            processes=bitcoin_run.correct_replicas,
+            block_creators=bitcoin_run.block_creators(),
+        )
+        assert result.holds
+
+    def test_read_workload_recorded(self, bitcoin_run):
+        assert len(bitcoin_run.history.read_responses()) >= len(bitcoin_run.replicas)
+
+
+class TestBitcoinVariants:
+    def test_merit_concentration_skews_block_production(self):
+        merit = zipf_merit(4, exponent=2.0)
+        run = run_bitcoin(n=4, duration=150.0, token_rate=0.4, merit=merit, seed=5)
+        created = {pid: r.blocks_created for pid, r in run.replicas.items()}
+        # The highest-merit process (p0) should out-produce the weakest (p3).
+        assert created["p0"] >= created["p3"]
+
+    def test_longest_chain_selection_can_be_configured(self):
+        run = run_bitcoin(n=3, duration=60.0, token_rate=0.3, selection=LongestChain(), seed=2)
+        assert all(
+            isinstance(r.config.selection, LongestChain) for r in run.replicas.values()
+        )
+
+    def test_lossy_channel_breaks_convergence(self):
+        lossy = LossyChannel(SynchronousChannel(delta=1.0, seed=3), 0.9, seed=3)
+        run = run_bitcoin(
+            n=4, duration=150.0, token_rate=0.4, seed=3, channel=lossy, use_lrc=False
+        )
+        result = check_update_agreement(
+            run.history,
+            processes=run.correct_replicas,
+            block_creators=run.block_creators(),
+        )
+        # With 90% loss and no relay, some update never reaches someone.
+        assert not result.r3_holds
+
+    def test_invalid_mining_interval_rejected(self):
+        with pytest.raises(ValueError):
+            run_bitcoin(n=2, duration=10.0, mining_interval=0.0)

@@ -1,0 +1,106 @@
+"""Tests for the five strongly consistent system models of Table 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import check_strong_consistency
+from repro.oracle.fork_coherence import check_fork_coherence_from_oracle
+from repro.protocols.algorand import default_stake, run_algorand
+from repro.protocols.byzcoin import run_byzcoin
+from repro.protocols.hyperledger import run_hyperledger
+from repro.protocols.peercensus import run_peercensus
+from repro.protocols.redbelly import run_redbelly
+
+RUNNERS = {
+    "byzcoin": run_byzcoin,
+    "algorand": run_algorand,
+    "peercensus": run_peercensus,
+    "redbelly": run_redbelly,
+    "hyperledger": run_hyperledger,
+}
+
+
+@pytest.fixture(scope="module")
+def system_runs():
+    """One modest run per system, shared by the read-only assertions."""
+    return {name: runner(n=5, duration=80.0, seed=13) for name, runner in RUNNERS.items()}
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+class TestStrongSystems:
+    def test_run_produces_blocks(self, system_runs, name):
+        run = system_runs[name]
+        total = sum(r.blocks_committed for r in run.replicas.values())
+        assert total > 0
+
+    def test_oracle_is_frugal_k1_and_fork_coherent(self, system_runs, name):
+        run = system_runs[name]
+        assert run.oracle.k == 1
+        assert check_fork_coherence_from_oracle(run.oracle).holds
+
+    def test_history_is_strongly_consistent(self, system_runs, name):
+        run = system_runs[name]
+        assert check_strong_consistency(run.history.without_failed_appends()).holds
+
+    def test_replicas_agree_on_a_single_chain(self, system_runs, name):
+        run = system_runs[name]
+        views = run.final_chains()
+        reference = next(iter(views.values()))
+        for view in views.values():
+            assert view.is_prefix_of(reference) or reference.is_prefix_of(view)
+
+    def test_trees_are_fork_free(self, system_runs, name):
+        run = system_runs[name]
+        for replica in run.replicas.values():
+            assert replica.tree.max_fork_degree() <= 1
+
+
+class TestSystemSpecifics:
+    def test_hyperledger_blocks_come_from_the_orderer(self, system_runs):
+        run = system_runs["hyperledger"]
+        creators = {
+            b.creator
+            for r in run.replicas.values()
+            for b in r.tree
+            if not b.is_genesis
+        }
+        assert creators == {"p0"}
+
+    def test_redbelly_writers_are_a_strict_subset(self, system_runs):
+        run = system_runs["redbelly"]
+        creators = {
+            b.creator
+            for r in run.replicas.values()
+            for b in r.tree
+            if not b.is_genesis
+        }
+        assert creators and creators < set(run.replicas)
+
+    def test_algorand_default_stake_is_normalized_and_skewed(self):
+        stake = default_stake(5)
+        merits = [stake.merit_of(f"p{i}") for i in range(5)]
+        assert sum(merits) == pytest.approx(1.0)
+        assert merits[4] > merits[0]
+
+    def test_byzcoin_and_peercensus_rotate_proposers(self, system_runs):
+        # PoW-lottery proposers: over a run, more than one process creates blocks.
+        for name in ("byzcoin", "peercensus"):
+            run = system_runs[name]
+            creators = {
+                b.creator
+                for r in run.replicas.values()
+                for b in r.tree
+                if not b.is_genesis
+            }
+            assert len(creators) >= 2
+
+    def test_hyperledger_payloads_respect_block_size(self, system_runs):
+        run = system_runs["hyperledger"]
+        sizes = {
+            len(b.payload)
+            for r in run.replicas.values()
+            for b in r.tree
+            if not b.is_genesis
+        }
+        assert sizes == {6}

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+        assert args.replicas == 5
+
+    def test_classify_requires_known_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "dogecoin"])
+
+
+class TestCommands:
+    def test_hierarchy_command(self, capsys):
+        assert main(["hierarchy"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "IMPOSSIBLE" in out
+        assert "R(BT-ADT_SC, Θ_F,k=1)" in out
+
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 4" in out
+        assert "MISMATCH" not in out
+
+    def test_classify_command_hyperledger(self, capsys):
+        assert main([
+            "classify", "hyperledger", "--replicas", "4", "--duration", "60", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "R(BT-ADT_SC, Θ_F,k=1)" in out
+        assert "fairness" in out
+
+    def test_classify_command_bitcoin_fork_prone(self, capsys):
+        assert main([
+            "classify", "bitcoin", "--replicas", "4", "--duration", "80",
+            "--seed", "3", "--fork-prone",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "R(BT-ADT_EC, Θ_P)" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--replicas", "4", "--duration", "60", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        for system in ("bitcoin", "ethereum", "hyperledger", "redbelly"):
+            assert system in out

@@ -1,0 +1,71 @@
+"""Unit tests for transaction streams and client workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.transactions import ClientWorkload, Transaction, TransactionGenerator
+
+
+class TestTransactionGenerator:
+    def test_ids_are_unique(self):
+        gen = TransactionGenerator(seed=1)
+        txs = [gen.next_transaction("alice") for _ in range(50)]
+        assert len({t.tx_id for t in txs}) == 50
+
+    def test_no_conflicts_by_default(self):
+        gen = TransactionGenerator(seed=1)
+        spends = [s for _ in range(100) for s in gen.next_transaction("a").spends]
+        assert len(spends) == len(set(spends))
+
+    def test_conflict_rate_produces_double_spends(self):
+        gen = TransactionGenerator(seed=2, conflict_rate=0.5)
+        spends = [s for _ in range(300) for s in gen.next_transaction("a").spends]
+        assert len(spends) > len(set(spends))
+
+    def test_invalid_conflict_rate(self):
+        with pytest.raises(ValueError):
+            TransactionGenerator(conflict_rate=1.5)
+
+    def test_batch_and_payload_sizes(self):
+        gen = TransactionGenerator(seed=3)
+        assert len(gen.batch("a", 4)) == 4
+        assert len(gen.payload("a", 5)) == 5
+        assert gen.payload("a", 0) == ()
+        with pytest.raises(ValueError):
+            gen.batch("a", -1)
+
+    def test_determinism_given_seed(self):
+        a = TransactionGenerator(seed=9).payload("x", 10)
+        b = TransactionGenerator(seed=9).payload("x", 10)
+        assert a == b
+
+    def test_transaction_dataclass(self):
+        tx = Transaction("tx1", "alice", spends=("coin1",))
+        assert str(tx) == "tx1"
+        assert tx.spends == ("coin1",)
+
+
+class TestClientWorkload:
+    def test_arrivals_scale_with_interval(self):
+        workload = ClientWorkload(rate_per_time_unit=2.0, seed=1)
+        total = sum(workload.arrivals_between(t, t + 1.0) for t in range(100))
+        assert 150 <= total <= 250
+
+    def test_zero_rate_produces_nothing(self):
+        workload = ClientWorkload(rate_per_time_unit=0.0)
+        assert workload.arrivals_between(0.0, 100.0) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ClientWorkload(rate_per_time_unit=-1.0)
+
+    def test_reversed_interval_rejected(self):
+        workload = ClientWorkload()
+        with pytest.raises(ValueError):
+            workload.arrivals_between(5.0, 1.0)
+
+    def test_carry_preserves_fractional_arrivals(self):
+        workload = ClientWorkload(rate_per_time_unit=0.25, seed=4)
+        total = sum(workload.arrivals_between(t, t + 1.0) for t in range(40))
+        assert total >= 5
