@@ -5,6 +5,10 @@ prefix the replicas' final views share, as a function of the drop rate and
 of the channel synchrony (synchronous vs partially synchronous), in a
 Bitcoin-style run without the LRC relay.
 
+The loss and synchrony axes are expressed declaratively on the
+:class:`ExperimentSpec` channel (``drop_probability`` wraps the base model
+in a ``LossyChannel``), so each cell is reproducible from its JSON form.
+
 Expected shape: with no loss the views agree fully (agreement ratio 1,
 zero divergence); as the drop rate rises the common prefix shrinks and
 the agreement ratio falls; partial synchrony alone (no loss) does not
@@ -13,40 +17,46 @@ prevent convergence once the run drains.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.analysis.convergence import convergence_summary
 from repro.analysis.report import render_table
-from repro.network.channels import (
-    LossyChannel,
-    PartiallySynchronousChannel,
-    SynchronousChannel,
-)
-from repro.protocols.nakamoto import run_bitcoin
+from repro.engine import ChannelSpec, ExperimentSpec, SweepRunner, WorkloadSpec
 
 DROPS = (0.0, 0.3, 0.7, 0.95)
 
 
-def _summary(drop: float, partial_sync: bool = False, seed: int = 101):
-    base = (
-        PartiallySynchronousChannel(gst=40.0, delta=1.0, pre_gst_mean=4.0, seed=seed)
+def _spec(drop: float, partial_sync: bool = False, seed: int = 101) -> ExperimentSpec:
+    channel = (
+        ChannelSpec(
+            kind="partial",
+            params={"gst": 40.0, "delta": 1.0, "pre_gst_mean": 4.0},
+            drop_probability=drop,
+        )
         if partial_sync
-        else SynchronousChannel(delta=1.0, seed=seed)
+        else ChannelSpec(kind="synchronous", params={"delta": 1.0}, drop_probability=drop)
     )
-    channel = LossyChannel(base, drop, seed=seed) if drop > 0 else base
-    run = run_bitcoin(
-        n=5, duration=150.0, token_rate=0.3, seed=seed, channel=channel, use_lrc=False
+    return ExperimentSpec(
+        protocol="bitcoin",
+        replicas=5,
+        duration=150.0,
+        seed=seed,
+        channel=channel,
+        workload=WorkloadSpec(use_lrc=False),
+        params={"token_rate": 0.3},
+        label=f"drop={drop} partial={partial_sync}",
     )
-    return convergence_summary(run.final_chains())
+
+
+def _summary(drop: float, partial_sync: bool = False, seed: int = 101):
+    return _spec(drop, partial_sync, seed).execute().convergence
 
 
 def test_drop_rate_sweep_shrinks_the_common_prefix(once):
     def sweep():
-        return {drop: _summary(drop) for drop in DROPS}
+        records = SweepRunner(jobs=1).run([_spec(drop) for drop in DROPS])
+        return {drop: record.convergence for drop, record in zip(DROPS, records)}
 
     summaries = once(sweep)
     rows = [
-        [drop, s.common_prefix_score, round(s.agreement_ratio, 2), s.max_divergence]
+        [drop, s["common_prefix_score"], round(s["agreement_ratio"], 2), s["max_divergence"]]
         for drop, s in summaries.items()
     ]
     print()
@@ -56,17 +66,17 @@ def test_drop_rate_sweep_shrinks_the_common_prefix(once):
         title="Ablation A2 — convergence vs message loss",
     ))
     no_loss = summaries[0.0]
-    assert no_loss.agreement_ratio == 1.0
-    assert no_loss.max_divergence == 0.0
+    assert no_loss["agreement_ratio"] == 1.0
+    assert no_loss["max_divergence"] == 0.0
     heavy_loss = summaries[DROPS[-1]]
     # Heavy loss leaves the replicas behind the most advanced view.
-    assert heavy_loss.max_divergence > 0 or heavy_loss.agreement_ratio < 1.0
+    assert heavy_loss["max_divergence"] > 0 or heavy_loss["agreement_ratio"] < 1.0
     # Shape: the common prefix never grows as loss increases.
-    prefixes = [summaries[d].common_prefix_score for d in DROPS]
+    prefixes = [summaries[d]["common_prefix_score"] for d in DROPS]
     assert prefixes[0] >= prefixes[-1]
 
 
 def test_partial_synchrony_alone_still_converges(once):
     summary = once(_summary, 0.0, True, 103)
-    assert summary.agreement_ratio == 1.0
-    assert summary.max_divergence == 0.0
+    assert summary["agreement_ratio"] == 1.0
+    assert summary["max_divergence"] == 0.0

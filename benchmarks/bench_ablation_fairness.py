@@ -3,7 +3,10 @@
 The paper leaves fairness as an open hook on the merit parameter; this
 ablation instantiates it: sweep the Zipf exponent of the miners' merit
 distribution in a Bitcoin-style run and measure each miner's share of the
-blocks it contributed to the tree, relative to its merit.
+blocks it contributed to the tree, relative to its merit.  The merit
+distribution is part of the :class:`ExperimentSpec` workload, so the
+engine both drives the run with it and evaluates the fairness report
+against it.
 
 Expected shape: with uniform merit every miner's share/merit ratio is
 close to 1; as the skew grows the small miners' *absolute* share shrinks
@@ -16,29 +19,34 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.fairness import fairness_report
 from repro.analysis.report import render_table
-from repro.network.channels import SynchronousChannel
-from repro.protocols.nakamoto import run_bitcoin
-from repro.workload.merit import uniform_merit, zipf_merit
+from repro.engine import ChannelSpec, ExperimentSpec, WorkloadSpec
 
 EXPONENTS = (0.0, 1.0, 2.0)
 
 
-def _fairness_for(exponent: float, seed: int = 131):
-    merit = uniform_merit(5) if exponent == 0.0 else zipf_merit(5, exponent=exponent)
-    run = run_bitcoin(
-        n=5,
-        duration=200.0,
-        token_rate=0.4,
-        seed=seed,
-        merit=merit,
-        channel=SynchronousChannel(delta=1.0, seed=seed),
+def _spec(exponent: float, seed: int = 131) -> ExperimentSpec:
+    workload = (
+        WorkloadSpec(merit="uniform")
+        if exponent == 0.0
+        else WorkloadSpec(merit="zipf", merit_exponent=exponent)
     )
+    return ExperimentSpec(
+        protocol="bitcoin",
+        replicas=5,
+        duration=200.0,
+        seed=seed,
+        channel=ChannelSpec(kind="synchronous", params={"delta": 1.0}),
+        workload=workload,
+        params={"token_rate": 0.4},
+        label=f"zipf={exponent}",
+    )
+
+
+def _fairness_for(exponent: float, seed: int = 131):
     # Fairness is evaluated on a converged replica's tree (they all agree
     # after the drain, so any replica is representative).
-    tree = next(iter(run.replicas.values())).tree
-    return fairness_report(tree, merit)
+    return _spec(exponent, seed).execute().fairness
 
 
 def test_fairness_vs_merit_skew(once):
@@ -47,8 +55,8 @@ def test_fairness_vs_merit_skew(once):
 
     reports = once(sweep)
     rows = [
-        [exponent, report.blocks_counted, round(report.worst_ratio, 2),
-         round(max(report.ratios.values()), 2)]
+        [exponent, report["blocks_counted"], round(report["worst_ratio"], 2),
+         round(max(report["ratios"].values()), 2)]
         for exponent, report in reports.items()
     ]
     print()
@@ -58,14 +66,14 @@ def test_fairness_vs_merit_skew(once):
         title="Ablation A5 — chain quality vs merit skew",
     ))
     for exponent, report in reports.items():
-        assert report.blocks_counted > 10
+        assert report["blocks_counted"] > 10
         # Proportionality: nobody is starved to less than a third of its
         # merit-entitled share, and nobody grabs more than 3x its share.
-        assert report.worst_ratio > 0.3, f"exponent {exponent}: {report.describe()}"
-        assert max(report.ratios.values()) < 3.0
+        assert report["worst_ratio"] > 0.3, f"exponent {exponent}: {report['describe']}"
+        assert max(report["ratios"].values()) < 3.0
 
 
 @pytest.mark.parametrize("exponent", EXPONENTS)
 def test_single_skew_configuration(once, exponent):
     report = once(_fairness_for, exponent, 132)
-    assert report.worst_ratio > 0.2
+    assert report["worst_ratio"] > 0.2

@@ -4,7 +4,8 @@ Fault-injection companion to the Section 4.2 failure model: sweeps the
 number of silent Byzantine members in a 7-member committee system and the
 number of crashed miners in a proof-of-work system, and records whether
 the *correct* replicas keep their consistency guarantee and keep making
-progress.
+progress.  Faults are part of the declarative :class:`ExperimentSpec`
+(``FaultSpec``), which routes the run to the registered fault runner.
 
 Expected shape: the committee system keeps Strong Consistency and keeps
 committing while f ≤ 2 (below the 2/3-quorum slack of n = 7) and halts —
@@ -19,14 +20,22 @@ import pytest
 
 from repro.analysis.report import render_table
 from repro.core.consistency import check_eventual_consistency, check_strong_consistency
-from repro.protocols.faults import run_bitcoin_with_crashes, run_committee_with_byzantine
+from repro.engine import ExperimentSpec, FaultSpec
 
 BYZANTINE_COUNTS = (0, 1, 2, 3)
 
 
 def _committee_with_f(f: int, seed: int = 121):
     byzantine = tuple(f"p{6 - i}" for i in range(f))
-    run = run_committee_with_byzantine(n=7, duration=120.0, seed=seed, byzantine=byzantine)
+    spec = ExperimentSpec(
+        protocol="committee",
+        replicas=7,
+        duration=120.0,
+        seed=seed,
+        fault=FaultSpec(kind="byzantine", byzantine=byzantine),
+        label=f"byzantine={f}",
+    )
+    run = spec.execute().run
     history = run.history.correct_restriction(run.correct_replicas).without_failed_appends()
     committed = sum(run.replicas[p].blocks_committed for p in run.correct_replicas)
     return check_strong_consistency(history).holds, committed
@@ -56,9 +65,16 @@ def test_crash_sweep_bitcoin(once):
         outcomes = {}
         for crashed in (0, 1, 2):
             crash_at = {f"p{4 - i}": 30.0 for i in range(crashed)}
-            run = run_bitcoin_with_crashes(
-                n=5, duration=120.0, token_rate=0.3, seed=122, crash_at=crash_at
+            spec = ExperimentSpec(
+                protocol="bitcoin",
+                replicas=5,
+                duration=120.0,
+                seed=122,
+                fault=FaultSpec(kind="crash", crash_at=crash_at),
+                params={"token_rate": 0.3},
+                label=f"crashed={crashed}",
             )
+            run = spec.execute().run
             history = run.history.correct_restriction(run.correct_replicas)
             ec = check_eventual_consistency(history.without_failed_appends()).holds
             blocks = sum(run.replicas[p].blocks_created for p in run.correct_replicas)

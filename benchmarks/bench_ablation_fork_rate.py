@@ -6,54 +6,53 @@ much wasted work) actually materialize as a function of (i) the frugal
 bound k used by the validation oracle and (ii) the network delay, in an
 otherwise identical proof-of-work-style run.
 
+Each cell is a declarative :class:`ExperimentSpec` executed through the
+engine's :class:`SweepRunner`, so the grid here is the same artifact a
+``python -m repro sweep`` invocation would produce.
+
 Expected shape: fork count grows with delay and with k, and k = 1
 eliminates forks entirely regardless of the delay.
 """
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
-from repro.analysis.forks import fork_statistics, merge_statistics
 from repro.analysis.report import render_table
-from repro.network.channels import SynchronousChannel
-from repro.oracle.tape import TapeFamily
-from repro.oracle.theta import FrugalOracle, ProdigalOracle
-from repro.protocols.nakamoto import run_bitcoin
+from repro.engine import ChannelSpec, ExperimentSpec, SweepRunner
 
 DELAYS = (1.0, 4.0)
 BOUNDS = (1, 2, None)  # None = prodigal
 
 
-def _oracle_for(bound, seed):
-    tapes = TapeFamily(seed=seed, probability_scale=0.4)
-    if bound is None:
-        return ProdigalOracle(tapes=tapes)
-    return FrugalOracle(k=bound, tapes=tapes)
+def _spec_for(bound, delay, seed=91):
+    return ExperimentSpec(
+        protocol="bitcoin",
+        replicas=4,
+        duration=150.0,
+        seed=seed,
+        channel=ChannelSpec(
+            kind="synchronous", params={"delta": delay, "min_delay": delay / 4}
+        ),
+        oracle_k=math.inf if bound is None else bound,
+        params={"token_rate": 0.4},
+        label=f"k={'inf' if bound is None else bound} delta={delay}",
+    )
 
 
 def _forks_for(bound, delay, seed=91):
-    run = run_bitcoin(
-        n=4,
-        duration=150.0,
-        token_rate=0.4,
-        seed=seed,
-        channel=SynchronousChannel(delta=delay, min_delay=delay / 4, seed=seed),
-        oracle=_oracle_for(bound, seed),
-    )
-    stats = merge_statistics(
-        {pid: fork_statistics(r.tree) for pid, r in run.replicas.items()}
-    )
-    return stats
+    return _spec_for(bound, delay, seed).execute().forks
 
 
 def test_fork_rate_sweep(once):
+    cells = [(bound, delay) for bound in BOUNDS for delay in DELAYS]
+
     def sweep():
-        table = {}
-        for bound in BOUNDS:
-            for delay in DELAYS:
-                table[(bound, delay)] = _forks_for(bound, delay)
-        return table
+        specs = [_spec_for(bound, delay) for bound, delay in cells]
+        records = SweepRunner(jobs=1).run(specs)
+        return {cell: record.forks for cell, record in zip(cells, records)}
 
     table = once(sweep)
     rows = [

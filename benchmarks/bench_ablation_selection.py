@@ -3,53 +3,59 @@
 The BT-ADT is parameterized by the selection function f; this ablation
 runs the same fork-prone proof-of-work workload under the longest-chain
 rule (Bitcoin) and under GHOST (Ethereum) and compares chain growth and
-wasted work.  Expected shape: both satisfy Eventual Consistency; in the
-high-fork regime GHOST never yields a *longer* main chain than the
-longest-chain rule (it deliberately trades chain length for subtree
-support), and both converge after the drain.
+wasted work.  Both runs are declared as :class:`ExperimentSpec` cells
+(the longest-chain variant via the ``selection`` spec parameter), so the
+comparison is reproducible from the specs alone.  Expected shape: both
+satisfy Eventual Consistency; in the high-fork regime GHOST never yields
+a *longer* main chain than the longest-chain rule (it deliberately trades
+chain length for subtree support), and both converge after the drain.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.convergence import convergence_summary
 from repro.analysis.forks import fork_statistics, merge_statistics
 from repro.analysis.report import render_table
 from repro.core.consistency import check_eventual_consistency
-from repro.core.selection import GHOSTSelection, LongestChain
-from repro.network.channels import SynchronousChannel
-from repro.protocols.ghost import run_ethereum
-from repro.protocols.nakamoto import run_bitcoin
+from repro.engine import ChannelSpec, ExperimentSpec
+
+
+def _spec(selection: str, seed: int = 111) -> ExperimentSpec:
+    channel = ChannelSpec(kind="synchronous", params={"delta": 3.0, "min_delay": 0.5})
+    if selection == "ghost":
+        return ExperimentSpec(
+            protocol="ethereum", replicas=5, duration=150.0, seed=seed,
+            channel=channel, params={"token_rate": 0.5}, label="selection=ghost",
+        )
+    return ExperimentSpec(
+        protocol="bitcoin", replicas=5, duration=150.0, seed=seed,
+        channel=channel, params={"token_rate": 0.5, "selection": "longest"},
+        label="selection=longest",
+    )
 
 
 def _run(selection: str, seed: int = 111):
-    channel = SynchronousChannel(delta=3.0, min_delay=0.5, seed=seed)
-    if selection == "ghost":
-        return run_ethereum(n=5, duration=150.0, token_rate=0.5, seed=seed, channel=channel)
-    return run_bitcoin(
-        n=5, duration=150.0, token_rate=0.5, seed=seed, channel=channel,
-        selection=LongestChain(),
-    )
+    return _spec(selection, seed).execute().run
 
 
 def test_selection_function_comparison(once):
     def compare():
         results = {}
         for name in ("longest", "ghost"):
-            run = _run(name)
+            record = _spec(name).execute()
+            run = record.run
             stats = merge_statistics(
                 {pid: fork_statistics(r.tree, r.config.selection) for pid, r in run.replicas.items()}
             )
-            summary = convergence_summary(run.final_chains())
             ec = check_eventual_consistency(run.history.without_failed_appends()).holds
-            results[name] = (stats, summary, ec)
+            results[name] = (stats, record.convergence, ec)
         return results
 
     results = once(compare)
     rows = [
         [name, round(stats["mean_blocks"], 1), round(stats["mean_wasted_ratio"], 3),
-         summary.common_prefix_score, ec]
+         summary["common_prefix_score"], ec]
         for name, (stats, summary, ec) in results.items()
     ]
     print()
@@ -61,11 +67,11 @@ def test_selection_function_comparison(once):
     # Both rules give eventually consistent, converged executions.
     for name, (stats, summary, ec) in results.items():
         assert ec, f"{name} run is not eventually consistent"
-        assert summary.agreement_ratio == 1.0
+        assert summary["agreement_ratio"] == 1.0
     # GHOST follows subtree support: its main chain is never longer than the
     # longest-chain rule's on the same workload shape.
     assert (
-        results["ghost"][1].max_score <= results["longest"][1].max_score + 1
+        results["ghost"][1]["max_score"] <= results["longest"][1]["max_score"] + 1
     )
 
 

@@ -3,8 +3,10 @@
 Runs every system model of Section 5 (Bitcoin, Ethereum, ByzCoin,
 Algorand, PeerCensus, Red Belly, Hyperledger Fabric), classifies the
 recorded history + oracle, and asserts the classification matches the
-paper's table row by row.  The rendered table is printed so the tee'd
-benchmark log contains the reproduced Table 1.
+paper's table row by row.  The rows are driven by the experiment engine:
+``reproduce_table1`` expands each system's registered ``table1`` regime
+into an :class:`ExperimentSpec` and executes it.  The rendered table is
+printed so the tee'd benchmark log contains the reproduced Table 1.
 """
 
 from __future__ import annotations
@@ -13,8 +15,8 @@ import pytest
 
 from repro.analysis.report import render_classification_table
 from repro.core.hierarchy import Consistency
+from repro.engine import ExperimentSpec, SweepRunner, table1_spec
 from repro.protocols.classification import PAPER_TABLE1, classify_run, reproduce_table1
-from repro.protocols.hyperledger import run_hyperledger
 
 
 def test_reproduce_table1_matches_paper(once):
@@ -37,7 +39,20 @@ def test_pow_and_consensus_systems_split_as_in_the_paper(once):
     assert sc_systems == {"byzcoin", "algorand", "peercensus", "redbelly", "hyperledger"}
 
 
+def test_table1_specs_round_trip_and_sweep(once):
+    """The engine path: specs survive JSON and classify identically in a sweep."""
+    specs = [
+        table1_spec(name, n=5, duration=100.0, seed=7)
+        for name in ("bitcoin", "hyperledger")
+    ]
+    specs = [ExperimentSpec.from_json(spec.to_json()) for spec in specs]
+    records = once(SweepRunner(jobs=1).run, specs)
+    assert [r.classification["matches_paper"] for r in records] == [True, True]
+    assert records[0].classification["label"] == "R(BT-ADT_EC, Θ_P)"
+    assert records[1].classification["label"] == "R(BT-ADT_SC, Θ_F,k=1)"
+
+
 def test_classification_cost_for_one_run(benchmark):
-    run = run_hyperledger(n=5, duration=80.0, seed=9)
+    run = ExperimentSpec(protocol="hyperledger", replicas=5, duration=80.0, seed=9).execute().run
     result = benchmark(classify_run, run)
     assert result.matches_paper is True

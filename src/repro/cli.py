@@ -9,50 +9,46 @@ writing any Python:
 * ``hierarchy`` — print the Figure 8 / Figure 14 hierarchies;
 * ``figures`` — check the Figure 2/3/4 example histories against both
   consistency criteria and print the verdicts;
-* ``fork-sweep`` — the fork-rate ablation (oracle bound × delay).
+* ``fork-sweep`` — the fork-rate ablation (oracle bound × delay);
+* ``sweep`` — expand a parameter grid into :class:`ExperimentSpec` cells,
+  fan them out across a process pool, and dump the results as JSON.
 
-Every command accepts ``--seed`` so results are reproducible, and prints
-plain text only (no plotting dependencies).
+Every command resolves system names through the protocol registry and
+routes runs through the experiment engine (:mod:`repro.engine`), so a
+system registered with ``@register_protocol`` is immediately available
+here.  Every command accepts ``--seed`` so results are reproducible, and
+prints plain text only (no plotting dependencies).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.convergence import convergence_summary
-from repro.analysis.fairness import fairness_report
-from repro.analysis.forks import fork_statistics, merge_statistics
 from repro.analysis.report import render_classification_table, render_table
 from repro.core.consistency import check_eventual_consistency, check_strong_consistency
 from repro.core.hierarchy import message_passing_hierarchy, refinement_hierarchy
-from repro.network.channels import SynchronousChannel
-from repro.protocols.algorand import run_algorand
-from repro.protocols.byzcoin import run_byzcoin
-from repro.protocols.classification import classify_run, reproduce_table1
-from repro.protocols.ghost import run_ethereum
-from repro.protocols.hyperledger import run_hyperledger
-from repro.protocols.nakamoto import run_bitcoin
-from repro.protocols.peercensus import run_peercensus
-from repro.protocols.redbelly import run_redbelly
-from repro.workload.merit import uniform_merit, zipf_merit
+from repro.engine import (
+    ChannelSpec,
+    ExperimentSpec,
+    SweepRunner,
+    available_protocols,
+    expand_grid,
+    get_protocol,
+    regime_spec,
+    results_payload,
+)
+from repro.protocols.classification import reproduce_table1
 from repro.workload.scenarios import figure2_history, figure3_history, figure4_history
 
 __all__ = ["main", "build_parser"]
 
-SYSTEMS: Dict[str, Callable[..., object]] = {
-    "bitcoin": run_bitcoin,
-    "ethereum": run_ethereum,
-    "byzcoin": run_byzcoin,
-    "algorand": run_algorand,
-    "peercensus": run_peercensus,
-    "redbelly": run_redbelly,
-    "hyperledger": run_hyperledger,
-}
-
 
 def build_parser() -> argparse.ArgumentParser:
+    systems = sorted(available_protocols())
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Executable reproduction of 'Blockchain Abstract Data Type' (SPAA 2019).",
@@ -65,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=7)
 
     classify = sub.add_parser("classify", help="run one system model and classify it")
-    classify.add_argument("system", choices=sorted(SYSTEMS))
+    classify.add_argument("system", choices=systems)
     classify.add_argument("--replicas", type=int, default=5)
     classify.add_argument("--duration", type=float, default=120.0)
     classify.add_argument("--seed", type=int, default=7)
@@ -79,12 +75,77 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figures", help="check the Figure 2/3/4 example histories")
 
-    sweep = sub.add_parser("fork-sweep", help="fork rate vs oracle bound and delay")
+    fork_sweep = sub.add_parser("fork-sweep", help="fork rate vs oracle bound and delay")
+    fork_sweep.add_argument("--replicas", type=int, default=5)
+    fork_sweep.add_argument("--duration", type=float, default=150.0)
+    fork_sweep.add_argument("--seed", type=int, default=5)
+    fork_sweep.add_argument("--jobs", type=int, default=1)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="grid sweep (seeds × delays × drops × replicas) through the engine",
+    )
+    sweep.add_argument("--protocol", required=True, choices=systems)
     sweep.add_argument("--replicas", type=int, default=5)
-    sweep.add_argument("--duration", type=float, default=150.0)
-    sweep.add_argument("--seed", type=int, default=5)
+    sweep.add_argument("--duration", type=float, default=100.0)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--seeds", default=None, help="seed axis, e.g. '0:8', '1,2,5' or '3'")
+    sweep.add_argument("--delays", default=None, help="channel delta axis, e.g. '1.0,2.0,4.0'")
+    sweep.add_argument("--drops", default=None, help="drop-probability axis, e.g. '0.0,0.3'")
+    sweep.add_argument("--replica-counts", default=None, help="replica-count axis, e.g. '4,6,8'")
+    sweep.add_argument("--token-rates", default=None, help="token-rate axis, e.g. '0.1,0.4'")
+    sweep.add_argument("--oracle-bounds", default=None, help="oracle bound axis, e.g. '1,2,inf'")
+    sweep.add_argument(
+        "--fork-prone",
+        action="store_true",
+        help="start from the protocol's fork-prone regime before applying axes",
+    )
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument("--out", default="sweep_results.json", help="JSON results path")
 
     return parser
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _parse_axis(text: Optional[str], cast: Callable[[str], Any]) -> Optional[List[Any]]:
+    """Parse ``'0:8'`` (range), ``'a,b,c'`` (list) or a single value."""
+    if text is None:
+        return None
+    text = text.strip()
+    try:
+        if ":" in text:
+            lo, hi = text.split(":", 1)
+            return [cast(str(v)) for v in range(int(lo), int(hi))]
+        return [cast(v) for v in text.split(",") if v != ""]
+    except ValueError:
+        raise SystemExit(
+            f"repro sweep: error: cannot parse axis value {text!r} "
+            "(expected 'lo:hi', 'a,b,c' or a single value)"
+        ) from None
+
+
+def _parse_bound(text: str) -> float:
+    if text.strip() in ("inf", "∞", "none", "None"):
+        return math.inf
+    return float(text)
+
+
+def _regime_spec(
+    system: str,
+    *,
+    replicas: int,
+    duration: float,
+    seed: int,
+    fork_prone: bool,
+) -> ExperimentSpec:
+    """Base spec for one system, optionally in its fork-prone regime."""
+    entry = get_protocol(system)
+    regime = entry.fork_prone if (fork_prone and entry.fork_prone) else {}
+    return regime_spec(system, regime, n=replicas, duration=duration, seed=seed)
 
 
 # ---------------------------------------------------------------------------
@@ -98,34 +159,25 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 
 
 def _cmd_classify(args: argparse.Namespace) -> str:
-    runner = SYSTEMS[args.system]
-    kwargs = {"n": args.replicas, "duration": args.duration, "seed": args.seed}
-    if args.system in ("bitcoin", "ethereum") and args.fork_prone:
-        kwargs["token_rate"] = 0.4
-        kwargs["channel"] = SynchronousChannel(delta=3.0, min_delay=0.5, seed=args.seed)
-    run = runner(**kwargs)
-
-    classification = classify_run(run)
-    forks = merge_statistics({pid: fork_statistics(r.tree) for pid, r in run.replicas.items()})
-    convergence = convergence_summary(run.final_chains())
-    merit = (
-        zipf_merit(args.replicas)
-        if args.system in ("byzcoin", "peercensus")
-        else uniform_merit(args.replicas)
+    spec = _regime_spec(
+        args.system,
+        replicas=args.replicas,
+        duration=args.duration,
+        seed=args.seed,
+        fork_prone=args.fork_prone,
     )
-    reference_tree = next(iter(run.replicas.values())).tree
-    fairness = fairness_report(reference_tree, merit)
+    record = spec.execute()
 
     lines = [
-        classification.describe(),
+        record.classification["describe"],
         "",
-        f"blocks/replica (mean): {forks['mean_blocks']:.1f}",
-        f"fork points/replica (mean): {forks['mean_forks']:.2f}",
-        f"wasted block ratio (mean): {forks['mean_wasted_ratio']:.3f}",
-        f"final common prefix score: {convergence.common_prefix_score}",
-        f"replica agreement ratio: {convergence.agreement_ratio:.2f}",
+        f"blocks/replica (mean): {record.forks['mean_blocks']:.1f}",
+        f"fork points/replica (mean): {record.forks['mean_forks']:.2f}",
+        f"wasted block ratio (mean): {record.forks['mean_wasted_ratio']:.3f}",
+        f"final common prefix score: {record.convergence['common_prefix_score']}",
+        f"replica agreement ratio: {record.convergence['agreement_ratio']:.2f}",
         "",
-        fairness.describe(),
+        record.fairness["describe"],
     ]
     return "\n".join(lines)
 
@@ -163,39 +215,94 @@ def _cmd_figures(_: argparse.Namespace) -> str:
 
 
 def _cmd_fork_sweep(args: argparse.Namespace) -> str:
-    from repro.oracle.tape import TapeFamily
-    from repro.oracle.theta import FrugalOracle, ProdigalOracle
-
-    rows = []
-    for bound in (1, 2, None):
-        for delta in (1.0, 2.0, 4.0):
-            tapes = TapeFamily(seed=args.seed, probability_scale=0.4)
-            oracle = ProdigalOracle(tapes=tapes) if bound is None else FrugalOracle(k=bound, tapes=tapes)
-            run = run_bitcoin(
-                n=args.replicas,
-                duration=args.duration,
-                token_rate=0.4,
-                seed=args.seed,
-                channel=SynchronousChannel(delta=delta, min_delay=delta / 4, seed=args.seed),
-                oracle=oracle,
-            )
-            stats = merge_statistics(
-                {pid: fork_statistics(r.tree) for pid, r in run.replicas.items()}
-            )
-            rows.append(
-                [
-                    "∞" if bound is None else bound,
-                    delta,
-                    round(stats["mean_blocks"], 1),
-                    round(stats["mean_forks"], 2),
-                    round(stats["mean_wasted_ratio"], 3),
-                ]
-            )
+    bounds = (1.0, 2.0, math.inf)
+    deltas = (1.0, 2.0, 4.0)
+    specs = [
+        ExperimentSpec(
+            protocol="bitcoin",
+            replicas=args.replicas,
+            duration=args.duration,
+            seed=args.seed,
+            channel=ChannelSpec(
+                kind="synchronous", params={"delta": delta, "min_delay": delta / 4}
+            ),
+            oracle_k=bound,
+            params={"token_rate": 0.4},
+            label=f"k={bound} delta={delta}",
+        )
+        for bound in bounds
+        for delta in deltas
+    ]
+    records = SweepRunner(jobs=args.jobs).run(specs)
+    rows = [
+        [
+            "∞" if math.isinf(spec.oracle_k) else int(spec.oracle_k),
+            spec.channel.params["delta"],
+            round(record.forks["mean_blocks"], 1),
+            round(record.forks["mean_forks"], 2),
+            round(record.forks["mean_wasted_ratio"], 3),
+        ]
+        for spec, record in zip(specs, records)
+    ]
     return render_table(
         ["k", "delay", "blocks/replica", "fork points/replica", "wasted ratio"],
         rows,
         title="Fork-rate ablation",
     )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    base = _regime_spec(
+        args.protocol,
+        replicas=args.replicas,
+        duration=args.duration,
+        seed=args.seed,
+        fork_prone=args.fork_prone,
+    )
+
+    axes: Dict[str, Sequence[Any]] = {}
+    seeds = _parse_axis(args.seeds, int)
+    if seeds is not None:
+        axes["seed"] = seeds
+    replica_counts = _parse_axis(args.replica_counts, int)
+    if replica_counts is not None:
+        axes["replicas"] = replica_counts
+    delays = _parse_axis(args.delays, float)
+    if delays is not None:
+        axes["channel.delta"] = delays
+    drops = _parse_axis(args.drops, float)
+    if drops is not None:
+        axes["channel.drop_probability"] = drops
+    token_rates = _parse_axis(args.token_rates, float)
+    if token_rates is not None:
+        axes["params.token_rate"] = token_rates
+    bounds = _parse_axis(args.oracle_bounds, _parse_bound)
+    if bounds is not None:
+        axes["oracle_k"] = bounds
+
+    specs = expand_grid(base, axes)
+    records = SweepRunner(jobs=args.jobs).run(specs)
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(results_payload(records), handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+    rows = [
+        [
+            record.label,
+            record.spec.seed,
+            record.classification["label"],
+            round(record.forks["mean_forks"], 2),
+            round(record.convergence["agreement_ratio"], 2),
+        ]
+        for record in records
+    ]
+    table = render_table(
+        ["cell", "seed", "classification", "fork points/replica", "agreement"],
+        rows,
+        title=f"Sweep — {args.protocol} ({len(records)} cells, jobs={args.jobs})",
+    )
+    return f"{table}\n\nwrote {len(records)} cells to {args.out}"
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
@@ -204,6 +311,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "hierarchy": _cmd_hierarchy,
     "figures": _cmd_figures,
     "fork-sweep": _cmd_fork_sweep,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -57,6 +57,13 @@ class BlockTree:
         self._heights: Dict[str, int] = {root.block_id: 0}
         self._subtree_weight: Dict[str, float] = {root.block_id: root.weight}
         self._genesis = root
+        # Incremental caches, maintained by ``append`` (and therefore by
+        # ``merge``, which funnels through ``append``): the tree height and
+        # the current leaves in block-insertion order.  ``_leaves`` is a dict
+        # used as an ordered set, so ``leaves()`` stays O(#leaves) instead of
+        # scanning every block.
+        self._height: int = 0
+        self._leaves: Dict[str, None] = {root.block_id: None}
 
     # -- basic introspection ------------------------------------------------
 
@@ -93,8 +100,8 @@ class BlockTree:
 
     @property
     def height(self) -> int:
-        """Height of the tree: the maximal block height."""
-        return max(self._heights.values())
+        """Height of the tree: the maximal block height (cached, O(1))."""
+        return self._height
 
     def children_of(self, block_id: str) -> Tuple[str, ...]:
         """Identifiers of the direct children of ``block_id``."""
@@ -139,8 +146,13 @@ class BlockTree:
         self._blocks[block.block_id] = block
         self._children[block.block_id] = []
         self._children[block.parent_id].append(block.block_id)
-        self._heights[block.block_id] = self._heights[block.parent_id] + 1
+        height = self._heights[block.parent_id] + 1
+        self._heights[block.block_id] = height
         self._subtree_weight[block.block_id] = block.weight
+        if height > self._height:
+            self._height = height
+        self._leaves.pop(block.parent_id, None)
+        self._leaves[block.block_id] = None
         # Propagate the new weight to every ancestor so GHOST queries are O(1).
         cursor: Optional[str] = block.parent_id
         while cursor is not None:
@@ -178,8 +190,8 @@ class BlockTree:
     # -- tree queries -------------------------------------------------------
 
     def leaves(self) -> Tuple[str, ...]:
-        """Identifiers of all leaves (blocks without children)."""
-        return tuple(b for b, kids in self._children.items() if not kids)
+        """Identifiers of all leaves (blocks without children), cached."""
+        return tuple(self._leaves)
 
     def chain_to(self, block_id: str) -> Blockchain:
         """Return the blockchain from genesis up to ``block_id`` inclusive."""
@@ -263,6 +275,8 @@ class BlockTree:
         clone._children = {k: list(v) for k, v in self._children.items()}
         clone._heights = dict(self._heights)
         clone._subtree_weight = dict(self._subtree_weight)
+        clone._height = self._height
+        clone._leaves = dict(self._leaves)
         return clone
 
     # -- presentation ---------------------------------------------------------

@@ -1,0 +1,70 @@
+"""Experiment engine: protocol registry, declarative specs, parallel sweeps.
+
+The engine is the single entry point every layer above the protocol
+models goes through:
+
+* :mod:`repro.engine.registry` — ``@register_protocol`` and the process-
+  wide :data:`~repro.engine.registry.REGISTRY` mapping system names to
+  their runners and regime metadata;
+* :mod:`repro.engine.spec` — :class:`ExperimentSpec` and friends, the
+  declarative, JSON-serializable description of one run;
+* :mod:`repro.engine.result` — the serializable :class:`RunResult`
+  artifact (classification verdict + fork/convergence/fairness statistics
+  + timings);
+* :mod:`repro.engine.sweep` — grid expansion and the
+  :class:`SweepRunner` process-pool fan-out with a deterministic serial
+  fallback.
+
+Typical use::
+
+    from repro.engine import ExperimentSpec, SweepRunner, expand_grid
+
+    base = ExperimentSpec(protocol="bitcoin", replicas=5, duration=100.0)
+    specs = expand_grid(base, {"seed": range(8), "channel.delta": [1.0, 3.0]})
+    results = SweepRunner(jobs=4).run(specs)
+    verdicts = [r.classification["label"] for r in results]
+"""
+
+from repro.engine.registry import (
+    REGISTRY,
+    ProtocolEntry,
+    ProtocolRegistry,
+    available_protocols,
+    get_protocol,
+    load_builtin_protocols,
+    register_fault_runner,
+    register_protocol,
+)
+from repro.engine.spec import (
+    ChannelSpec,
+    ExperimentSpec,
+    FaultSpec,
+    WorkloadSpec,
+    regime_spec,
+    table1_spec,
+)
+from repro.engine.result import RunResult, analyse_run
+from repro.engine.sweep import SweepRunner, derive_seed, expand_grid, results_payload
+
+__all__ = [
+    "REGISTRY",
+    "ProtocolEntry",
+    "ProtocolRegistry",
+    "available_protocols",
+    "get_protocol",
+    "load_builtin_protocols",
+    "register_fault_runner",
+    "register_protocol",
+    "ChannelSpec",
+    "ExperimentSpec",
+    "FaultSpec",
+    "WorkloadSpec",
+    "regime_spec",
+    "table1_spec",
+    "RunResult",
+    "analyse_run",
+    "SweepRunner",
+    "derive_seed",
+    "expand_grid",
+    "results_payload",
+]

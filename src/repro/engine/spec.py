@@ -1,0 +1,407 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is a plain, JSON-serializable description of
+one protocol run: which registered protocol, how many replicas, for how
+long, under which channel / fault / workload model, validated by which
+oracle bound and scored by which score function.  ``spec.execute()``
+resolves the protocol through the registry, performs the run, and returns
+a :class:`repro.engine.result.RunResult` carrying the classification
+verdict and the fork / convergence / fairness statistics.
+
+Because a spec is pure data it can cross process boundaries (the
+:class:`~repro.engine.sweep.SweepRunner` ships specs to a worker pool as
+JSON), be stored next to results for provenance, and be diffed between
+experiments.  Two executions of the same spec produce identical
+simulations: every random draw is derived from ``spec.seed``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.score import LengthScore, ScoreFunction, WeightScore
+from repro.core.selection import (
+    FixedTipSelection,
+    GHOSTSelection,
+    HeaviestChain,
+    LongestChain,
+    SelectionFunction,
+)
+from repro.engine.registry import ProtocolEntry, get_protocol
+from repro.network.channels import (
+    AsynchronousChannel,
+    ChannelModel,
+    LossyChannel,
+    PartiallySynchronousChannel,
+    SynchronousChannel,
+)
+from repro.oracle.tape import TapeFamily
+from repro.oracle.theta import FrugalOracle, ProdigalOracle, TokenOracle
+from repro.workload.merit import MeritDistribution, uniform_merit, zipf_merit
+
+__all__ = [
+    "ChannelSpec",
+    "WorkloadSpec",
+    "FaultSpec",
+    "ExperimentSpec",
+    "regime_spec",
+    "table1_spec",
+]
+
+
+_CHANNEL_KINDS = {
+    "synchronous": SynchronousChannel,
+    "asynchronous": AsynchronousChannel,
+    "partial": PartiallySynchronousChannel,
+}
+
+_SELECTIONS = {
+    "longest": LongestChain,
+    "heaviest": HeaviestChain,
+    "ghost": GHOSTSelection,
+    "fixed-tip": FixedTipSelection,
+}
+
+_SCORES = {
+    "length": LengthScore,
+    "weight": WeightScore,
+}
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Declarative channel model.
+
+    ``kind`` selects the synchrony class; ``params`` are its constructor
+    arguments (``delta``, ``min_delay``, ``gst``, ...).  A positive
+    ``drop_probability`` wraps the channel in a :class:`LossyChannel`.
+    ``seed`` defaults to the owning spec's seed so a single integer
+    reproduces the whole run.
+    """
+
+    kind: str = "synchronous"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    drop_probability: float = 0.0
+    seed: Optional[int] = None
+
+    def build(self, default_seed: int) -> ChannelModel:
+        try:
+            cls = _CHANNEL_KINDS[self.kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown channel kind {self.kind!r}; known: {sorted(_CHANNEL_KINDS)}"
+            ) from None
+        seed = self.seed if self.seed is not None else default_seed
+        channel: ChannelModel = cls(**dict(self.params), seed=seed)
+        if self.drop_probability > 0:
+            channel = LossyChannel(channel, self.drop_probability, seed=seed)
+        return channel
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "drop_probability": self.drop_probability,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChannelSpec":
+        return cls(
+            kind=data.get("kind", "synchronous"),
+            params=dict(data.get("params", {})),
+            drop_probability=float(data.get("drop_probability", 0.0)),
+            seed=data.get("seed"),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Read workload, dissemination primitive and merit distribution.
+
+    ``None`` fields mean "use the protocol runner's default", which keeps
+    a bare spec byte-compatible with a direct ``run_*`` call.
+    """
+
+    read_interval: Optional[float] = None
+    use_lrc: Optional[bool] = None
+    merit: Optional[str] = None  # "uniform" | "zipf" | None → protocol default
+    merit_exponent: float = 1.0
+
+    def build_merit(self, n: int) -> Optional[MeritDistribution]:
+        if self.merit is None:
+            return None
+        if self.merit == "uniform":
+            return uniform_merit(n)
+        if self.merit == "zipf":
+            return zipf_merit(n, exponent=self.merit_exponent)
+        raise ValueError(f"unknown merit distribution {self.merit!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(
+            read_interval=data.get("read_interval"),
+            use_lrc=data.get("use_lrc"),
+            merit=data.get("merit"),
+            merit_exponent=float(data.get("merit_exponent", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Process-level fault model: crashes or silent Byzantine members."""
+
+    kind: str  # "crash" | "byzantine"
+    crash_at: Mapping[str, float] = field(default_factory=dict)
+    byzantine: Tuple[str, ...] = ()
+
+    def to_kwargs(self) -> Dict[str, Any]:
+        if self.kind == "crash":
+            return {"crash_at": dict(self.crash_at)}
+        if self.kind == "byzantine":
+            return {"byzantine": tuple(self.byzantine)}
+        raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "crash_at": dict(self.crash_at),
+            "byzantine": list(self.byzantine),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            crash_at=dict(data.get("crash_at", {})),
+            byzantine=tuple(data.get("byzantine", ())),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-described protocol experiment.
+
+    ``params`` holds protocol-specific knobs (``token_rate``,
+    ``round_interval``, ``selection``, ...); unknown keys are rejected at
+    execution time against the runner's signature, so a typo fails loudly
+    instead of silently running the default regime.
+    """
+
+    protocol: str
+    replicas: int = 5
+    duration: float = 100.0
+    seed: int = 0
+    channel: Optional[ChannelSpec] = None
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    fault: Optional[FaultSpec] = None
+    oracle_k: Optional[float] = None  # None → protocol default; math.inf → prodigal
+    score: str = "length"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        oracle_k: Any = self.oracle_k
+        if oracle_k is not None and math.isinf(oracle_k):
+            oracle_k = "inf"
+        return {
+            "protocol": self.protocol,
+            "replicas": self.replicas,
+            "duration": self.duration,
+            "seed": self.seed,
+            "channel": self.channel.to_dict() if self.channel else None,
+            "workload": self.workload.to_dict(),
+            "fault": self.fault.to_dict() if self.fault else None,
+            "oracle_k": oracle_k,
+            "score": self.score,
+            "params": dict(self.params),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        oracle_k = data.get("oracle_k")
+        if isinstance(oracle_k, str):
+            oracle_k = math.inf if oracle_k in ("inf", "Infinity", "∞") else float(oracle_k)
+        channel = data.get("channel")
+        fault = data.get("fault")
+        return cls(
+            protocol=data["protocol"],
+            replicas=int(data.get("replicas", 5)),
+            duration=float(data.get("duration", 100.0)),
+            seed=int(data.get("seed", 0)),
+            channel=ChannelSpec.from_dict(channel) if channel else None,
+            workload=WorkloadSpec.from_dict(data.get("workload", {})),
+            fault=FaultSpec.from_dict(fault) if fault else None,
+            oracle_k=oracle_k,
+            score=data.get("score", "length"),
+            params=dict(data.get("params", {})),
+            label=data.get("label"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(payload))
+
+    def with_updates(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with top-level fields replaced."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+    # -- builders -----------------------------------------------------------
+
+    def build_score(self) -> ScoreFunction:
+        try:
+            return _SCORES[self.score]()
+        except KeyError:
+            raise ValueError(
+                f"unknown score function {self.score!r}; known: {sorted(_SCORES)}"
+            ) from None
+
+    def _build_selection(self, name: str) -> SelectionFunction:
+        try:
+            return _SELECTIONS[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown selection function {name!r}; known: {sorted(_SELECTIONS)}"
+            ) from None
+
+    def _build_oracle(self, entry: ProtocolEntry) -> TokenOracle:
+        assert self.oracle_k is not None
+        token_rate = self.params.get("token_rate")
+        if token_rate is None:
+            import inspect
+
+            default = inspect.signature(entry.runner).parameters.get("token_rate")
+            token_rate = default.default if default is not None else 1.0
+        tapes = TapeFamily(seed=self.seed, probability_scale=float(token_rate))
+        if math.isinf(self.oracle_k):
+            return ProdigalOracle(tapes=tapes)
+        if not float(self.oracle_k).is_integer() or self.oracle_k < 1:
+            raise ValueError(
+                f"oracle_k must be a positive integer or inf, got {self.oracle_k!r}"
+            )
+        return FrugalOracle(k=int(self.oracle_k), tapes=tapes)
+
+    def build_kwargs(self) -> Dict[str, Any]:
+        """Translate the spec into keyword arguments for the runner.
+
+        Only fields the runner actually accepts are passed, and only when
+        the spec sets them away from "protocol default" — so a minimal
+        spec reproduces a bare ``run_*`` call exactly.
+        """
+        entry = get_protocol(self.protocol)
+        fault_kind = self.fault.kind if self.fault is not None else None
+
+        def put(key: str, value: Any) -> None:
+            if not entry.accepts(key, fault_kind):
+                raise ValueError(
+                    f"protocol {self.protocol!r} does not accept parameter {key!r}"
+                )
+            kwargs[key] = value
+
+        kwargs: Dict[str, Any] = {}
+        put("n", self.replicas)
+        put("duration", self.duration)
+        put("seed", self.seed)
+        if self.channel is not None:
+            put("channel", self.channel.build(self.seed))
+        if self.workload.read_interval is not None:
+            put("read_interval", self.workload.read_interval)
+        if self.workload.use_lrc is not None:
+            put("use_lrc", self.workload.use_lrc)
+        merit = self.workload.build_merit(self.replicas)
+        if merit is not None:
+            put("merit", merit)
+        if self.oracle_k is not None:
+            put("oracle", self._build_oracle(entry))
+        for key, value in self.params.items():
+            if key == "selection":
+                value = self._build_selection(value)
+            put(key, value)
+        if self.fault is not None:
+            for key, value in self.fault.to_kwargs().items():
+                put(key, value)
+        return kwargs
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self) -> "RunResult":
+        """Run the experiment and analyse it; see :mod:`repro.engine.result`."""
+        from repro.engine.result import RunResult, analyse_run
+
+        entry = get_protocol(self.protocol)
+        fault_kind = self.fault.kind if self.fault is not None else None
+        runner = entry.runner_for(fault_kind)
+        kwargs = self.build_kwargs()
+        started = time.perf_counter()
+        run = runner(**kwargs)
+        run_seconds = time.perf_counter() - started
+        return analyse_run(self, entry, run, run_seconds)
+
+
+def regime_spec(
+    name: str,
+    regime: Mapping[str, Any],
+    *,
+    n: int,
+    duration: float,
+    seed: int,
+    label: Optional[str] = None,
+) -> ExperimentSpec:
+    """Expand a registry regime dict (``table1`` / ``fork_prone``) into a spec.
+
+    Regime dicts may carry ``params`` (protocol knobs) and ``channel``
+    (:class:`ChannelSpec` kwargs); any other key is rejected loudly so a
+    typo in a registration never silently runs the default regime.
+    """
+    overrides = dict(regime)
+    channel_kwargs = overrides.pop("channel", None)
+    channel = ChannelSpec.from_dict(channel_kwargs) if channel_kwargs else None
+    params = dict(overrides.pop("params", {}))
+    if overrides:
+        raise ValueError(f"unsupported regime override keys: {sorted(overrides)}")
+    return ExperimentSpec(
+        protocol=name,
+        replicas=n,
+        duration=duration,
+        seed=seed,
+        channel=channel,
+        params=params,
+        label=label,
+    )
+
+
+def table1_spec(
+    name: str, *, n: int = 5, duration: float = 100.0, seed: int = 7
+) -> ExperimentSpec:
+    """The spec reproducing one row of Table 1.
+
+    Applies the registered ``table1`` regime overrides (the proof-of-work
+    systems run fork-prone there, exactly as the seed's
+    ``reproduce_table1`` hard-wired).
+    """
+    entry = get_protocol(name)
+    return regime_spec(
+        name, entry.table1, n=n, duration=duration, seed=seed, label=f"table1:{name}"
+    )
+
+
+# Imported late to avoid a hard module cycle in type checkers only.
+from typing import TYPE_CHECKING  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.result import RunResult

@@ -105,9 +105,9 @@ class Simulator:
                 f"simulation did not quiesce within {max_events} events "
                 f"({len(self._queue)} still pending at t={self.now:.2f})"
             )
-        if until is not None and self.now < until and not self._queue:
-            self.now = until
-        elif until is not None and self.now < until:
+        if until is not None and self.now < until:
+            # Whether the queue drained early or only later events remain,
+            # the clock still advances to the requested horizon.
             self.now = until
         return processed
 

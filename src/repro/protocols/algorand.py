@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
@@ -36,6 +37,10 @@ def default_stake(n: int) -> MeritDistribution:
     return proportional_merit([float(i + 1) for i in range(n)])
 
 
+@register_protocol(
+    "algorand",
+    description="Stake-weighted sortition + BA*-style commit (Algorand model)",
+)
 def run_algorand(
     *,
     n: int = 7,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
@@ -30,6 +31,11 @@ from repro.workload.merit import MeritDistribution, zipf_merit
 __all__ = ["run_byzcoin"]
 
 
+@register_protocol(
+    "byzcoin",
+    fairness_merit="zipf",
+    description="PoW-elected committee with PBFT-style commit (ByzCoin model)",
+)
 def run_byzcoin(
     *,
     n: int = 7,

@@ -29,8 +29,25 @@ from repro.core.hierarchy import Consistency, OracleKind, Refinement
 from repro.core.score import LengthScore, ScoreFunction
 from repro.protocols.base import RunResult
 
-__all__ = ["ClassificationResult", "classify_run", "reproduce_table1", "PAPER_TABLE1"]
+__all__ = [
+    "ClassificationResult",
+    "classify_run",
+    "reproduce_table1",
+    "PAPER_TABLE1",
+    "TABLE1_SYSTEMS",
+]
 
+
+#: The order in which Table 1 runs are executed and reported.
+TABLE1_SYSTEMS: Tuple[str, ...] = (
+    "bitcoin",
+    "ethereum",
+    "byzcoin",
+    "algorand",
+    "peercensus",
+    "redbelly",
+    "hyperledger",
+)
 
 #: The paper's Table 1, as (consistency, oracle kind, k) per system.
 PAPER_TABLE1: Dict[str, Refinement] = {
@@ -129,44 +146,27 @@ def reproduce_table1(
 ) -> Dict[str, ClassificationResult]:
     """Run every system of Table 1 and classify it.
 
+    Each row is now a declarative :class:`~repro.engine.spec.ExperimentSpec`
+    built from the protocol registry's ``table1`` regime metadata (the
+    proof-of-work systems run fork-prone there, so the *guarantee*
+    difference between them and the consensus systems is visible in the
+    recorded histories, as in the paper's Section 5 discussion).
+
     ``runners`` may override/extend the default set (used by the benches to
     tweak durations); each runner must return a :class:`RunResult`.
     """
     # Imported here to keep module import light and avoid cycles.
-    from repro.network.channels import SynchronousChannel
-    from repro.protocols.algorand import run_algorand
-    from repro.protocols.byzcoin import run_byzcoin
-    from repro.protocols.ghost import run_ethereum
-    from repro.protocols.hyperledger import run_hyperledger
-    from repro.protocols.nakamoto import run_bitcoin
-    from repro.protocols.peercensus import run_peercensus
-    from repro.protocols.redbelly import run_redbelly
+    from repro.engine import table1_spec
 
-    # The proof-of-work systems are run in a fork-prone regime (block
-    # interval comparable to the network delay) so that the *guarantee*
-    # difference between them and the consensus-based systems is visible in
-    # the recorded histories, as in the paper's discussion of Section 5.
-    def pow_channel() -> SynchronousChannel:
-        return SynchronousChannel(delta=3.0, min_delay=0.5, seed=seed)
-
-    default_runners: Dict[str, Callable[[], RunResult]] = {
-        "bitcoin": lambda: run_bitcoin(
-            n=n, duration=duration, seed=seed, token_rate=0.4, channel=pow_channel()
-        ),
-        "ethereum": lambda: run_ethereum(
-            n=n, duration=duration, seed=seed, token_rate=0.5, channel=pow_channel()
-        ),
-        "byzcoin": lambda: run_byzcoin(n=n, duration=duration, seed=seed),
-        "algorand": lambda: run_algorand(n=n, duration=duration, seed=seed),
-        "peercensus": lambda: run_peercensus(n=n, duration=duration, seed=seed),
-        "redbelly": lambda: run_redbelly(n=n, duration=duration, seed=seed),
-        "hyperledger": lambda: run_hyperledger(n=n, duration=duration, seed=seed),
-    }
-    if runners:
-        default_runners.update(runners)
+    overrides = dict(runners) if runners else {}
+    order = list(TABLE1_SYSTEMS) + [name for name in overrides if name not in TABLE1_SYSTEMS]
 
     results: Dict[str, ClassificationResult] = {}
-    for name, runner in default_runners.items():
-        run = runner()
-        results[name] = classify_run(run)
+    for name in order:
+        if name in overrides:
+            results[name] = classify_run(overrides[name]())
+            continue
+        record = table1_spec(name, n=n, duration=duration, seed=seed).execute()
+        assert record.classification_result is not None  # serial execution
+        results[name] = record.classification_result
     return results

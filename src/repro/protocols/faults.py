@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.selection import FixedTipSelection, HeaviestChain
+from repro.engine.registry import register_fault_runner, register_protocol
 from repro.network.channels import ChannelModel, SynchronousChannel
 from repro.network.simulator import Network
 from repro.oracle.tape import TapeFamily
@@ -82,6 +83,7 @@ class SilentCommitteeReplica(CommitteeReplica):
         return 0
 
 
+@register_fault_runner("bitcoin", "crash")
 def run_bitcoin_with_crashes(
     *,
     n: int = 6,
@@ -119,6 +121,11 @@ def run_bitcoin_with_crashes(
     )
 
 
+@register_fault_runner("committee", "byzantine")
+@register_protocol(
+    "committee",
+    description="Generic round-robin committee (BFT quorum commit, k = 1)",
+)
 def run_committee_with_byzantine(
     *,
     n: int = 7,

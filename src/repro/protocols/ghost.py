@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.selection import GHOSTSelection
+from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.oracle.theta import TokenOracle
 from repro.protocols.base import RunResult
@@ -41,6 +42,18 @@ class EthereumReplica(NakamotoReplica):
     """
 
 
+@register_protocol(
+    "ethereum",
+    table1={
+        "params": {"token_rate": 0.5},
+        "channel": {"kind": "synchronous", "params": {"delta": 3.0, "min_delay": 0.5}},
+    },
+    fork_prone={
+        "params": {"token_rate": 0.4},
+        "channel": {"kind": "synchronous", "params": {"delta": 3.0, "min_delay": 0.5}},
+    },
+    description="GHOST selection over the prodigal oracle (Ethereum model)",
+)
 def run_ethereum(
     *,
     n: int = 8,

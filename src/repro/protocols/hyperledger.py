@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
 from repro.protocols.committee import fixed_proposer, run_committee_protocol
@@ -31,6 +32,10 @@ from repro.workload.merit import MeritDistribution, permissioned_merit
 __all__ = ["run_hyperledger"]
 
 
+@register_protocol(
+    "hyperledger",
+    description="Fixed orderer, permissioned writers (Hyperledger Fabric model)",
+)
 def run_hyperledger(
     *,
     n: int = 8,

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.core.selection import HeaviestChain, LongestChain, SelectionFunction
+from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.network.simulator import Network
 from repro.oracle.tape import TapeFamily
@@ -91,6 +92,15 @@ class NakamotoReplica(BlockchainReplica):
         )
 
 
+_FORK_PRONE_CHANNEL = {"kind": "synchronous", "params": {"delta": 3.0, "min_delay": 0.5}}
+
+
+@register_protocol(
+    "bitcoin",
+    table1={"params": {"token_rate": 0.4}, "channel": _FORK_PRONE_CHANNEL},
+    fork_prone={"params": {"token_rate": 0.4}, "channel": _FORK_PRONE_CHANNEL},
+    description="Nakamoto proof-of-work, heaviest chain, prodigal oracle",
+)
 def run_bitcoin(
     *,
     n: int = 8,

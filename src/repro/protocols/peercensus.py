@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
@@ -29,6 +30,11 @@ from repro.workload.merit import MeritDistribution, zipf_merit
 __all__ = ["run_peercensus"]
 
 
+@register_protocol(
+    "peercensus",
+    fairness_merit="zipf",
+    description="PoW identity issuance + BFT commit (PeerCensus model)",
+)
 def run_peercensus(
     *,
     n: int = 7,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, round_robin_proposer
@@ -31,6 +32,10 @@ from repro.workload.merit import MeritDistribution, permissioned_merit
 __all__ = ["run_redbelly"]
 
 
+@register_protocol(
+    "redbelly",
+    description="Consortium writers, consensus-decided chain (Red Belly model)",
+)
 def run_redbelly(
     *,
     n: int = 8,

@@ -164,3 +164,100 @@ class TestPresentation:
         text = repr(forked_tree)
         assert "blocks=6" in text
         assert "leaves=2" in text
+
+
+class TestIncrementalCaches:
+    """height / leaves are maintained by append, not recomputed."""
+
+    @staticmethod
+    def _recomputed_height(tree: BlockTree) -> int:
+        return max(tree.height_of(bid) for bid in tree.block_ids())
+
+    @staticmethod
+    def _recomputed_leaves(tree: BlockTree) -> tuple:
+        return tuple(b for b in tree.block_ids() if not tree.children_of(b))
+
+    def test_height_and_leaves_match_recomputation(self, forked_tree):
+        assert forked_tree.height == self._recomputed_height(forked_tree)
+        assert forked_tree.leaves() == self._recomputed_leaves(forked_tree)
+
+    def test_caches_track_a_growing_fork(self):
+        tree = BlockTree()
+        tree.append(Block("a1", GENESIS_ID))
+        tree.append(Block("b1", GENESIS_ID))
+        assert tree.height == 1
+        assert tree.leaves() == ("a1", "b1")
+        tree.append(Block("a2", "a1"))
+        assert tree.height == 2
+        assert tree.leaves() == ("b1", "a2")
+        assert tree.height == self._recomputed_height(tree)
+        assert tree.leaves() == self._recomputed_leaves(tree)
+
+    def test_copy_preserves_caches_independently(self, forked_tree):
+        clone = forked_tree.copy()
+        assert clone.height == forked_tree.height
+        assert clone.leaves() == forked_tree.leaves()
+        clone.append(Block("deep", "a3"))
+        assert clone.height == forked_tree.height + 1
+        assert "deep" in clone.leaves() and "deep" not in forked_tree.leaves()
+        assert forked_tree.height == self._recomputed_height(forked_tree)
+        assert clone.height == self._recomputed_height(clone)
+        assert clone.leaves() == self._recomputed_leaves(clone)
+
+    def test_merge_keeps_caches_consistent(self, linear_tree):
+        other = BlockTree()
+        other.append(Block("x1", GENESIS_ID))
+        other.append(Block("y1", "x1"))
+        other.append(Block("y2", "y1"))
+        other.append(Block("y3", "y2"))
+        linear_tree.merge(other)
+        assert linear_tree.height == self._recomputed_height(linear_tree)
+        assert linear_tree.leaves() == self._recomputed_leaves(linear_tree)
+        assert linear_tree.height == 4  # y-branch is one deeper than x3
+
+
+class TestMergeFailurePaths:
+    def test_merge_with_unreachable_ancestors_raises_and_names_them(self):
+        target = BlockTree()
+
+        class _PartialTree:
+            """Iterates a child whose ancestor chain is absent."""
+
+            def __iter__(self):
+                return iter([Block("orphan", "missing-parent")])
+
+        with pytest.raises(UnknownParentError) as excinfo:
+            target.merge(_PartialTree())  # type: ignore[arg-type]
+        assert "missing-parent" in str(excinfo.value)
+
+    def test_merge_subset_missing_middle_of_chain_raises(self):
+        source = BlockTree()
+        source.append(Block("p", GENESIS_ID))
+        source.append(Block("q", "p"))
+        source.append(Block("r", "q"))
+
+        class _Holey:
+            """Presents r (and q's absence) to the merging tree."""
+
+            def __iter__(self):
+                return iter([source.get("r")])
+
+        target = BlockTree()
+        with pytest.raises(UnknownParentError, match="q"):
+            target.merge(_Holey())  # type: ignore[arg-type]
+
+    def test_failed_merge_does_not_corrupt_the_target(self):
+        target = BlockTree()
+        source = BlockTree()
+        source.append(Block("ok", GENESIS_ID))
+
+        class _Mixed:
+            def __iter__(self):
+                return iter([Block("bad", "nowhere"), source.get("ok")])
+
+        with pytest.raises(UnknownParentError):
+            target.merge(_Mixed())  # type: ignore[arg-type]
+        # The insertable block landed; caches still agree with a recompute.
+        assert "ok" in target
+        assert target.height == 1
+        assert target.leaves() == ("ok",)

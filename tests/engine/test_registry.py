@@ -1,0 +1,105 @@
+"""Unit tests for the protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.registry import (
+    ProtocolEntry,
+    ProtocolRegistry,
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
+
+
+def _dummy_runner(*, n: int = 3, duration: float = 10.0, seed: int = 0, extra: float = 1.0):
+    return (n, duration, seed, extra)
+
+
+class TestRegistration:
+    def test_builtins_are_registered(self):
+        names = available_protocols()
+        for system in (
+            "bitcoin", "ethereum", "byzcoin", "algorand",
+            "peercensus", "redbelly", "hyperledger",
+        ):
+            assert system in names
+
+    def test_unknown_protocol_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            get_protocol("dogecoin")
+
+    def test_decorator_registers_into_given_registry(self):
+        registry = ProtocolRegistry()
+        decorated = register_protocol("dummy", registry=registry)(_dummy_runner)
+        assert decorated is _dummy_runner  # the runner is returned unchanged
+        entry = registry.get("dummy")
+        assert entry.runner is _dummy_runner
+        assert "dummy" in registry and len(registry) == 1
+
+    def test_duplicate_add_rejected_without_replace(self):
+        registry = ProtocolRegistry()
+        registry.add(ProtocolEntry(name="dummy", runner=_dummy_runner))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add(ProtocolEntry(name="dummy", runner=_dummy_runner))
+
+    def test_accepts_reflects_runner_signature(self):
+        entry = ProtocolEntry(name="dummy", runner=_dummy_runner)
+        assert entry.accepts("extra")
+        assert entry.accepts("n")
+        assert not entry.accepts("token_rate")
+
+
+class TestFaultRunners:
+    def test_bitcoin_has_a_crash_runner(self):
+        from repro.protocols.faults import run_bitcoin_with_crashes
+
+        entry = get_protocol("bitcoin")
+        assert entry.runner_for("crash") is run_bitcoin_with_crashes
+        assert entry.accepts("crash_at", "crash")
+
+    def test_committee_has_a_byzantine_runner(self):
+        entry = get_protocol("committee")
+        assert entry.runner_for("byzantine") is entry.runner
+
+    def test_unknown_fault_kind_raises(self):
+        with pytest.raises(KeyError, match="no runner for fault kind"):
+            get_protocol("hyperledger").runner_for("crash")
+
+    def test_none_fault_kind_is_the_base_runner(self):
+        entry = get_protocol("bitcoin")
+        assert entry.runner_for(None) is entry.runner
+
+
+class TestRegimeMetadata:
+    def test_pow_systems_carry_a_fork_prone_regime(self):
+        for name in ("bitcoin", "ethereum"):
+            entry = get_protocol(name)
+            assert entry.fork_prone, name
+            assert entry.table1, name
+
+    def test_consensus_systems_have_no_table1_overrides(self):
+        assert get_protocol("hyperledger").table1 == {}
+
+    def test_fairness_merit_defaults(self):
+        assert get_protocol("byzcoin").fairness_merit == "zipf"
+        assert get_protocol("bitcoin").fairness_merit == "uniform"
+
+
+class TestDecoratorCollisions:
+    def test_same_name_twice_raises_without_replace(self):
+        registry = ProtocolRegistry()
+        register_protocol("dup", registry=registry)(_dummy_runner)
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol("dup", registry=registry)(_dummy_runner)
+
+    def test_explicit_replace_shadows_loudly_opted_in(self):
+        registry = ProtocolRegistry()
+        register_protocol("dup", registry=registry)(_dummy_runner)
+
+        def other(*, n=1, duration=1.0, seed=0):
+            return None
+
+        register_protocol("dup", registry=registry, replace=True)(other)
+        assert registry.get("dup").runner is other

@@ -1,0 +1,166 @@
+"""Unit tests for the declarative experiment specifications."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine import ChannelSpec, ExperimentSpec, FaultSpec, WorkloadSpec, table1_spec
+from repro.network.channels import (
+    LossyChannel,
+    PartiallySynchronousChannel,
+    SynchronousChannel,
+)
+
+
+class TestChannelSpec:
+    def test_builds_synchronous_channel_with_spec_seed(self):
+        spec = ChannelSpec(kind="synchronous", params={"delta": 2.0, "min_delay": 0.5})
+        channel = spec.build(default_seed=11)
+        assert isinstance(channel, SynchronousChannel)
+        assert channel.delta == 2.0 and channel.min_delay == 0.5
+
+    def test_drop_probability_wraps_in_lossy(self):
+        channel = ChannelSpec(kind="synchronous", drop_probability=0.4).build(default_seed=1)
+        assert isinstance(channel, LossyChannel)
+        assert channel.drop_probability == 0.4
+        assert isinstance(channel.inner, SynchronousChannel)
+
+    def test_partial_synchrony_kind(self):
+        channel = ChannelSpec(kind="partial", params={"gst": 20.0}).build(default_seed=0)
+        assert isinstance(channel, PartiallySynchronousChannel)
+        assert channel.gst == 20.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown channel kind"):
+            ChannelSpec(kind="pigeon").build(default_seed=0)
+
+    def test_round_trip(self):
+        spec = ChannelSpec(kind="partial", params={"gst": 20.0}, drop_probability=0.1, seed=3)
+        assert ChannelSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestSerialization:
+    def test_full_round_trip_through_json(self):
+        spec = ExperimentSpec(
+            protocol="bitcoin",
+            replicas=4,
+            duration=80.0,
+            seed=13,
+            channel=ChannelSpec(kind="synchronous", params={"delta": 3.0}, drop_probability=0.2),
+            workload=WorkloadSpec(use_lrc=False, merit="zipf", merit_exponent=1.5),
+            fault=FaultSpec(kind="crash", crash_at={"p1": 30.0}),
+            oracle_k=2,
+            params={"token_rate": 0.4},
+            label="round-trip",
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_infinite_oracle_bound_survives_json(self):
+        spec = ExperimentSpec(protocol="bitcoin", oracle_k=math.inf)
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored.oracle_k == math.inf
+        assert "Infinity" not in spec.to_json()  # strict JSON payload
+
+    def test_with_updates_returns_modified_copy(self):
+        spec = ExperimentSpec(protocol="bitcoin", seed=1)
+        other = spec.with_updates(seed=9)
+        assert other.seed == 9 and spec.seed == 1 and other.protocol == "bitcoin"
+
+
+class TestBuildKwargs:
+    def test_minimal_spec_passes_only_core_kwargs(self):
+        kwargs = ExperimentSpec(protocol="hyperledger", replicas=4, duration=50.0, seed=3).build_kwargs()
+        assert kwargs == {"n": 4, "duration": 50.0, "seed": 3}
+
+    def test_unknown_param_fails_loudly(self):
+        spec = ExperimentSpec(protocol="hyperledger", params={"token_rate": 0.4})
+        with pytest.raises(ValueError, match="does not accept parameter 'token_rate'"):
+            spec.build_kwargs()
+
+    def test_selection_string_is_materialized(self):
+        from repro.core.selection import LongestChain
+
+        kwargs = ExperimentSpec(
+            protocol="bitcoin", params={"selection": "longest"}
+        ).build_kwargs()
+        assert isinstance(kwargs["selection"], LongestChain)
+
+    def test_unknown_selection_rejected(self):
+        spec = ExperimentSpec(protocol="bitcoin", params={"selection": "coin-flip"})
+        with pytest.raises(ValueError, match="unknown selection function"):
+            spec.build_kwargs()
+
+    def test_oracle_bound_builds_frugal_oracle(self):
+        from repro.oracle.theta import FrugalOracle
+
+        kwargs = ExperimentSpec(
+            protocol="bitcoin", oracle_k=2, params={"token_rate": 0.4}
+        ).build_kwargs()
+        assert isinstance(kwargs["oracle"], FrugalOracle)
+        assert kwargs["oracle"].k == 2
+
+    def test_fault_spec_routes_kwargs(self):
+        kwargs = ExperimentSpec(
+            protocol="bitcoin",
+            fault=FaultSpec(kind="crash", crash_at={"p0": 10.0}),
+        ).build_kwargs()
+        assert kwargs["crash_at"] == {"p0": 10.0}
+
+    def test_unknown_score_rejected(self):
+        with pytest.raises(ValueError, match="unknown score"):
+            ExperimentSpec(protocol="bitcoin", score="entropy").build_score()
+
+
+class TestExecution:
+    def test_execute_matches_direct_run(self):
+        from repro.protocols.classification import classify_run
+        from repro.protocols.hyperledger import run_hyperledger
+
+        record = ExperimentSpec(protocol="hyperledger", replicas=3, duration=40.0, seed=5).execute()
+        direct = classify_run(run_hyperledger(n=3, duration=40.0, seed=5))
+        assert record.classification["describe"] == direct.describe()
+        assert record.classification["matches_paper"] is True
+        assert record.run is not None and record.classification_result is not None
+
+    def test_result_round_trips_through_json(self):
+        import json
+
+        record = ExperimentSpec(protocol="hyperledger", replicas=3, duration=40.0, seed=5).execute()
+        from repro.engine import RunResult
+
+        restored = RunResult.from_dict(json.loads(record.to_json()))
+        assert restored.classification == record.classification
+        assert restored.forks == record.forks
+        assert restored.run is None  # live objects do not survive serialization
+
+    def test_network_counters_are_recorded(self):
+        record = ExperimentSpec(protocol="hyperledger", replicas=3, duration=40.0, seed=5).execute()
+        net = record.network
+        assert net["messages_sent"] == net["messages_delivered"] + net["messages_dropped"]
+        assert net["events_processed"] > 0
+        assert record.timings["run_seconds"] > 0
+
+
+class TestTable1Spec:
+    def test_pow_rows_are_fork_prone(self):
+        spec = table1_spec("bitcoin", n=5, duration=100.0, seed=7)
+        assert spec.params["token_rate"] == 0.4
+        assert spec.channel is not None and spec.channel.params["delta"] == 3.0
+
+    def test_consensus_rows_use_defaults(self):
+        spec = table1_spec("hyperledger", n=5, duration=100.0, seed=7)
+        assert spec.channel is None and spec.params == {}
+
+
+class TestOracleBoundValidation:
+    def test_fractional_bound_rejected(self):
+        spec = ExperimentSpec(protocol="bitcoin", oracle_k=1.5, params={"token_rate": 0.4})
+        with pytest.raises(ValueError, match="positive integer or inf"):
+            spec.build_kwargs()
+
+    def test_nonpositive_bound_rejected(self):
+        spec = ExperimentSpec(protocol="bitcoin", oracle_k=0, params={"token_rate": 0.4})
+        with pytest.raises(ValueError, match="positive integer or inf"):
+            spec.build_kwargs()

@@ -1,0 +1,107 @@
+"""Unit tests for grid expansion and the parallel sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ExperimentSpec, SweepRunner, derive_seed, expand_grid, results_payload
+from repro.engine.sweep import _apply_override
+
+
+class TestExpandGrid:
+    def test_empty_axes_yield_the_base_spec(self):
+        base = ExperimentSpec(protocol="bitcoin")
+        assert expand_grid(base, {}) == [base]
+
+    def test_cartesian_product_in_nested_loop_order(self):
+        base = ExperimentSpec(protocol="bitcoin", seed=0)
+        specs = expand_grid(base, {"seed": [0, 1], "channel.delta": [1.0, 2.0]})
+        assert len(specs) == 4
+        assert [(s.seed, s.channel.params["delta"]) for s in specs] == [
+            (0, 1.0), (0, 2.0), (1, 1.0), (1, 2.0),
+        ]
+
+    def test_cells_carry_descriptive_labels(self):
+        base = ExperimentSpec(protocol="bitcoin")
+        specs = expand_grid(base, {"seed": [3]})
+        assert specs[0].label == "bitcoin seed=3"
+
+    def test_channel_axis_creates_a_default_channel(self):
+        base = ExperimentSpec(protocol="bitcoin")  # no channel configured
+        (spec,) = expand_grid(base, {"channel.drop_probability": [0.3]})
+        assert spec.channel is not None and spec.channel.drop_probability == 0.3
+
+    def test_params_axis(self):
+        base = ExperimentSpec(protocol="bitcoin")
+        (spec,) = expand_grid(base, {"params.token_rate": [0.4]})
+        assert spec.params["token_rate"] == 0.4
+
+    def test_unknown_axis_rejected(self):
+        base = ExperimentSpec(protocol="bitcoin")
+        with pytest.raises(KeyError):
+            expand_grid(base, {"warp_factor": [9]})
+        with pytest.raises(KeyError):
+            expand_grid(base, {"workload.warp": [1]})
+
+    def test_derive_seeds_are_distinct_and_stable(self):
+        base = ExperimentSpec(protocol="bitcoin", seed=42)
+        specs = expand_grid(base, {"channel.delta": [1.0, 2.0, 4.0]}, derive_seeds=True)
+        seeds = [s.seed for s in specs]
+        assert len(set(seeds)) == 3
+        again = expand_grid(base, {"channel.delta": [1.0, 2.0, 4.0]}, derive_seeds=True)
+        assert [s.seed for s in again] == seeds
+        assert seeds[0] == derive_seed(42, 0)
+
+    def test_explicit_seed_axis_wins_over_derivation(self):
+        base = ExperimentSpec(protocol="bitcoin", seed=42)
+        specs = expand_grid(base, {"seed": [1, 2]}, derive_seeds=True)
+        assert [s.seed for s in specs] == [1, 2]
+
+
+class TestApplyOverride:
+    def test_nested_too_deep_rejected(self):
+        with pytest.raises(KeyError, match="nests too deep"):
+            _apply_override(ExperimentSpec(protocol="x").to_dict(), "channel.params.delta", 1.0)
+
+    def test_fault_axis_requires_a_fault(self):
+        with pytest.raises(KeyError, match="without a fault"):
+            _apply_override(ExperimentSpec(protocol="x").to_dict(), "fault.kind", "crash")
+
+
+class TestSweepRunner:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+    def test_serial_run_keeps_live_objects_and_order(self):
+        specs = [
+            ExperimentSpec(protocol="hyperledger", replicas=3, duration=30.0, seed=s)
+            for s in (0, 1)
+        ]
+        records = SweepRunner(jobs=1).run(specs)
+        assert [r.spec.seed for r in records] == [0, 1]
+        assert all(r.run is not None for r in records)
+
+    def test_parallel_matches_serial_up_to_timings(self):
+        specs = [
+            ExperimentSpec(protocol="hyperledger", replicas=3, duration=30.0, seed=s)
+            for s in (0, 1)
+        ]
+        serial = SweepRunner(jobs=1).run(specs)
+        parallel = SweepRunner(jobs=2).run(specs)
+
+        def stable(record):
+            data = record.to_dict()
+            data.pop("timings")
+            return data
+
+        assert [stable(r) for r in serial] == [stable(r) for r in parallel]
+
+    def test_results_payload_shape(self):
+        records = SweepRunner(jobs=1).run(
+            [ExperimentSpec(protocol="hyperledger", replicas=3, duration=30.0, seed=0)]
+        )
+        payload = results_payload(records)
+        assert payload["schema"] == "repro.sweep/1"
+        assert len(payload["cells"]) == 1
+        assert payload["cells"][0]["spec"]["protocol"] == "hyperledger"

@@ -149,3 +149,77 @@ class TestNetwork:
         assert network.process("a") is a
         assert set(network.process_ids) == {"a", "b"}
         assert a.now == 0.0
+
+
+class TestRunUntilClockAdvance:
+    def test_clock_advances_to_until_when_queue_drains_early(self):
+        simulator = Simulator()
+        log: list[str] = []
+        simulator.schedule(1.0, lambda: log.append("only"))
+        processed = simulator.run(until=10.0)
+        assert processed == 1 and log == ["only"]
+        assert simulator.pending == 0
+        assert simulator.now == 10.0
+
+    def test_clock_advances_to_until_when_only_later_events_remain(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(20.0, lambda: None)
+        simulator.run(until=10.0)
+        assert simulator.pending == 1
+        assert simulator.now == 10.0
+
+    def test_empty_run_still_reaches_the_horizon(self):
+        simulator = Simulator()
+        simulator.run(until=7.5)
+        assert simulator.now == 7.5
+
+
+class TestDropAccounting:
+    """messages_sent == delivered + dropped + in-flight, always."""
+
+    def _lossy_network(self, drop: float, seed: int = 3):
+        from repro.network.channels import LossyChannel
+
+        simulator = Simulator()
+        channel = LossyChannel(SynchronousChannel(delta=1.0, seed=seed), drop, seed=seed)
+        network = Network(simulator, channel)
+        a, b = Echo("a"), Echo("b")
+        network.register(a)
+        network.register(b)
+        return network, simulator
+
+    def test_accounting_mid_run_counts_in_flight_messages(self):
+        network, simulator = self._lossy_network(drop=0.5)
+        for _ in range(200):
+            network.send("a", "b", "ping", None)
+        # Nothing processed yet: every non-dropped message is in flight.
+        assert network.messages_delivered == 0
+        assert network.messages_sent == network.messages_dropped + simulator.pending
+
+    def test_accounting_balances_after_the_queue_drains(self):
+        network, simulator = self._lossy_network(drop=0.3)
+        for _ in range(500):
+            network.send("a", "b", "ping", None)
+        in_flight = simulator.pending
+        assert network.messages_sent == network.messages_dropped + in_flight
+        network.run()
+        assert simulator.pending == 0
+        assert network.messages_sent == network.messages_delivered + network.messages_dropped
+        assert network.messages_delivered == in_flight
+        assert network.messages_dropped > 0
+
+    def test_lossy_protocol_run_balances_too(self):
+        from repro.engine import ChannelSpec, ExperimentSpec
+
+        record = ExperimentSpec(
+            protocol="bitcoin",
+            replicas=3,
+            duration=40.0,
+            seed=9,
+            channel=ChannelSpec(kind="synchronous", drop_probability=0.4),
+            params={"token_rate": 0.3},
+        ).execute()
+        net = record.network
+        assert net["messages_dropped"] > 0
+        assert net["messages_sent"] == net["messages_delivered"] + net["messages_dropped"]

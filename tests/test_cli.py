@@ -58,3 +58,54 @@ class TestCommands:
         assert "Table 1" in out
         for system in ("bitcoin", "ethereum", "hyperledger", "redbelly"):
             assert system in out
+
+
+class TestSweepCommand:
+    def test_sweep_requires_a_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "--protocol", "bitcoin"])
+        assert args.jobs == 1
+        assert args.out == "sweep_results.json"
+
+    def test_sweep_writes_json_results(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        assert main([
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "30", "--seeds", "0:2", "--out", str(out),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "2 cells" in captured
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.sweep/1"
+        assert len(payload["cells"]) == 2
+        assert [c["spec"]["seed"] for c in payload["cells"]] == [0, 1]
+        assert all("classification" in c for c in payload["cells"])
+
+    def test_serial_and_parallel_sweeps_agree_per_cell(self, capsys, tmp_path):
+        import json
+        outputs = {}
+        for jobs in ("1", "2"):
+            out = tmp_path / f"jobs{jobs}.json"
+            assert main([
+                "sweep", "--protocol", "hyperledger", "--replicas", "3",
+                "--duration", "30", "--seeds", "0:2", "--jobs", jobs,
+                "--out", str(out),
+            ]) == 0
+            cells = json.loads(out.read_text())["cells"]
+            outputs[jobs] = [
+                {k: v for k, v in cell.items() if k != "timings"} for cell in cells
+            ]
+        capsys.readouterr()
+        assert outputs["1"] == outputs["2"]
+
+    def test_fork_sweep_still_prints_the_ablation(self, capsys):
+        assert main([
+            "fork-sweep", "--replicas", "3", "--duration", "40", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fork-rate ablation" in out
+        assert "∞" in out
