@@ -1,0 +1,56 @@
+"""Perf harness under pytest: selection hot path and cached sweeps.
+
+Wraps :mod:`repro.engine.bench` in the benchmark-suite idiom (time *and*
+assert): the fork-heavy selection scenarios must beat the brute-force
+``_reference_*`` baseline — measured in the same run — by at least 5×,
+and a warm cached sweep must be served entirely from disk.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_perf_harness.py -q
+
+When ``REPRO_BENCH_REPORT`` points at an existing ``BENCH_*.json`` (as in
+the CI bench-smoke job, which has just produced one via
+``python -m repro bench --quick``), the assertions run against that
+artifact instead of re-executing every scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True)
+    path = write_report(report, tmp_path)
+    assert path.name.startswith("BENCH_") and path.suffix == ".json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_perf_harness_expectations(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    scenarios = report["scenarios"]
+
+    for name in (
+        "selection_longest_fork_heavy",
+        "selection_heaviest_fork_heavy",
+        "selection_ghost_fork_heavy",
+    ):
+        speedup = scenarios[name]["speedup"]
+        assert speedup is not None and speedup >= 5.0, (
+            f"{name}: indexed selection only {speedup:.1f}x faster than the "
+            "brute-force reference baseline (expected >= 5x)"
+        )
+
+    cache = scenarios["cache_sweep"]
+    assert cache["cold_hits"] == 0
+    assert cache["warm_hits"] == cache["cells"]

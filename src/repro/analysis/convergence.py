@@ -57,14 +57,30 @@ class ConvergenceSummary:
 def common_prefix_depth(
     chains: Sequence[Blockchain], score: Optional[ScoreFunction] = None
 ) -> float:
-    """Score of the prefix shared by *all* chains (genesis-only → s0)."""
+    """Score of the prefix shared by *all* chains (genesis-only → s0).
+
+    Works on the chains' cached identifier tuples: the shared length is
+    narrowed chain by chain without building any intermediate prefix
+    ``Blockchain`` (each of which would re-validate its whole path); only
+    a non-length score function needs the final prefix materialized.
+    """
     scorer = score if score is not None else LengthScore()
     if not chains:
         return 0.0
-    prefix = chains[0]
+    first_ids = chains[0].ids
+    shared = len(first_ids)
     for chain in chains[1:]:
-        prefix = prefix.common_prefix(chain)
-    return scorer(prefix)
+        ids = chain.ids
+        limit = min(shared, len(ids))
+        k = 0
+        while k < limit and first_ids[k] == ids[k]:
+            k += 1
+        shared = k
+        if shared <= 1:  # genesis only — cannot shrink further
+            break
+    if isinstance(scorer, LengthScore):
+        return float(shared - 1)
+    return scorer(chains[0].prefix(shared - 1))
 
 
 def divergence_by_pair(

@@ -49,18 +49,27 @@ class ForkStatistics:
         return self.fork_points / non_genesis
 
 
+_LONGEST = LongestChain()
+
+
 def fork_statistics(
     tree: BlockTree, selection: Optional[SelectionFunction] = None
 ) -> ForkStatistics:
-    """Compute :class:`ForkStatistics` for one tree."""
-    chain = (selection if selection is not None else LongestChain())(tree)
+    """Compute :class:`ForkStatistics` for one tree.
+
+    The selected-chain length is recovered from the tree's cached heights
+    (``height_of(tip) + 1``) rather than by measuring a rematerialized
+    chain, and the selection itself is index-backed and memoized, so this
+    is cheap even on large fork-heavy trees.
+    """
+    chain = (selection if selection is not None else _LONGEST)(tree)
     return ForkStatistics(
         total_blocks=len(tree),
         height=tree.height,
         leaves=len(tree.leaves()),
         fork_points=len(tree.fork_points()),
         max_fork_degree=tree.max_fork_degree(),
-        blocks_on_selected_chain=len(chain),
+        blocks_on_selected_chain=tree.height_of(chain.tip.block_id) + 1,
     )
 
 

@@ -11,7 +11,12 @@ writing any Python:
   consistency criteria and print the verdicts;
 * ``fork-sweep`` — the fork-rate ablation (oracle bound × delay);
 * ``sweep`` — expand a parameter grid into :class:`ExperimentSpec` cells,
-  fan them out across a process pool, and dump the results as JSON.
+  fan them out across a process pool, and dump the results as JSON
+  (``--cache DIR`` memoizes cells on their spec digest, so re-runs are
+  served from disk without simulating anything);
+* ``bench`` — the perf benchmark harness: times the selection hot path
+  against the pre-index baseline, fork-heavy protocol runs, a Table-1
+  sweep and a cold/warm cached sweep, and writes ``BENCH_<date>.json``.
 
 Every command resolves system names through the protocol registry and
 routes runs through the experiment engine (:mod:`repro.engine`), so a
@@ -32,8 +37,10 @@ from repro.analysis.report import render_classification_table, render_table
 from repro.core.consistency import check_eventual_consistency, check_strong_consistency
 from repro.core.hierarchy import message_passing_hierarchy, refinement_hierarchy
 from repro.engine import (
+    DEFAULT_CACHE_DIR,
     ChannelSpec,
     ExperimentSpec,
+    ResultCache,
     SweepRunner,
     available_protocols,
     expand_grid,
@@ -41,6 +48,7 @@ from repro.engine import (
     regime_spec,
     results_payload,
 )
+from repro.engine.bench import run_bench, write_report
 from repro.protocols.classification import reproduce_table1
 from repro.workload.scenarios import figure2_history, figure3_history, figure4_history
 
@@ -102,6 +110,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
     sweep.add_argument("--out", default="sweep_results.json", help="JSON results path")
+    sweep.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "memoize cells on their spec digest under DIR "
+            f"(default {DEFAULT_CACHE_DIR!r}); cached cells are served from "
+            "disk byte-identically, with zero simulator events"
+        ),
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf benchmark harness; writes BENCH_<date>.json for the perf trajectory",
+    )
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep scenario")
+    bench.add_argument("--out-dir", default=".", help="directory BENCH_<date>.json is written to")
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario sizes (CI smoke); timings are not comparable to full runs",
+    )
 
     return parser
 
@@ -281,7 +314,9 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         axes["oracle_k"] = bounds
 
     specs = expand_grid(base, axes)
-    records = SweepRunner(jobs=args.jobs).run(specs)
+    cache = ResultCache(args.cache) if args.cache is not None else None
+    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    records = runner.run(specs)
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results_payload(records), handle, sort_keys=True, indent=2)
@@ -302,7 +337,39 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         rows,
         title=f"Sweep — {args.protocol} ({len(records)} cells, jobs={args.jobs})",
     )
-    return f"{table}\n\nwrote {len(records)} cells to {args.out}"
+    summary = f"wrote {len(records)} cells to {args.out}"
+    if cache is not None:
+        summary += (
+            f" ({runner.last_cache_hits}/{len(records)} cells from cache {args.cache})"
+        )
+    return f"{table}\n\n{summary}"
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    report = run_bench(seed=args.seed, quick=args.quick, jobs=args.jobs)
+    path = write_report(report, args.out_dir)
+
+    rows: List[List[object]] = []
+    for name, data in sorted(report["scenarios"].items()):
+        if "indexed_seconds" in data:
+            seconds = data["indexed_seconds"]
+            baseline = f"{data['reference_seconds']:.3f}s"
+            speedup = f"{data['speedup']:.1f}x"
+        elif "cold_seconds" in data:
+            seconds = data["warm_seconds"]
+            baseline = f"{data['cold_seconds']:.3f}s"
+            speedup = f"{data['speedup']:.1f}x" if data["speedup"] else "-"
+        else:
+            seconds = data["seconds"]
+            baseline = "-"
+            speedup = "-"
+        rows.append([name, f"{seconds:.3f}s", baseline, speedup])
+    table = render_table(
+        ["scenario", "seconds", "baseline", "speedup"],
+        rows,
+        title=f"Perf bench — seed={args.seed}{' (quick)' if args.quick else ''}",
+    )
+    return f"{table}\n\nwrote {path}"
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
@@ -312,6 +379,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figures": _cmd_figures,
     "fork-sweep": _cmd_fork_sweep,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
 }
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Any, Iterable, Iterator, Optional, Sequence, Tuple
 
 __all__ = [
@@ -210,9 +211,14 @@ class Blockchain:
 
     # -- basic accessors -------------------------------------------------
 
-    @property
+    @cached_property
     def ids(self) -> Tuple[str, ...]:
-        """Tuple of block identifiers, root-first."""
+        """Tuple of block identifiers, root-first (computed once per chain).
+
+        Prefix comparisons and the ``mcps`` computation hammer this tuple,
+        so it is cached on first access (safe: chains are immutable; the
+        cache bypasses the frozen-dataclass ``__setattr__``).
+        """
         return tuple(b.block_id for b in self.blocks)
 
     @property

@@ -16,11 +16,22 @@ message-passing protocol models (:mod:`repro.protocols`).  It supports:
 * extraction of the chain leading to any block (``chain_to``);
 * subtree weights, which the GHOST selection function needs;
 * structural merge (used when a replica receives updates out of order).
+
+Because the selection function ``f(bt)`` is evaluated on virtually every
+delivery/mining event of a protocol run, the tree also maintains the
+*per-leaf score indexes* the selection rules in
+:mod:`repro.core.selection` read: every block's height (chain length
+score) and cumulative root-to-block weight (chain weight score) are
+updated incrementally in ``append`` — and therefore by ``merge`` and
+``copy``, which funnel through or duplicate them — so selecting a tip
+never rematerializes chains.  A monotone ``version`` counter, bumped on
+every mutation, backs a small selection memo (``cached_selection`` /
+``cache_selection``) that makes repeated reads between mutations O(1).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.block import GENESIS_ID, Block, Blockchain, genesis_block
 
@@ -64,6 +75,17 @@ class BlockTree:
         # scanning every block.
         self._height: int = 0
         self._leaves: Dict[str, None] = {root.block_id: None}
+        # Per-leaf score index: cumulative *non-genesis* weight along the
+        # root-to-block path, accumulated root-first so it is bit-identical
+        # to ``WeightScore`` summing the materialized chain.  Together with
+        # ``_heights`` (the length score) this is what the selection rules
+        # read instead of rebuilding every chain.
+        self._cum_weight: Dict[str, float] = {root.block_id: 0.0}
+        # Monotone mutation counter plus a keyed memo of selection results.
+        # ``version`` never decreases and is bumped by every ``append``, so
+        # a memo entry tagged with the current version is still valid.
+        self._version: int = 0
+        self._selection_memo: Dict[Hashable, Tuple[int, Any]] = {}
 
     # -- basic introspection ------------------------------------------------
 
@@ -98,10 +120,50 @@ class BlockTree:
         """Distance from ``block_id`` to the root (genesis has height 0)."""
         return self._heights[block_id]
 
+    def cumulative_weight(self, block_id: str) -> float:
+        """Total non-genesis weight on the path from genesis to ``block_id``.
+
+        This is the incrementally maintained ``WeightScore`` of the chain
+        ending at ``block_id``: the weights are accumulated root-first at
+        append time, so the float is identical to summing the materialized
+        chain block by block.
+        """
+        return self._cum_weight[block_id]
+
     @property
     def height(self) -> int:
         """Height of the tree: the maximal block height (cached, O(1))."""
         return self._height
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumped by every successful append."""
+        return self._version
+
+    # -- selection memo -------------------------------------------------------
+
+    def cached_selection(self, key: Hashable) -> Optional[Any]:
+        """Return the memoized selection result for ``key``, if still valid.
+
+        A memo entry is valid iff it was stored at the current ``version``;
+        any append invalidates (and clears) every entry, so the memo only
+        ever holds current-version results.  The version tag is kept as a
+        second guard for copies.  Unhashable keys simply miss.
+        """
+        try:
+            entry = self._selection_memo.get(key)
+        except TypeError:  # unhashable selection (custom user score object)
+            return None
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        return None
+
+    def cache_selection(self, key: Hashable, value: Any) -> None:
+        """Memoize a selection result for ``key`` at the current version."""
+        try:
+            self._selection_memo[key] = (self._version, value)
+        except TypeError:  # unhashable selection: silently skip the memo
+            pass
 
     def children_of(self, block_id: str) -> Tuple[str, ...]:
         """Identifiers of the direct children of ``block_id``."""
@@ -149,10 +211,18 @@ class BlockTree:
         height = self._heights[block.parent_id] + 1
         self._heights[block.block_id] = height
         self._subtree_weight[block.block_id] = block.weight
+        self._cum_weight[block.block_id] = self._cum_weight[block.parent_id] + block.weight
         if height > self._height:
             self._height = height
         self._leaves.pop(block.parent_id, None)
         self._leaves[block.block_id] = None
+        self._version += 1
+        # Every memo entry is now stale (it was tagged with the previous
+        # version), so drop them eagerly: otherwise per-call selection keys
+        # (e.g. a freshly pinned FixedTipSelection per commit) would
+        # accumulate dead entries for the lifetime of the tree.
+        if self._selection_memo:
+            self._selection_memo.clear()
         # Propagate the new weight to every ancestor so GHOST queries are O(1).
         cursor: Optional[str] = block.parent_id
         while cursor is not None:
@@ -221,28 +291,38 @@ class BlockTree:
 
     def is_ancestor(self, ancestor_id: str, descendant_id: str) -> bool:
         """``True`` iff ``ancestor_id`` lies on the path from ``descendant_id`` to genesis."""
-        if ancestor_id not in self._blocks or descendant_id not in self._blocks:
+        heights = self._heights
+        ancestor_height = heights.get(ancestor_id)
+        descendant_height = heights.get(descendant_id)
+        if ancestor_height is None or descendant_height is None:
             return False
-        if ancestor_id == descendant_id:
-            return True
-        # Walk up from the descendant; heights bound the walk.
-        cursor: Optional[str] = descendant_id
-        target_height = self._heights[ancestor_id]
-        while cursor is not None and self._heights[cursor] > target_height:
-            cursor = self.parent_of(cursor)
+        if ancestor_height > descendant_height:
+            return False
+        # Walk exactly the height gap: the cached heights tell us how many
+        # parent hops separate the two blocks, so no per-step membership or
+        # height re-checks are needed.
+        blocks = self._blocks
+        cursor = descendant_id
+        for _ in range(descendant_height - ancestor_height):
+            cursor = blocks[cursor].parent_id  # type: ignore[assignment]
         return cursor == ancestor_id
 
     def common_ancestor(self, a: str, b: str) -> str:
         """Lowest common ancestor of two blocks (always exists: genesis)."""
-        ca, cb = a, b
-        while self._heights[ca] > self._heights[cb]:
-            ca = self.parent_of(ca)  # type: ignore[assignment]
-        while self._heights[cb] > self._heights[ca]:
-            cb = self.parent_of(cb)  # type: ignore[assignment]
-        while ca != cb:
-            ca = self.parent_of(ca)  # type: ignore[assignment]
-            cb = self.parent_of(cb)  # type: ignore[assignment]
-        return ca
+        blocks = self._blocks
+        height_a, height_b = self._heights[a], self._heights[b]
+        # Equalize levels by walking exactly the height gap, then climb in
+        # lockstep; heights are tracked locally so each step is one dict hit.
+        while height_a > height_b:
+            a = blocks[a].parent_id  # type: ignore[assignment]
+            height_a -= 1
+        while height_b > height_a:
+            b = blocks[b].parent_id  # type: ignore[assignment]
+            height_b -= 1
+        while a != b:
+            a = blocks[a].parent_id  # type: ignore[assignment]
+            b = blocks[b].parent_id  # type: ignore[assignment]
+        return a
 
     def subtree_weight(self, block_id: str) -> float:
         """Total weight of the subtree rooted at ``block_id`` (incl. itself).
@@ -277,6 +357,12 @@ class BlockTree:
         clone._subtree_weight = dict(self._subtree_weight)
         clone._height = self._height
         clone._leaves = dict(self._leaves)
+        clone._cum_weight = dict(self._cum_weight)
+        # The clone is content-identical at this version, so the memoized
+        # selection results (immutable Blockchain values) stay valid for it;
+        # any divergent append bumps the respective tree's own counter.
+        clone._version = self._version
+        clone._selection_memo = dict(self._selection_memo)
         return clone
 
     # -- presentation ---------------------------------------------------------

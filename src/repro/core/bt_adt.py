@@ -46,8 +46,12 @@ class BTState:
     The selection function ``f`` and the predicate ``P`` "are parameters of
     the ADT which are encoded in the state and do not change over the
     computation"; only the tree evolves.  The tree itself is mutable, so
-    state transitions copy it — replay of sequential histories is a test
-    and verification path, not a hot path.
+    *mutating* transitions copy it before appending; transitions that do
+    not mutate the tree (``read()`` and a rejected ``append``) return the
+    incoming state unchanged — same object, same tree, zero copies.  The
+    selection results memoized on the tree survive the copy (the copy is
+    content-identical at the same version), so replaying a history does
+    not re-evaluate ``f`` from scratch at every step.
     """
 
     tree: BlockTree
@@ -82,6 +86,10 @@ class BTADT(AbstractDataType[BTState]):
         )
 
     def transition(self, state: BTState, symbol: InputSymbol) -> BTState:
+        # Copy-discipline audit: only the accepted-append branch below may
+        # copy the tree.  ``read()`` and a rejected ``append`` are identity
+        # transitions and must return ``state`` itself (shared tree, no
+        # copy) — tests pin this down via object identity.
         if symbol.name == READ:
             return state
         if symbol.name == APPEND:

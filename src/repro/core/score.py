@@ -116,6 +116,10 @@ def mcps(a: Blockchain, b: Blockchain, score: ScoreFunction | None = None) -> fl
         :class:`LengthScore`, the convention used in Figures 2–4.
     """
     scorer = score if score is not None else LengthScore()
+    if isinstance(scorer, LengthScore):
+        # Length of the common prefix is known from the id tuples alone;
+        # skip materializing (and re-validating) the prefix chain.
+        return float(common_prefix_length(a, b))
     return scorer(a.common_prefix(b))
 
 

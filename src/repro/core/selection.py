@@ -15,6 +15,17 @@ example of Figure 2 ("in case of equality, selects the largest based on
 the lexicographical order").  Determinism matters because the consistency
 criteria are stated over read outputs; a nondeterministic ``f`` would make
 the sequential specification ill-defined.
+
+Performance: the simulator evaluates ``f(bt)`` on virtually every
+delivery/mining event, so the rules below never rematerialize every
+root-to-leaf chain.  They read the per-leaf score indexes the tree
+maintains incrementally (heights for the length score, cumulative weights
+for the weight score, subtree weights for GHOST) and only build the one
+winning chain — then memoize it against the tree's ``version`` counter,
+so repeated ``read()`` / tip queries between mutations cost O(1).  The
+original brute-force implementations are kept as ``_reference_*`` oracles
+for the randomized equivalence tests and as the pre-index baseline the
+perf bench (``python -m repro bench``) measures against.
 """
 
 from __future__ import annotations
@@ -65,21 +76,71 @@ class ScoreMaximizingSelection:
     This is the generic form of which :class:`LongestChain` and
     :class:`HeaviestChain` are the two named instances.  Ties on the score
     are broken lexicographically on the tip identifier.
+
+    For the paper's two score families the per-leaf score is read straight
+    off the tree's incremental indexes (no chain is built until the winner
+    is known); an unknown :class:`ScoreFunction` falls back to scoring each
+    leaf chain — once per chain, not twice.
     """
 
     score: ScoreFunction = field(default_factory=LengthScore)
 
     def __call__(self, tree: BlockTree) -> Blockchain:
-        chains = tree.all_chains()
-        if not chains:  # pragma: no cover - a tree always has >= 1 leaf
+        cached = tree.cached_selection(self)
+        if cached is not None:
+            return cached
+        winner = self._select_tip(tree)
+        if winner is not None:
+            chain = tree.chain_to(winner)
+        else:
+            chain = self._select_by_scoring_chains(tree)
+        tree.cache_selection(self, chain)
+        return chain
+
+    def _select_tip(self, tree: BlockTree) -> Optional[str]:
+        """Winning tip from the per-leaf indexes, or ``None`` if the score
+        function is not index-backed.
+
+        The comparison key ``(score, leaf_id)`` reproduces exactly the
+        brute-force semantics: maximal score first, lexicographically
+        largest tip identifier among score ties.
+        """
+        score = self.score
+        if isinstance(score, LengthScore):
+            def leaf_score(leaf: str) -> float:
+                return float(tree.height_of(leaf))
+        elif isinstance(score, WeightScore):
+            increment = score.min_increment
+            if increment:
+                def leaf_score(leaf: str) -> float:
+                    return float(
+                        tree.cumulative_weight(leaf) + increment * tree.height_of(leaf)
+                    )
+            else:
+                def leaf_score(leaf: str) -> float:
+                    return float(tree.cumulative_weight(leaf))
+        else:
+            return None
+        best_key: Optional[Tuple[float, str]] = None
+        for leaf in tree.leaves():
+            key = (leaf_score(leaf), leaf)
+            if best_key is None or key > best_key:
+                best_key = key
+        assert best_key is not None  # a tree always has >= 1 leaf
+        return best_key[1]
+
+    def _select_by_scoring_chains(self, tree: BlockTree) -> Blockchain:
+        """Generic fallback: score every leaf chain exactly once."""
+        score = self.score
+        best: Optional[Tuple[float, str]] = None
+        winner: Optional[Blockchain] = None
+        for chain in tree.all_chains():
+            key = (score(chain), chain.tip.block_id)
+            if best is None or key > best:
+                best, winner = key, chain
+        if winner is None:  # pragma: no cover - a tree always has >= 1 leaf
             return Blockchain.genesis_only(tree.genesis)
-        best_score = max(self.score(c) for c in chains)
-        tied = [c for c in chains if self.score(c) == best_score]
-        winner_tip = _lexicographic_tiebreak([c.tip.block_id for c in tied])
-        for chain in tied:
-            if chain.tip.block_id == winner_tip:
-                return chain
-        raise AssertionError("unreachable: tie-break winner must be among ties")
+        return winner
 
 
 @dataclass(frozen=True)
@@ -87,7 +148,7 @@ class LongestChain:
     """The longest-chain rule (Bitcoin's original description, Figure 2)."""
 
     def __call__(self, tree: BlockTree) -> Blockchain:
-        return ScoreMaximizingSelection(LengthScore())(tree)
+        return _LONGEST(tree)
 
 
 @dataclass(frozen=True)
@@ -100,7 +161,7 @@ class HeaviestChain:
     """
 
     def __call__(self, tree: BlockTree) -> Blockchain:
-        return ScoreMaximizingSelection(WeightScore())(tree)
+        return _HEAVIEST(tree)
 
 
 @dataclass(frozen=True)
@@ -111,17 +172,38 @@ class GHOSTSelection:
     block, repeatedly descend into the child whose *subtree* carries the
     most weight, until a leaf is reached.  Ties are broken
     lexicographically for determinism.
+
+    The descent reads the tree's cached subtree weights (one comparison
+    pass per level) and the resulting chain is memoized against the tree
+    version, so repeated reads between mutations are O(1).
     """
 
     def __call__(self, tree: BlockTree) -> Blockchain:
+        cached = tree.cached_selection(self)
+        if cached is not None:
+            return cached
         cursor = tree.genesis.block_id
         while True:
             children = tree.children_of(cursor)
             if not children:
-                return tree.chain_to(cursor)
-            best_weight = max(tree.subtree_weight(c) for c in children)
-            tied = [c for c in children if tree.subtree_weight(c) == best_weight]
-            cursor = _lexicographic_tiebreak(tied)
+                break
+            best: Optional[Tuple[float, str]] = None
+            for child in children:
+                key = (tree.subtree_weight(child), child)
+                if best is None or key > best:
+                    best = key
+            cursor = best[1]  # type: ignore[index]
+        chain = tree.chain_to(cursor)
+        tree.cache_selection(self, chain)
+        return chain
+
+
+# Shared, stateless rule instances: ``LongestChain``/``HeaviestChain`` (and
+# the ``FixedTipSelection`` fallback) delegate here instead of constructing
+# a fresh inner selection + score object on every call.  Sharing is safe —
+# the instances are frozen and the memo lives on the tree, not the rule.
+_LONGEST = ScoreMaximizingSelection(LengthScore())
+_HEAVIEST = ScoreMaximizingSelection(WeightScore())
 
 
 @dataclass(frozen=True)
@@ -140,9 +222,76 @@ class FixedTipSelection:
 
     def __call__(self, tree: BlockTree) -> Blockchain:
         if self.tip_id is not None and self.tip_id in tree:
-            return tree.chain_to(self.tip_id)
-        return LongestChain()(tree)
+            cached = tree.cached_selection(self)
+            if cached is not None:
+                return cached
+            chain = tree.chain_to(self.tip_id)
+            tree.cache_selection(self, chain)
+            return chain
+        return _LONGEST(tree)
 
     def pinned_to(self, tip_id: str) -> "FixedTipSelection":
         """Return a copy pinned to ``tip_id`` (selection functions are frozen)."""
         return FixedTipSelection(tip_id=tip_id)
+
+
+# ---------------------------------------------------------------------------
+# Reference oracles — the pre-index brute-force implementations
+# ---------------------------------------------------------------------------
+#
+# These reproduce, verbatim, the original O(leaves × depth) selection code
+# that rebuilt every root-to-leaf chain per call (and scored each chain
+# twice).  They exist for two consumers only: the randomized equivalence
+# tests (tests/core/test_selection_equivalence.py) use them as oracles, and
+# the perf bench harness (repro.engine.bench) times them as the in-run
+# baseline the indexed rules are compared against.  Do not "optimize" them.
+
+
+@dataclass(frozen=True)
+class _ReferenceScoreMaximizingSelection:
+    """Brute-force oracle: materialize and score every chain per call."""
+
+    score: ScoreFunction = field(default_factory=LengthScore)
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        chains = tree.all_chains()
+        if not chains:  # pragma: no cover - a tree always has >= 1 leaf
+            return Blockchain.genesis_only(tree.genesis)
+        best_score = max(self.score(c) for c in chains)
+        tied = [c for c in chains if self.score(c) == best_score]
+        winner_tip = _lexicographic_tiebreak([c.tip.block_id for c in tied])
+        for chain in tied:
+            if chain.tip.block_id == winner_tip:
+                return chain
+        raise AssertionError("unreachable: tie-break winner must be among ties")
+
+
+@dataclass(frozen=True)
+class _ReferenceLongestChain:
+    """Brute-force oracle for the longest-chain rule."""
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        return _ReferenceScoreMaximizingSelection(LengthScore())(tree)
+
+
+@dataclass(frozen=True)
+class _ReferenceHeaviestChain:
+    """Brute-force oracle for the heaviest-chain rule."""
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        return _ReferenceScoreMaximizingSelection(WeightScore())(tree)
+
+
+@dataclass(frozen=True)
+class _ReferenceGHOSTSelection:
+    """Pre-memo GHOST oracle: full unmemoized descent, two passes per level."""
+
+    def __call__(self, tree: BlockTree) -> Blockchain:
+        cursor = tree.genesis.block_id
+        while True:
+            children = tree.children_of(cursor)
+            if not children:
+                return tree.chain_to(cursor)
+            best_weight = max(tree.subtree_weight(c) for c in children)
+            tied = [c for c in children if tree.subtree_weight(c) == best_weight]
+            cursor = _lexicographic_tiebreak(tied)

@@ -13,7 +13,12 @@ models goes through:
   + timings);
 * :mod:`repro.engine.sweep` — grid expansion and the
   :class:`SweepRunner` process-pool fan-out with a deterministic serial
-  fallback.
+  fallback;
+* :mod:`repro.engine.cache` — :class:`ResultCache`, the content-addressed
+  memoization store keyed on ``ExperimentSpec.to_json()`` (wired into
+  :class:`SweepRunner` and the CLI's ``--cache`` flag);
+* :mod:`repro.engine.bench` — the perf benchmark harness behind
+  ``python -m repro bench`` (emits ``BENCH_<date>.json``).
 
 Typical use::
 
@@ -43,6 +48,7 @@ from repro.engine.spec import (
     regime_spec,
     table1_spec,
 )
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache, spec_digest
 from repro.engine.result import RunResult, analyse_run
 from repro.engine.sweep import SweepRunner, derive_seed, expand_grid, results_payload
 
@@ -63,6 +69,9 @@ __all__ = [
     "table1_spec",
     "RunResult",
     "analyse_run",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "spec_digest",
     "SweepRunner",
     "derive_seed",
     "expand_grid",

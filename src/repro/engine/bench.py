@@ -1,0 +1,279 @@
+"""Perf benchmark harness: ``python -m repro bench``.
+
+The repo's north star demands the simulator run "as fast as the hardware
+allows", which is only meaningful with a recorded perf trajectory.  This
+harness times a fixed set of representative scenarios and emits a
+``BENCH_<date>.json`` artifact so every future PR can be compared against
+the ones before it:
+
+* ``selection_*_fork_heavy`` — the selection hot path: a deterministic
+  fork-heavy append/read trace replayed twice, once through the
+  index-backed rules and once through the brute-force ``_reference_*``
+  oracles (the pre-index implementations, kept verbatim in
+  :mod:`repro.core.selection`).  The reported ``speedup`` is therefore
+  measured against the pre-PR baseline *in the same run*, on the same
+  machine, on the same trace.
+* ``run_*_fork_heavy`` — wall-clock of whole fork-prone protocol runs
+  (longest-chain Bitcoin and GHOST Ethereum) through the engine.
+* ``table1_sweep`` — a small Table-1 sweep through :class:`SweepRunner`.
+* ``cache_sweep`` — the same sweep cold vs. warm through a
+  :class:`~repro.engine.cache.ResultCache` (the warm pass must be all
+  hits: zero simulator events).
+
+Scenario sizes are deterministic functions of ``seed`` and the ``quick``
+flag (used by the CI bench-smoke job); timings are the only
+non-deterministic values in the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Tuple, Union
+
+from repro.core.block import GENESIS_ID, Block
+from repro.core.blocktree import BlockTree
+from repro.core.selection import (
+    GHOSTSelection,
+    HeaviestChain,
+    LongestChain,
+    SelectionFunction,
+    _ReferenceGHOSTSelection,
+    _ReferenceHeaviestChain,
+    _ReferenceLongestChain,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.registry import available_protocols
+from repro.engine.spec import ChannelSpec, ExperimentSpec, table1_spec
+from repro.engine.sweep import SweepRunner
+
+__all__ = ["run_bench", "write_report", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Rules exercised by the selection hot-path scenario: name → (indexed, reference).
+_SELECTION_RULES: Dict[str, Tuple[Callable[[], SelectionFunction], Callable[[], SelectionFunction]]] = {
+    "longest": (LongestChain, _ReferenceLongestChain),
+    "heaviest": (HeaviestChain, _ReferenceHeaviestChain),
+    "ghost": (GHOSTSelection, _ReferenceGHOSTSelection),
+}
+
+
+# ---------------------------------------------------------------------------
+# selection hot path
+# ---------------------------------------------------------------------------
+
+
+def _fork_heavy_trace(
+    n_blocks: int, seed: int, fork_probability: float = 0.35, recent_window: int = 25
+) -> List[Block]:
+    """A deterministic append trace producing a deep tree with many forks.
+
+    Most blocks extend the current deepest tip (chain growth); with
+    ``fork_probability`` a block instead forks off one of the recently
+    added blocks, yielding the many-leaves/deep-tree shape that makes the
+    brute-force selections quadratic.  Weights are drawn from a small set
+    so weight ties (the tie-break path) occur constantly.
+    """
+    rng = random.Random(seed)
+    ids: List[str] = [GENESIS_ID]
+    heights: Dict[str, int] = {GENESIS_ID: 0}
+    tip = GENESIS_ID
+    trace: List[Block] = []
+    for index in range(n_blocks):
+        if rng.random() < fork_probability:
+            parent = rng.choice(ids[-recent_window:])
+        else:
+            parent = tip
+        block_id = f"blk{index:05d}_{rng.randrange(16 ** 4):04x}"
+        block = Block(
+            block_id, parent, weight=rng.choice((1.0, 1.0, 1.0, 2.0)), creator="bench"
+        )
+        trace.append(block)
+        ids.append(block_id)
+        heights[block_id] = heights[parent] + 1
+        if heights[block_id] >= heights[tip]:
+            tip = block_id
+    return trace
+
+
+def _replay_trace(
+    trace: List[Block], rule: SelectionFunction, reads_per_append: int
+) -> Tuple[float, BlockTree, str]:
+    """Replay append+read cycles through ``rule``; return (seconds, tree, tip).
+
+    ``reads_per_append`` models the protocol replicas' behaviour in
+    :mod:`repro.protocols.base`: every tree mutation is followed by several
+    ``read()``/``current_tip()``/``make_candidate()`` evaluations of the
+    selection function before the next block arrives.
+    """
+    tree = BlockTree()
+    started = time.perf_counter()
+    tip = GENESIS_ID
+    for block in trace:
+        tree.append(block)
+        for _ in range(reads_per_append):
+            tip = rule(tree).tip.block_id
+    return time.perf_counter() - started, tree, tip
+
+
+def _bench_selection(seed: int, quick: bool) -> Dict[str, Any]:
+    n_blocks = 150 if quick else 400
+    # A replica evaluates f(bt) several times per event (periodic read,
+    # candidate tip, mining parent — see repro.protocols.base), so the
+    # trace issues a few reads per mutation.
+    reads_per_append = 3 if quick else 4
+    trace = _fork_heavy_trace(n_blocks, seed)
+    scenarios: Dict[str, Any] = {}
+    for name, (indexed_factory, reference_factory) in _SELECTION_RULES.items():
+        indexed_seconds, tree, indexed_tip = _replay_trace(
+            trace, indexed_factory(), reads_per_append
+        )
+        reference_seconds, _, reference_tip = _replay_trace(
+            trace, reference_factory(), reads_per_append
+        )
+        if indexed_tip != reference_tip:  # pragma: no cover - equivalence bug
+            raise AssertionError(
+                f"selection rule {name!r}: indexed tip {indexed_tip!r} != "
+                f"reference tip {reference_tip!r}"
+            )
+        scenarios[f"selection_{name}_fork_heavy"] = {
+            "indexed_seconds": indexed_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": reference_seconds / indexed_seconds if indexed_seconds else None,
+            "tree_blocks": len(tree),
+            "tree_height": tree.height,
+            "tree_leaves": len(tree.leaves()),
+            "selection_calls": n_blocks * reads_per_append,
+            "final_tip": indexed_tip,
+        }
+    return scenarios
+
+
+# ---------------------------------------------------------------------------
+# protocol runs and sweeps
+# ---------------------------------------------------------------------------
+
+
+def _fork_heavy_spec(protocol: str, seed: int, quick: bool) -> ExperimentSpec:
+    params: Dict[str, Any] = {"token_rate": 0.4}
+    if protocol == "bitcoin":
+        params["selection"] = "longest"
+    return ExperimentSpec(
+        protocol=protocol,
+        replicas=4 if quick else 5,
+        duration=40.0 if quick else 150.0,
+        seed=seed,
+        channel=ChannelSpec(kind="synchronous", params={"delta": 3.0, "min_delay": 0.5}),
+        params=params,
+        label=f"bench:{protocol}-fork-heavy",
+    )
+
+
+def _bench_protocol_runs(seed: int, quick: bool) -> Dict[str, Any]:
+    scenarios: Dict[str, Any] = {}
+    for name, protocol in (("run_longest_fork_heavy", "bitcoin"), ("run_ghost_fork_heavy", "ethereum")):
+        spec = _fork_heavy_spec(protocol, seed, quick)
+        started = time.perf_counter()
+        record = spec.execute()
+        seconds = time.perf_counter() - started
+        scenarios[name] = {
+            "seconds": seconds,
+            "events_processed": record.network["events_processed"],
+            "mean_blocks": record.forks["mean_blocks"],
+            "mean_forks": record.forks["mean_forks"],
+            "events_per_second": (
+                record.network["events_processed"] / seconds if seconds else None
+            ),
+        }
+    return scenarios
+
+
+def _table1_specs(seed: int, quick: bool) -> List[ExperimentSpec]:
+    protocols = sorted(available_protocols())
+    if quick:
+        protocols = [p for p in protocols if p in ("bitcoin", "ethereum", "hyperledger")]
+    n = 3 if quick else 5
+    duration = 30.0 if quick else 60.0
+    return [table1_spec(name, n=n, duration=duration, seed=seed) for name in protocols]
+
+
+def _bench_table1_sweep(seed: int, quick: bool, jobs: int) -> Dict[str, Any]:
+    specs = _table1_specs(seed, quick)
+    runner = SweepRunner(jobs=jobs)
+    started = time.perf_counter()
+    records = runner.run(specs)
+    seconds = time.perf_counter() - started
+    return {
+        "table1_sweep": {
+            "seconds": seconds,
+            "cells": len(records),
+            "jobs": jobs,
+            "labels": [record.label for record in records],
+        }
+    }
+
+
+def _bench_cache_sweep(seed: int, quick: bool) -> Dict[str, Any]:
+    specs = _table1_specs(seed, quick)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_runner = SweepRunner(jobs=1, cache=ResultCache(tmp))
+        started = time.perf_counter()
+        cold = cold_runner.run(specs)
+        cold_seconds = time.perf_counter() - started
+
+        warm_runner = SweepRunner(jobs=1, cache=ResultCache(tmp))
+        started = time.perf_counter()
+        warm = warm_runner.run(specs)
+        warm_seconds = time.perf_counter() - started
+    if [r.to_json() for r in cold] != [r.to_json() for r in warm]:  # pragma: no cover
+        raise AssertionError("cache round-trip is not byte-identical")
+    return {
+        "cache_sweep": {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cells": len(specs),
+            "cold_hits": cold_runner.last_cache_hits,
+            "warm_hits": warm_runner.last_cache_hits,
+            "speedup": cold_seconds / warm_seconds if warm_seconds else None,
+        }
+    }
+
+
+# ---------------------------------------------------------------------------
+# harness entry points
+# ---------------------------------------------------------------------------
+
+
+def run_bench(*, seed: int = 7, quick: bool = False, jobs: int = 1) -> Dict[str, Any]:
+    """Run every scenario and return the report document (JSON-ready)."""
+    scenarios: Dict[str, Any] = {}
+    scenarios.update(_bench_selection(seed, quick))
+    scenarios.update(_bench_protocol_runs(seed, quick))
+    scenarios.update(_bench_table1_sweep(seed, quick, jobs))
+    scenarios.update(_bench_cache_sweep(seed, quick))
+    return {
+        "schema": BENCH_SCHEMA,
+        "date": time.strftime("%Y-%m-%d"),
+        "seed": seed,
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenarios": scenarios,
+    }
+
+
+def write_report(report: Dict[str, Any], out_dir: Union[str, Path] = ".") -> Path:
+    """Write ``BENCH_<date>.json`` under ``out_dir`` and return the path."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{report['date']}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path

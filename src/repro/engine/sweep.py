@@ -24,8 +24,10 @@ from __future__ import annotations
 import itertools
 import json
 import multiprocessing
+import warnings
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.engine.cache import ResultCache
 from repro.engine.result import RunResult
 from repro.engine.spec import ChannelSpec, ExperimentSpec
 
@@ -119,16 +121,53 @@ class SweepRunner:
     ``jobs=1`` runs in-process (results keep their live ``run`` objects);
     ``jobs>1`` fans out over ``multiprocessing``.  Each cell is seeded by
     its spec alone, so both modes are bit-identical up to timings.
+
+    With a :class:`~repro.engine.cache.ResultCache` attached, cells whose
+    spec digest is already stored are served from disk — byte-identical
+    payload, zero simulator events — and only the missing cells execute
+    (and are stored back).  Results always come back in spec order.
     """
 
-    def __init__(self, jobs: int = 1, start_method: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        start_method: Optional[str] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.start_method = start_method
+        self.cache = cache
+        #: Cache hits of the most recent :meth:`run` call (0 without a cache).
+        self.last_cache_hits = 0
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[RunResult]:
         specs = list(specs)
+        if self.cache is None:
+            self.last_cache_hits = 0
+            return self._execute(specs)
+        slots, missing = self.cache.partition(specs)
+        self.last_cache_hits = len(specs) - len(missing)
+        if missing:
+            fresh = self._execute([specs[i] for i in missing])
+            for index, result in zip(missing, fresh):
+                try:
+                    self.cache.put(result)
+                except OSError as error:
+                    # Never lose an already-computed sweep to a cache-write
+                    # failure (read-only dir, disk full): mirror the read
+                    # side, where bad entries degrade to misses.
+                    warnings.warn(
+                        f"result cache write failed ({error}); "
+                        "continuing without caching this cell",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                slots[index] = result
+        return [result for result in slots if result is not None]
+
+    def _execute(self, specs: Sequence[ExperimentSpec]) -> List[RunResult]:
         if self.jobs == 1 or len(specs) <= 1:
             return [spec.execute() for spec in specs]
         try:

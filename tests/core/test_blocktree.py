@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.block import GENESIS, GENESIS_ID, Block
@@ -214,6 +216,127 @@ class TestIncrementalCaches:
         assert linear_tree.height == self._recomputed_height(linear_tree)
         assert linear_tree.leaves() == self._recomputed_leaves(linear_tree)
         assert linear_tree.height == 4  # y-branch is one deeper than x3
+
+
+class TestScoreIndexes:
+    """cumulative weights, the version counter and the selection memo."""
+
+    @staticmethod
+    def _recomputed_cum_weight(tree: BlockTree, block_id: str) -> float:
+        return sum(b.weight for b in tree.chain_to(block_id) if not b.is_genesis)
+
+    def test_cumulative_weight_matches_chain_sum(self):
+        tree = BlockTree()
+        tree.append(Block("a", GENESIS_ID, weight=1.5))
+        tree.append(Block("b", "a", weight=2.0))
+        tree.append(Block("c", GENESIS_ID, weight=0.0))
+        for bid in tree.block_ids():
+            assert tree.cumulative_weight(bid) == pytest.approx(
+                self._recomputed_cum_weight(tree, bid)
+            )
+        assert tree.cumulative_weight(GENESIS_ID) == 0.0
+
+    def test_cumulative_weight_on_random_trees(self):
+        rng = random.Random(5)
+        tree = BlockTree()
+        ids = [GENESIS_ID]
+        for index in range(50):
+            parent = rng.choice(ids)
+            bid = f"w{index:03d}"
+            tree.append(Block(bid, parent, weight=rng.choice((0.0, 0.5, 1.0, 3.0))))
+            ids.append(bid)
+        for bid in ids:
+            assert tree.cumulative_weight(bid) == pytest.approx(
+                self._recomputed_cum_weight(tree, bid)
+            )
+
+    def test_version_is_monotone_and_bumped_per_append(self):
+        tree = BlockTree()
+        assert tree.version == 0
+        tree.append(Block("a", GENESIS_ID))
+        assert tree.version == 1
+        with pytest.raises(DuplicateBlockError):
+            tree.append(Block("a", GENESIS_ID))
+        assert tree.version == 1  # failed appends do not mutate
+        tree.append(Block("b", "a"))
+        assert tree.version == 2
+
+    def test_merge_maintains_indexes(self, linear_tree):
+        other = BlockTree()
+        other.append(Block("x1", GENESIS_ID))
+        other.append(Block("y1", "x1", weight=4.0))
+        before = linear_tree.version
+        linear_tree.merge(other)
+        assert linear_tree.version == before + 1
+        assert linear_tree.cumulative_weight("y1") == pytest.approx(
+            self._recomputed_cum_weight(linear_tree, "y1")
+        )
+
+    def test_copy_carries_indexes_independently(self, forked_tree):
+        clone = forked_tree.copy()
+        assert clone.version == forked_tree.version
+        clone.append(Block("deep", "a3", weight=2.5))
+        assert clone.version == forked_tree.version + 1
+        assert clone.cumulative_weight("deep") == pytest.approx(
+            self._recomputed_cum_weight(clone, "deep")
+        )
+        assert "deep" not in forked_tree
+
+    def test_selection_memo_is_version_guarded(self):
+        tree = BlockTree()
+        tree.append(Block("a", GENESIS_ID))
+        tree.cache_selection("probe", "chain-at-v1")
+        assert tree.cached_selection("probe") == "chain-at-v1"
+        tree.append(Block("b", "a"))
+        assert tree.cached_selection("probe") is None  # invalidated by append
+        tree.cache_selection("probe", "chain-at-v2")
+        assert tree.cached_selection("probe") == "chain-at-v2"
+
+    def test_selection_memo_tolerates_unhashable_keys(self):
+        tree = BlockTree()
+        unhashable = ["not", "hashable"]
+        tree.cache_selection(unhashable, "ignored")  # type: ignore[arg-type]
+        assert tree.cached_selection(unhashable) is None  # type: ignore[arg-type]
+
+
+class TestAncestorWalks:
+    """is_ancestor / common_ancestor walk exactly the cached height gap."""
+
+    @staticmethod
+    def _brute_is_ancestor(tree: BlockTree, ancestor: str, descendant: str) -> bool:
+        if ancestor not in tree or descendant not in tree:
+            return False
+        return ancestor == descendant or ancestor in tree.ancestors(descendant)
+
+    @staticmethod
+    def _brute_common_ancestor(tree: BlockTree, a: str, b: str) -> str:
+        line_a = [a, *tree.ancestors(a)]
+        line_b = set([b, *tree.ancestors(b)])
+        for candidate in line_a:
+            if candidate in line_b:
+                return candidate
+        raise AssertionError("unreachable: genesis is a common ancestor")
+
+    def test_equivalence_on_random_trees(self):
+        rng = random.Random(11)
+        tree = BlockTree()
+        ids = [GENESIS_ID]
+        for index in range(40):
+            bid = f"r{index:03d}"
+            tree.append(Block(bid, rng.choice(ids)))
+            ids.append(bid)
+        for _ in range(300):
+            a, b = rng.choice(ids), rng.choice(ids)
+            assert tree.is_ancestor(a, b) == self._brute_is_ancestor(tree, a, b)
+            assert tree.common_ancestor(a, b) == self._brute_common_ancestor(tree, a, b)
+
+    def test_missing_blocks_are_never_ancestors(self, forked_tree):
+        assert not forked_tree.is_ancestor("missing", "a3")
+        assert not forked_tree.is_ancestor("a1", "missing")
+
+    def test_deeper_block_is_never_an_ancestor_of_a_shallower_one(self, forked_tree):
+        assert not forked_tree.is_ancestor("a3", "a1")
+        assert not forked_tree.is_ancestor("a2", "b1")
 
 
 class TestMergeFailurePaths:

@@ -121,3 +121,46 @@ class TestBlockTreeObject:
         obj = BlockTreeObject(recorder=recorder, process="p1")
         obj.read_quiet()
         assert len(recorder.history()) == 0
+
+
+class TestTransitionCopyDiscipline:
+    """Only accepted appends may copy the tree (Definition 3.1 audit)."""
+
+    def test_read_transition_returns_the_same_state_object(self):
+        adt = BTADT()
+        state = adt.initial_state()
+        symbol = Operation.invocation("read").symbol
+        next_state = adt.transition(state, symbol)
+        assert next_state is state
+        assert next_state.tree is state.tree  # shared, not copied
+
+    def test_rejected_append_transition_shares_the_tree(self):
+        adt = BTADT(predicate=MembershipValidity.of(["allowed"]))
+        state = adt.initial_state()
+        symbol = Operation.invocation("append", Block("rejected", GENESIS_ID)).symbol
+        next_state = adt.transition(state, symbol)
+        assert next_state is state
+        assert next_state.tree is state.tree
+
+    def test_accepted_append_copies_instead_of_mutating(self):
+        adt = BTADT()
+        state = adt.initial_state()
+        symbol = Operation.invocation("append", Block("x", GENESIS_ID)).symbol
+        next_state = adt.transition(state, symbol)
+        assert next_state is not state
+        assert next_state.tree is not state.tree
+        assert "x" in next_state.tree and "x" not in state.tree
+
+    def test_replay_shares_trees_across_non_mutating_steps(self):
+        adt = BTADT(selection=LongestChain())
+        operations = [
+            Operation.invocation("read"),
+            Operation.invocation("append", Block("x", GENESIS_ID)),
+            Operation.invocation("read"),
+            Operation.invocation("read"),
+        ]
+        states = replay(adt, operations)
+        # reads share their predecessor's tree; only the append copied.
+        assert states[0].tree is states[1].tree
+        assert states[1].tree is not states[2].tree
+        assert states[2].tree is states[3].tree is states[4].tree

@@ -1,0 +1,71 @@
+"""Tests for the perf benchmark harness (python -m repro bench)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.bench import (
+    BENCH_SCHEMA,
+    _fork_heavy_trace,
+    _replay_trace,
+    run_bench,
+    write_report,
+)
+from repro.core.selection import LongestChain, _ReferenceLongestChain
+
+
+class TestForkHeavyTrace:
+    def test_trace_is_deterministic_in_the_seed(self):
+        a = _fork_heavy_trace(60, seed=3)
+        b = _fork_heavy_trace(60, seed=3)
+        assert [blk.block_id for blk in a] == [blk.block_id for blk in b]
+        c = _fork_heavy_trace(60, seed=4)
+        assert [blk.block_id for blk in a] != [blk.block_id for blk in c]
+
+    def test_trace_is_actually_fork_heavy(self):
+        trace = _fork_heavy_trace(120, seed=3)
+        _, tree, _ = _replay_trace(trace, LongestChain(), reads_per_append=1)
+        assert len(tree) == 121
+        assert len(tree.leaves()) > 10  # many competing branches
+        assert tree.height > 20  # and real depth, not a star
+
+    def test_replay_agrees_between_indexed_and_reference(self):
+        trace = _fork_heavy_trace(80, seed=5)
+        _, _, indexed_tip = _replay_trace(trace, LongestChain(), 2)
+        _, _, reference_tip = _replay_trace(trace, _ReferenceLongestChain(), 2)
+        assert indexed_tip == reference_tip
+
+
+class TestRunBench:
+    def test_quick_report_shape_and_artifact(self, tmp_path):
+        report = run_bench(seed=11, quick=True)
+        assert report["schema"] == BENCH_SCHEMA
+        scenarios = report["scenarios"]
+        for name in (
+            "selection_longest_fork_heavy",
+            "selection_heaviest_fork_heavy",
+            "selection_ghost_fork_heavy",
+            "run_longest_fork_heavy",
+            "run_ghost_fork_heavy",
+            "table1_sweep",
+            "cache_sweep",
+        ):
+            assert name in scenarios, f"missing scenario {name}"
+        for name in (
+            "selection_longest_fork_heavy",
+            "selection_heaviest_fork_heavy",
+            "selection_ghost_fork_heavy",
+        ):
+            data = scenarios[name]
+            assert data["speedup"] is not None and data["speedup"] > 1.0
+            assert data["indexed_seconds"] > 0
+            assert data["reference_seconds"] > 0
+        cache = scenarios["cache_sweep"]
+        assert cache["cold_hits"] == 0
+        assert cache["warm_hits"] == cache["cells"]
+
+        path = write_report(report, tmp_path)
+        assert path.name == f"BENCH_{report['date']}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["scenarios"].keys() == scenarios.keys()

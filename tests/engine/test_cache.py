@@ -1,0 +1,121 @@
+"""Tests for the spec-keyed ResultCache and its SweepRunner wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ExperimentSpec, ResultCache, SweepRunner, spec_digest
+from repro.engine.spec import ExperimentSpec as Spec
+
+
+def _specs(count: int = 2):
+    return [
+        ExperimentSpec(protocol="hyperledger", replicas=3, duration=30.0, seed=seed)
+        for seed in range(count)
+    ]
+
+
+class TestResultCache:
+    def test_digest_is_stable_and_spec_sensitive(self):
+        a, b = _specs(2)
+        assert spec_digest(a) == spec_digest(ExperimentSpec.from_json(a.to_json()))
+        assert spec_digest(a) != spec_digest(b)
+
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (spec,) = _specs(1)
+        assert cache.get(spec) is None
+        result = spec.execute()
+        path = cache.put(result)
+        assert path.exists() and path.parent == tmp_path
+        cached = cache.get(spec)
+        assert cached is not None
+        assert cached.to_json() == result.to_json()  # byte-identical artifact
+        assert cached.run is None  # live objects never round-trip
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (spec,) = _specs(1)
+        cache.put(spec.execute())
+        cache.path_for(spec).write_text("{not json", encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_entry_for_a_different_spec_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec_a, spec_b = _specs(2)
+        result = spec_a.execute()
+        cache.put(result)
+        # Simulate a collision/hand-copied file: b's slot holds a's payload.
+        cache.path_for(spec_b).write_text(result.to_json(), encoding="utf-8")
+        assert cache.get(spec_b) is None
+        assert cache.get(spec_a) is not None
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (spec,) = _specs(1)
+        cache.get(spec)
+        cache.put(spec.execute())
+        cache.get(spec)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+
+class TestSweepRunnerCache:
+    def test_second_run_performs_zero_simulator_events(self, tmp_path, monkeypatch):
+        specs = _specs(2)
+        cold = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        cold_results = cold.run(specs)
+        assert cold.last_cache_hits == 0
+
+        executions = []
+        original = Spec.execute
+
+        def counting_execute(self):
+            executions.append(self.label or self.protocol)
+            return original(self)
+
+        monkeypatch.setattr(Spec, "execute", counting_execute)
+        warm = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        warm_results = warm.run(specs)
+        assert executions == []  # nothing simulated: all cells from disk
+        assert warm.last_cache_hits == len(specs)
+        assert [r.to_json() for r in warm_results] == [
+            r.to_json() for r in cold_results
+        ]  # byte-identical, timings included
+
+    def test_partial_hits_execute_only_missing_cells(self, tmp_path):
+        specs = _specs(3)
+        first = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        first.run(specs[:1])
+
+        second = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        results = second.run(specs)
+        assert second.last_cache_hits == 1
+        assert [r.spec.seed for r in results] == [0, 1, 2]  # spec order kept
+
+    def test_cache_write_failure_does_not_lose_the_sweep(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def failing_put(result):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache, "put", failing_put)
+        runner = SweepRunner(jobs=1, cache=cache)
+        with pytest.warns(RuntimeWarning, match="cache write failed"):
+            results = runner.run(_specs(2))
+        assert [r.spec.seed for r in results] == [0, 1]  # results survive
+
+    def test_uncached_runner_reports_zero_hits(self):
+        runner = SweepRunner(jobs=1)
+        runner.run(_specs(1))
+        assert runner.last_cache_hits == 0
+
+    def test_cache_results_survive_json_payload_roundtrip(self, tmp_path):
+        specs = _specs(1)
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        (result,) = runner.run(specs)
+        payload = json.loads(result.to_json())
+        assert payload["spec"]["seed"] == 0
+        assert "classification" in payload

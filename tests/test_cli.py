@@ -109,3 +109,47 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "Fork-rate ablation" in out
         assert "∞" in out
+
+    def test_sweep_cache_flag_serves_rerun_from_disk(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "results.json"
+        argv = [
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "30", "--seeds", "0:2", "--out", str(out),
+            "--cache", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0/2 cells from cache" in first
+        first_payload = out.read_text()
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2/2 cells from cache" in second
+        assert out.read_text() == first_payload  # byte-identical re-run
+
+    def test_sweep_cache_flag_defaults_without_a_dir(self):
+        args = build_parser().parse_args(["sweep", "--protocol", "bitcoin", "--cache"])
+        assert args.cache == ".repro-cache"
+        args = build_parser().parse_args(["sweep", "--protocol", "bitcoin"])
+        assert args.cache is None
+
+
+class TestBenchCommand:
+    def test_bench_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.command == "bench"
+        assert args.out_dir == "."
+        assert not args.quick
+
+    def test_bench_quick_writes_artifact_and_prints_speedups(self, capsys, tmp_path):
+        assert main(["bench", "--quick", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Perf bench" in out
+        assert "selection_ghost_fork_heavy" in out
+        artifacts = list(tmp_path.glob("BENCH_*.json"))
+        assert len(artifacts) == 1
+        import json
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["schema"] == "repro.bench/1"
+        assert payload["quick"] is True
