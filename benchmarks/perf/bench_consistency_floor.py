@@ -1,0 +1,53 @@
+"""Perf floor for the consistency-checking hot path.
+
+Mirrors ``bench_perf_harness.py`` for the consistency layer: the
+index-backed SC/EC criteria must beat the brute-force ``_Reference*``
+oracles — timed in the same run, on the same read-heavy histories — by at
+least 5×, and the streaming monitor's verdicts must agree with the
+post-hoc checkers.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_consistency_floor.py -q
+
+Like the sibling harness, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True)
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_consistency_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    scenarios = report["scenarios"]
+
+    for name in ("consistency_strong_chain_heavy", "consistency_eventual_fork_heavy"):
+        data = scenarios[name]
+        assert data["holds"] is True, f"{name}: bench history must satisfy its criterion"
+        speedup = data["speedup"]
+        assert speedup is not None and speedup >= 5.0, (
+            f"{name}: indexed checkers only {speedup:.1f}x faster than the "
+            "brute-force reference oracles (expected >= 5x)"
+        )
+
+    monitor = scenarios["consistency_monitor_fork_heavy"]
+    assert monitor["agrees_with_post_hoc"] is True
+    assert monitor["reads"] > 0 and monitor["events"] > monitor["reads"]

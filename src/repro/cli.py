@@ -5,7 +5,9 @@ writing any Python:
 
 * ``table1`` — run the seven system models and print the reproduced Table 1;
 * ``classify`` — run a single system model and print its classification,
-  fork statistics, convergence and fairness summaries;
+  fork statistics, convergence and fairness summaries (``--monitor``
+  additionally streams the consistency verdicts during the run through
+  the :class:`~repro.core.consistency_index.ConsistencyMonitor`);
 * ``hierarchy`` — print the Figure 8 / Figure 14 hierarchies;
 * ``figures`` — check the Figure 2/3/4 example histories against both
   consistency criteria and print the verdicts;
@@ -14,8 +16,9 @@ writing any Python:
   fan them out across a process pool, and dump the results as JSON
   (``--cache DIR`` memoizes cells on their spec digest, so re-runs are
   served from disk without simulating anything);
-* ``bench`` — the perf benchmark harness: times the selection hot path
-  against the pre-index baseline, fork-heavy protocol runs, a Table-1
+* ``bench`` — the perf benchmark harness: times the selection and
+  consistency-checking hot paths against their pre-index baselines,
+  the streaming consistency monitor, fork-heavy protocol runs, a Table-1
   sweep and a cold/warm cached sweep, and writes ``BENCH_<date>.json``.
 
 Every command resolves system names through the protocol registry and
@@ -78,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use a fork-prone regime for the proof-of-work systems",
     )
+    classify.add_argument(
+        "--monitor",
+        action="store_true",
+        help="stream consistency verdicts during the run (ConsistencyMonitor)",
+    )
 
     sub.add_parser("hierarchy", help="print the Figure 8 and Figure 14 hierarchies")
 
@@ -109,6 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="start from the protocol's fork-prone regime before applying axes",
     )
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument(
+        "--monitor",
+        action="store_true",
+        help=(
+            "maintain consistency verdicts online during each cell "
+            "(streaming ConsistencyMonitor; verdicts land in the JSON results)"
+        ),
+    )
     sweep.add_argument("--out", default="sweep_results.json", help="JSON results path")
     sweep.add_argument(
         "--cache",
@@ -199,6 +215,8 @@ def _cmd_classify(args: argparse.Namespace) -> str:
         seed=args.seed,
         fork_prone=args.fork_prone,
     )
+    if args.monitor:
+        spec = spec.with_updates(monitor=True)
     record = spec.execute()
 
     lines = [
@@ -212,6 +230,21 @@ def _cmd_classify(args: argparse.Namespace) -> str:
         "",
         record.fairness["describe"],
     ]
+    if record.consistency is not None:
+        verdicts = record.consistency["properties"]
+        lines.extend(
+            [
+                "",
+                "streaming monitor (verdicts maintained online, raw history):",
+                f"  strong consistency: {record.consistency['strong']}"
+                f"  eventual consistency: {record.consistency['eventual']}",
+                "  "
+                + "  ".join(f"{name}={holds}" for name, holds in verdicts.items()),
+                f"  reads={record.consistency['reads']}"
+                f"  events={record.consistency['events']}"
+                f"  blocks indexed={record.consistency['blocks_indexed']}",
+            ]
+        )
     return "\n".join(lines)
 
 
@@ -292,6 +325,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         seed=args.seed,
         fork_prone=args.fork_prone,
     )
+    if args.monitor:
+        base = base.with_updates(monitor=True)
 
     axes: Dict[str, Sequence[Any]] = {}
     seeds = _parse_axis(args.seeds, int)

@@ -12,6 +12,8 @@ of the paper:
 * :mod:`repro.core.bt_adt` — the BT-ADT sequential spec (Definition 3.1).
 * :mod:`repro.core.history` — concurrent histories (Definition 2.4).
 * :mod:`repro.core.consistency` — SC and EC criteria (Definitions 3.2–3.4).
+* :mod:`repro.core.consistency_index` — the union prefix index backing the
+  criteria checkers, and the streaming :class:`ConsistencyMonitor`.
 * :mod:`repro.core.hierarchy` — the refinement hierarchy (Figures 8/14).
 """
 
@@ -29,6 +31,7 @@ from repro.core.consistency import (
     check_strong_consistency,
     check_eventual_consistency,
 )
+from repro.core.consistency_index import ConsistencyIndex, ConsistencyMonitor
 from repro.core.hierarchy import Refinement, refinement_hierarchy
 
 __all__ = [
@@ -57,6 +60,8 @@ __all__ = [
     "BTEventualConsistency",
     "check_strong_consistency",
     "check_eventual_consistency",
+    "ConsistencyIndex",
+    "ConsistencyMonitor",
     "Refinement",
     "refinement_hierarchy",
 ]

@@ -75,6 +75,14 @@ class BlockTree:
         # scanning every block.
         self._height: int = 0
         self._leaves: Dict[str, None] = {root.block_id: None}
+        # Fork bookkeeping, also maintained by ``append``: blocks with two
+        # or more children (in the order they *became* fork points), the
+        # maximal child count seen so far, and a height → block ids index
+        # (ids in insertion order, as the former full scan returned them).
+        # ``analysis/forks.py`` queries all three once per replica per run.
+        self._fork_points: Dict[str, None] = {}
+        self._max_fork_degree: int = 0
+        self._by_height: Dict[int, List[str]] = {0: [root.block_id]}
         # Per-leaf score index: cumulative *non-genesis* weight along the
         # root-to-block path, accumulated root-first so it is bit-identical
         # to ``WeightScore`` summing the materialized chain.  Together with
@@ -207,9 +215,15 @@ class BlockTree:
 
         self._blocks[block.block_id] = block
         self._children[block.block_id] = []
-        self._children[block.parent_id].append(block.block_id)
+        siblings = self._children[block.parent_id]
+        siblings.append(block.block_id)
+        if len(siblings) == 2:
+            self._fork_points[block.parent_id] = None
+        if len(siblings) > self._max_fork_degree:
+            self._max_fork_degree = len(siblings)
         height = self._heights[block.parent_id] + 1
         self._heights[block.block_id] = height
+        self._by_height.setdefault(height, []).append(block.block_id)
         self._subtree_weight[block.block_id] = block.weight
         self._cum_weight[block.block_id] = self._cum_weight[block.parent_id] + block.weight
         if height > self._height:
@@ -333,20 +347,30 @@ class BlockTree:
         return self._subtree_weight[block_id]
 
     def fork_points(self) -> Tuple[str, ...]:
-        """Blocks with two or more children, i.e. where forks occurred."""
-        return tuple(b for b, kids in self._children.items() if len(kids) >= 2)
+        """Blocks with two or more children, i.e. where forks occurred.
+
+        Maintained incrementally by ``append`` (a parent enters the tuple
+        the moment its second child arrives), so the query is O(#forks)
+        instead of a scan over every block.
+        """
+        return tuple(self._fork_points)
 
     def fork_degree(self, block_id: str) -> int:
         """Number of children of ``block_id`` — the paper's per-block fork count."""
         return len(self._children[block_id])
 
     def max_fork_degree(self) -> int:
-        """Maximum number of children over all blocks (0 for a bare genesis)."""
-        return max((len(kids) for kids in self._children.values()), default=0)
+        """Maximum number of children over all blocks (0 for a bare genesis).
+
+        Cached: ``append`` bumps the maximum whenever a parent's child
+        count exceeds it (the count never decreases — the tree is
+        append-only).
+        """
+        return self._max_fork_degree
 
     def blocks_at_height(self, height: int) -> Tuple[str, ...]:
-        """All block identifiers at the given height."""
-        return tuple(b for b, h in self._heights.items() if h == height)
+        """All block identifiers at the given height (insertion order), cached."""
+        return tuple(self._by_height.get(height, ()))
 
     def copy(self) -> "BlockTree":
         """Deep-enough copy sharing immutable blocks but not the indices."""
@@ -358,6 +382,9 @@ class BlockTree:
         clone._height = self._height
         clone._leaves = dict(self._leaves)
         clone._cum_weight = dict(self._cum_weight)
+        clone._fork_points = dict(self._fork_points)
+        clone._max_fork_degree = self._max_fork_degree
+        clone._by_height = {k: list(v) for k, v in self._by_height.items()}
         # The clone is content-identical at this version, so the memoized
         # selection results (immutable Blockchain values) stay valid for it;
         # any divergent append bumps the respective tree's own counter.

@@ -1,0 +1,592 @@
+"""Union prefix index and streaming monitor for the consistency criteria.
+
+The consistency checkers of :mod:`repro.core.consistency` quantify over
+*pairs* of read results: Strong Prefix asks whether two chains diverge,
+Eventual Prefix scores their maximal common prefix (``mcps``), Local
+Monotonic Read and Ever Growing Tree compare chain scores.  Evaluated
+chain-by-chain, each of those questions costs O(L) in the chain length —
+and the pair quantification makes the checkers O(R²·L) on a history with
+R reads.
+
+The :class:`ConsistencyIndex` below removes the O(L) factor: every chain
+returned by a read is merged into one *analysis tree* keyed by block id
+(the union of all read results is a tree because chains are paths from
+the same genesis).  A chain is then represented by its **tip**, and the
+pairwise questions become tree queries over incrementally maintained
+heights and cumulative weights:
+
+* prefix relation / divergence — an ancestor test, O(1) with the lazily
+  computed DFS interval labels (or O(height gap) by climbing, which is
+  what the streaming monitor uses while the tree is still growing);
+* ``mcps`` — the score of the lowest common ancestor, read directly off
+  the cached height (length score) or cumulative weight (weight score);
+* chain score — the tip's cached height / cumulative weight.
+
+Ingesting a history is near-linear: each distinct block is inserted once
+(O(1) amortized per block), and a read whose chain is already indexed
+costs O(1) — the merge walks the chain *tip-first* and stops at the first
+known block.
+
+Cumulative weights are accumulated root-first exactly like
+:class:`~repro.core.blocktree.BlockTree` maintains them, so the floats
+are bit-identical to :class:`~repro.core.score.WeightScore` summing a
+materialized chain — which is what lets the indexed checkers reproduce
+the brute-force verdicts byte-for-byte.
+
+Assumption (same as everywhere else in this reproduction): block
+identifiers uniquely identify block *content* within one history, as
+with hash-identified blocks.  The merge verifies the block it stops at
+matches the stored block and raises :class:`InconsistentChainError` on a
+mismatch, so a history violating the assumption fails loudly instead of
+being analysed wrongly.
+
+The :class:`ConsistencyMonitor` at the bottom keeps the index online: it
+subscribes to a :class:`~repro.core.history.HistoryRecorder` and
+maintains the verdict of every consistency property as events stream in,
+O(1) amortized per read, without ever retaining the materialized chains.
+Its verdicts match the post-hoc checkers evaluated on the recorded
+history at any prefix of the execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.block import Block, Blockchain
+from repro.core.history import Event, History, HistoryRecorder
+from repro.core.score import LengthScore, ScoreFunction, WeightScore, mcps
+
+__all__ = ["ConsistencyIndex", "ConsistencyMonitor", "InconsistentChainError"]
+
+
+class InconsistentChainError(ValueError):
+    """Two read results disagree about the content of one block id."""
+
+
+class ConsistencyIndex:
+    """All read results of a history merged into one analysis tree.
+
+    The index is append-only (like the BlockTree it mirrors): chains are
+    merged with :meth:`add_chain`, whole histories with :meth:`ingest`.
+    Queries never mutate the logical content; the DFS interval labels
+    used for O(1) ancestor tests are recomputed lazily after mutations.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, Block] = {}
+        self._parent: Dict[str, Optional[str]] = {}
+        self._children: Dict[str, List[str]] = {}
+        self._height: Dict[str, int] = {}
+        self._cum_weight: Dict[str, float] = {}
+        self._root: Optional[str] = None
+        # Per-read bookkeeping: read eid -> tip block id, and per block the
+        # eid of the first read whose chain introduced it (reads are
+        # ingested in eid order, so "introduced it" = "first returned it").
+        self._read_tips: Dict[int, str] = {}
+        self._first_seen_read: Dict[str, int] = {}
+        # Earliest append-invocation eid per block id (built by ingest()).
+        self._first_append: Dict[str, int] = {}
+        # Lazily recomputed DFS interval labels for O(1) ancestor tests.
+        self._mutations = 0
+        self._labels_at = -1
+        self._tin: Dict[str, int] = {}
+        self._tout: Dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_history(cls, history: History) -> "ConsistencyIndex":
+        """Build and return the index of ``history`` (reads + append map)."""
+        return cls().ingest(history)
+
+    def ingest(self, history: History) -> "ConsistencyIndex":
+        """Merge every read result of ``history`` and its append map."""
+        for inv in history.append_invocations():
+            block = inv.argument
+            if isinstance(block, Block):
+                self._first_append.setdefault(block.block_id, inv.eid)
+        for read in history.read_responses():
+            if isinstance(read.output, Blockchain):
+                self.add_chain(read.chain, read_eid=read.eid)
+        return self
+
+    def add_chain(
+        self, chain: Blockchain, read_eid: Optional[int] = None
+    ) -> List[Block]:
+        """Merge ``chain`` into the analysis tree; return the new blocks.
+
+        Walks the chain tip-first and stops at the first block already
+        indexed, so a fully known chain costs O(1) and the total merge
+        cost over a history is O(distinct blocks + reads).  The block at
+        the stop point is compared against the stored block, enforcing
+        the id-uniqueness assumption documented in the module docstring.
+        """
+        blocks = chain.blocks
+        if self._root is None:
+            genesis = blocks[0]
+            self._root = genesis.block_id
+            self._blocks[genesis.block_id] = genesis
+            self._parent[genesis.block_id] = None
+            self._children[genesis.block_id] = []
+            self._height[genesis.block_id] = 0
+            self._cum_weight[genesis.block_id] = 0.0
+
+        known = self._blocks
+        i = len(blocks) - 1
+        while i >= 0 and blocks[i].block_id not in known:
+            i -= 1
+        if i < 0:
+            raise InconsistentChainError(
+                f"chain rooted at {blocks[0].block_id!r} does not share the "
+                f"index genesis {self._root!r}"
+            )
+        stop = blocks[i]
+        if known[stop.block_id] != stop:
+            raise InconsistentChainError(
+                f"block id {stop.block_id!r} carries different content in "
+                "different read results"
+            )
+
+        new_blocks = blocks[i + 1 :]
+        for block in new_blocks:
+            parent_id = block.parent_id
+            assert parent_id is not None  # genesis is always the stop block
+            bid = block.block_id
+            known[bid] = block
+            self._parent[bid] = parent_id
+            self._children[bid] = []
+            self._children[parent_id].append(bid)
+            self._height[bid] = self._height[parent_id] + 1
+            self._cum_weight[bid] = self._cum_weight[parent_id] + block.weight
+            if read_eid is not None:
+                self._first_seen_read[bid] = read_eid
+        if new_blocks:
+            self._mutations += 1
+        if read_eid is not None:
+            self._read_tips[read_eid] = blocks[-1].block_id
+        return list(new_blocks)
+
+    # -- basic accessors ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: object) -> bool:
+        return block_id in self._blocks
+
+    def block(self, block_id: str) -> Block:
+        return self._blocks[block_id]
+
+    def block_ids(self) -> Tuple[str, ...]:
+        """Identifiers in insertion (parents-first) order."""
+        return tuple(self._blocks)
+
+    def parent_of(self, block_id: str) -> Optional[str]:
+        return self._parent[block_id]
+
+    def height_of(self, block_id: str) -> int:
+        return self._height[block_id]
+
+    def cumulative_weight(self, block_id: str) -> float:
+        """Root-first accumulated non-genesis weight up to ``block_id``."""
+        return self._cum_weight[block_id]
+
+    def read_tip(self, read_eid: int) -> str:
+        """Tip block id of the chain returned by the read with ``read_eid``."""
+        return self._read_tips[read_eid]
+
+    def first_seen_read(self, block_id: str) -> Optional[int]:
+        """Eid of the earliest read whose chain contains ``block_id``."""
+        return self._first_seen_read.get(block_id)
+
+    def first_append(self, block_id: str) -> Optional[int]:
+        """Eid of the earliest append invocation for ``block_id``."""
+        return self._first_append.get(block_id)
+
+    def note_append(self, block_id: str, eid: int) -> None:
+        """Record an append invocation (streaming counterpart of ingest)."""
+        self._first_append.setdefault(block_id, eid)
+
+    # -- ancestry -------------------------------------------------------------
+
+    def _ensure_labels(self) -> None:
+        if self._labels_at == self._mutations or self._root is None:
+            return
+        tin: Dict[str, int] = {}
+        tout: Dict[str, int] = {}
+        clock = 0
+        # Iterative DFS (histories can hold chains deeper than the
+        # interpreter's recursion limit).
+        stack: List[Tuple[str, bool]] = [(self._root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                tout[node] = clock
+                clock += 1
+                continue
+            tin[node] = clock
+            clock += 1
+            stack.append((node, True))
+            stack.extend((child, False) for child in self._children[node])
+        self._tin, self._tout = tin, tout
+        self._labels_at = self._mutations
+
+    def is_prefix(self, ancestor_id: str, descendant_id: str) -> bool:
+        """``True`` iff the chain to ``ancestor_id`` prefixes the one to
+        ``descendant_id`` (ancestor-or-equal in the analysis tree), O(1)."""
+        self._ensure_labels()
+        tin = self._tin
+        return tin[ancestor_id] <= tin[descendant_id] <= self._tout[ancestor_id]
+
+    def prefix_related(self, a: str, b: str) -> bool:
+        """``True`` iff the chains to ``a`` and ``b`` do *not* diverge."""
+        self._ensure_labels()
+        tin, tout = self._tin, self._tout
+        ta, tb = tin[a], tin[b]
+        if ta <= tb:
+            return tb <= tout[a]
+        return ta <= tout[b]
+
+    def prefix_related_climb(self, a: str, b: str) -> bool:
+        """Label-free variant walking exactly the height gap.
+
+        Used by the streaming monitor, where the tree mutates on every
+        read and recomputing interval labels would be O(V) per event.
+        """
+        height = self._height
+        ha, hb = height[a], height[b]
+        if ha > hb:
+            a, b, ha, hb = b, a, hb, ha
+        parent = self._parent
+        cursor = b
+        for _ in range(hb - ha):
+            cursor = parent[cursor]  # type: ignore[assignment]
+        return cursor == a
+
+    def lowest_common_ancestor(self, a: str, b: str) -> str:
+        """LCA of two blocks (always exists: the shared genesis)."""
+        height, parent = self._height, self._parent
+        ha, hb = height[a], height[b]
+        while ha > hb:
+            a = parent[a]  # type: ignore[assignment]
+            ha -= 1
+        while hb > ha:
+            b = parent[b]  # type: ignore[assignment]
+            hb -= 1
+        while a != b:
+            a = parent[a]  # type: ignore[assignment]
+            b = parent[b]  # type: ignore[assignment]
+        return a
+
+    # -- scores ---------------------------------------------------------------
+
+    def path_score(self, block_id: str, score: ScoreFunction) -> Optional[float]:
+        """Score of the chain ending at ``block_id``, off the indexes.
+
+        Returns ``None`` for score functions that are not index-backed
+        (callers fall back to scoring the materialized chain; the two
+        built-in families cover every score used in this reproduction).
+        """
+        if isinstance(score, LengthScore):
+            return float(self._height[block_id])
+        if isinstance(score, WeightScore):
+            base = self._cum_weight[block_id]
+            return float(base + score.min_increment * self._height[block_id])
+        return None
+
+    def score_of_read(self, read: Event, score: ScoreFunction) -> float:
+        """Score of the chain returned by ``read`` (index-backed when possible)."""
+        value = self.path_score(self._read_tips[read.eid], score)
+        if value is not None:
+            return value
+        return score(read.chain)
+
+    def mcps_of_tips(
+        self,
+        a: str,
+        b: str,
+        score: ScoreFunction,
+        chains: Optional[Tuple[Blockchain, Blockchain]] = None,
+    ) -> float:
+        """``mcps`` of the chains ending at tips ``a`` and ``b``.
+
+        For the index-backed score families this is the cached score of
+        the LCA; for generic scores the caller must supply the two
+        materialized ``chains`` and the computation defers to
+        :func:`repro.core.score.mcps` for byte-identical results.
+        """
+        if isinstance(score, (LengthScore, WeightScore)):
+            lca = self.lowest_common_ancestor(a, b)
+            value = self.path_score(lca, score)
+            assert value is not None
+            return value
+        if chains is None:
+            raise ValueError(
+                "mcps over a custom score function needs the materialized chains"
+            )
+        return mcps(chains[0], chains[1], score)
+
+    def tips_totally_ordered(self, tips: List[str]) -> bool:
+        """``True`` iff every pair of ``tips`` is ancestry-comparable.
+
+        This is the Strong Prefix fast path: dedupe, sort by height and
+        verify consecutive ancestry (ancestry is transitive along a
+        height-sorted sequence, so consecutive checks imply all pairs).
+        """
+        distinct = sorted(set(tips), key=lambda t: (self._height[t], t))
+        return all(
+            self.is_prefix(distinct[k], distinct[k + 1])
+            for k in range(len(distinct) - 1)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Streaming monitor
+# ---------------------------------------------------------------------------
+
+
+class ConsistencyMonitor:
+    """Online consistency verdicts over a stream of history events.
+
+    Subscribe the monitor to a live :class:`HistoryRecorder` with
+    :meth:`attach` (or feed it a recorded history with :meth:`replay`);
+    it maintains, per consistency property, the verdict the post-hoc
+    checkers of :mod:`repro.core.consistency` would return on the
+    history recorded *so far* — evaluated against the raw event stream,
+    i.e. the same history ``recorder.history()`` snapshots.
+
+    State is O(distinct blocks + processes): the union
+    :class:`ConsistencyIndex`, one score per process, the Ever Growing
+    Tree stall deque and the Eventual Prefix limit views.  No
+    materialized chain is retained, which is what makes the monitor
+    suitable for long-duration sweeps whose histories would otherwise
+    hold O(R·L) chain snapshots alive during analysis.
+
+    ``require_all_pairs`` (a test-only diagnostic of the post-hoc
+    Eventual Prefix checker) is not supported.
+    """
+
+    def __init__(
+        self,
+        score: Optional[ScoreFunction] = None,
+        validator: Optional[Callable[[Block], bool]] = None,
+        stall_threshold: Optional[int] = None,
+    ) -> None:
+        self.score = score if score is not None else LengthScore()
+        self.validator = validator
+        self.stall_threshold = stall_threshold
+        self.index = ConsistencyIndex()
+        self.reads_seen = 0
+        self.events_seen = 0
+        # block-validity
+        self._validity_ok = True
+        self._validator_memo: Dict[str, bool] = {}
+        # local-monotonic-read
+        self._lmr_ok = True
+        self._last_score: Dict[str, float] = {}
+        # strong-prefix: the deepest tip seen; sticky-false on divergence.
+        self._sp_ok = True
+        self._sp_max_tip: Optional[str] = None
+        # ever-growing-tree: "active" reads (no later read exceeds their
+        # score) as (read_index, score), scores non-increasing.
+        self._egt_active: Deque[Tuple[int, float]] = deque()
+        # eventual-prefix: per process the last read (eid, tip), plus the
+        # running prefix-maximum of read scores stored at its increase
+        # points (eid, new_max) for binary search.
+        self._ep_limit: Dict[str, Tuple[int, str]] = {}
+        self._ep_prefix_max: List[Tuple[int, float]] = []
+        self._ep_pair_memo: Dict[Tuple[str, str], float] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, recorder: HistoryRecorder) -> "ConsistencyMonitor":
+        """Subscribe to every event ``recorder`` will record."""
+        recorder.subscribe(self.observe)
+        return self
+
+    def replay(self, history: History) -> "ConsistencyMonitor":
+        """Feed an already recorded history through the monitor."""
+        for event in history:
+            self.observe(event)
+        return self
+
+    # -- event intake ---------------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        """Process one history event (non read/append events are ignored)."""
+        self.events_seen += 1
+        if event.is_append_invocation and isinstance(event.argument, Block):
+            self.index.note_append(event.argument.block_id, event.eid)
+        elif event.is_read_response and isinstance(event.output, Blockchain):
+            self._observe_read(event)
+
+    def _observe_read(self, event: Event) -> None:
+        index = self.index
+        chain: Blockchain = event.output
+        new_blocks = index.add_chain(chain, read_eid=event.eid)
+        tip = chain.tip.block_id
+        value = index.path_score(tip, self.score)
+        s = value if value is not None else self.score(chain)
+
+        # Block validity: only newly indexed blocks need checking — an
+        # already-indexed block either violated at its first read (the
+        # verdict is sticky) or was appended before that earlier read and
+        # is therefore appended before this one too.
+        for block in new_blocks:
+            if self.validator is not None and not self._is_valid(block):
+                self._validity_ok = False
+            first_append = index.first_append(block.block_id)
+            if first_append is None or first_append >= event.eid:
+                self._validity_ok = False
+
+        # Local monotonic read.
+        previous = self._last_score.get(event.process)
+        if previous is not None and previous > s:
+            self._lmr_ok = False
+        self._last_score[event.process] = s
+
+        # Strong prefix: every new tip must be comparable with the deepest
+        # tip seen so far (all earlier tips lie on the root path to it, so
+        # comparability with the maximum implies comparability with all).
+        if self._sp_ok:
+            if self._sp_max_tip is None:
+                self._sp_max_tip = tip
+            elif index.prefix_related_climb(tip, self._sp_max_tip):
+                if index.height_of(tip) > index.height_of(self._sp_max_tip):
+                    self._sp_max_tip = tip
+            else:
+                self._sp_ok = False
+
+        # Ever growing tree: drop active reads this read's score exceeds;
+        # equal scores do not count as growth and stay active.
+        active = self._egt_active
+        while active and active[-1][1] < s:
+            active.pop()
+        active.append((self.reads_seen, s))
+
+        # Eventual prefix limit views and the score prefix-maximum.
+        self._ep_limit[event.process] = (event.eid, tip)
+        if not self._ep_prefix_max or s > self._ep_prefix_max[-1][1]:
+            self._ep_prefix_max.append((event.eid, s))
+
+        self.reads_seen += 1
+
+    def _is_valid(self, block: Block) -> bool:
+        memo = self._validator_memo
+        verdict = memo.get(block.block_id)
+        if verdict is None:
+            assert self.validator is not None
+            verdict = memo[block.block_id] = bool(self.validator(block))
+        return verdict
+
+    # -- verdicts -------------------------------------------------------------
+
+    def block_validity_holds(self) -> bool:
+        return self._validity_ok
+
+    def local_monotonic_read_holds(self) -> bool:
+        return self._lmr_ok
+
+    def strong_prefix_holds(self) -> bool:
+        return self._sp_ok
+
+    def ever_growing_tree_holds(self) -> bool:
+        if self.stall_threshold is None or not self._egt_active:
+            return True
+        oldest_index = self._egt_active[0][0]
+        # A violating read needs at least one later read (even with a zero
+        # threshold), hence the floor of 1 on the required stall count.
+        required = max(self.stall_threshold, 1)
+        return (self.reads_seen - 1 - oldest_index) < required
+
+    def eventual_prefix_holds(self) -> bool:
+        limits = list(self._ep_limit.values())
+        index = self.index
+        for x in range(len(limits)):
+            eid_a, tip_a = limits[x]
+            for y in range(x + 1, len(limits)):
+                eid_b, tip_b = limits[y]
+                if index.prefix_related_climb(tip_a, tip_b):
+                    continue
+                shared = self._pair_mcps(tip_a, tip_b)
+                ceiling = self._max_score_before(min(eid_a, eid_b))
+                if ceiling is not None and ceiling > shared:
+                    return False
+        return True
+
+    def _pair_mcps(self, a: str, b: str) -> float:
+        key = (a, b) if a <= b else (b, a)
+        value = self._ep_pair_memo.get(key)
+        if value is None:
+            lca = self.index.lowest_common_ancestor(a, b)
+            score = self.index.path_score(lca, self.score)
+            if score is None:
+                # Generic score function: score the materialized LCA chain
+                # (only reachable with a custom score; both built-ins are
+                # index-backed).
+                score = self.score(self._materialize(lca))
+            value = self._ep_pair_memo[key] = score
+        return value
+
+    def _materialize(self, block_id: str) -> Blockchain:
+        path: List[Block] = []
+        cursor: Optional[str] = block_id
+        while cursor is not None:
+            path.append(self.index.block(cursor))
+            cursor = self.index.parent_of(cursor)
+        path.reverse()
+        return Blockchain(tuple(path))
+
+    def _max_score_before(self, eid: int) -> Optional[float]:
+        """Maximum read score among reads with ``eid`` strictly below."""
+        points = self._ep_prefix_max
+        lo, hi = 0, len(points)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if points[mid][0] < eid:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None
+        return points[lo - 1][1]
+
+    def property_verdicts(self) -> Dict[str, bool]:
+        """Current verdict per property, keyed by the checker names."""
+        return {
+            "block-validity": self.block_validity_holds(),
+            "local-monotonic-read": self.local_monotonic_read_holds(),
+            "strong-prefix": self.strong_prefix_holds(),
+            "ever-growing-tree": self.ever_growing_tree_holds(),
+            "eventual-prefix": self.eventual_prefix_holds(),
+        }
+
+    def strong_holds(self) -> bool:
+        """BT Strong Consistency verdict on the history observed so far."""
+        return (
+            self._validity_ok
+            and self._lmr_ok
+            and self._sp_ok
+            and self.ever_growing_tree_holds()
+        )
+
+    def eventual_holds(self) -> bool:
+        """BT Eventual Consistency verdict on the history observed so far."""
+        return (
+            self._validity_ok
+            and self._lmr_ok
+            and self.ever_growing_tree_holds()
+            and self.eventual_prefix_holds()
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready snapshot of the verdicts and stream counters."""
+        return {
+            "strong": self.strong_holds(),
+            "eventual": self.eventual_holds(),
+            "properties": self.property_verdicts(),
+            "reads": self.reads_seen,
+            "events": self.events_seen,
+            "blocks_indexed": len(self.index),
+        }

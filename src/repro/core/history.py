@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.block import Blockchain
 
@@ -146,6 +146,11 @@ class History:
         self._by_process: Dict[str, List[Event]] = {}
         for event in self._events:
             self._by_process.setdefault(event.process, []).append(event)
+        # Memo for the filtered event selectors below.  A History never
+        # mutates after construction, but one report invokes the selectors
+        # many times (every consistency checker starts from
+        # ``read_responses()``), so the filtered tuples are computed once.
+        self._selector_memo: Dict[Tuple[str, Optional[str]], Tuple[Event, ...]] = {}
 
     # -- container protocol ----------------------------------------------------
 
@@ -173,9 +178,18 @@ class History:
     # -- event selectors -------------------------------------------------------
 
     def read_responses(self, process: Optional[str] = None) -> Tuple[Event, ...]:
-        """All ``read`` response events (optionally of a single process)."""
-        pool = self._events if process is None else self._by_process.get(process, [])
-        return tuple(e for e in pool if e.is_read_response)
+        """All ``read`` response events (optionally of a single process).
+
+        Cached per process argument: the consistency checkers call this
+        several times per report on the same immutable history.
+        """
+        key = ("read_responses", process)
+        cached = self._selector_memo.get(key)
+        if cached is None:
+            pool = self._events if process is None else self._by_process.get(process, [])
+            cached = tuple(e for e in pool if e.is_read_response)
+            self._selector_memo[key] = cached
+        return cached
 
     def read_invocations(self, process: Optional[str] = None) -> Tuple[Event, ...]:
         pool = self._events if process is None else self._by_process.get(process, [])
@@ -184,8 +198,14 @@ class History:
         )
 
     def append_invocations(self, process: Optional[str] = None) -> Tuple[Event, ...]:
-        pool = self._events if process is None else self._by_process.get(process, [])
-        return tuple(e for e in pool if e.is_append_invocation)
+        """All ``append`` invocation events (cached, like ``read_responses``)."""
+        key = ("append_invocations", process)
+        cached = self._selector_memo.get(key)
+        if cached is None:
+            pool = self._events if process is None else self._by_process.get(process, [])
+            cached = tuple(e for e in pool if e.is_append_invocation)
+            self._selector_memo[key] = cached
+        return cached
 
     def append_responses(
         self, process: Optional[str] = None, successful_only: bool = False
@@ -343,6 +363,27 @@ class HistoryRecorder:
         self._op_ids = itertools.count(1)
         self._seq: Dict[str, itertools.count] = {}
         self._events: List[Event] = []
+        self._listeners: List[Callable[[Event], None]] = []
+
+    # -- streaming subscribers ---------------------------------------------------
+
+    def subscribe(self, listener: Callable[[Event], None]) -> Callable[[Event], None]:
+        """Register ``listener`` to be called with every recorded event.
+
+        This is the hook the streaming analyses use (e.g.
+        :class:`repro.core.consistency_index.ConsistencyMonitor`): events
+        are delivered in recording order, synchronously, right after they
+        are appended to the event list.  Returns the listener for
+        decorator-style use.
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def _record(self, event: Event) -> Event:
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
 
     # -- clocks ----------------------------------------------------------------
 
@@ -369,7 +410,7 @@ class HistoryRecorder:
             op_id=op_id,
             seq=self._next_seq(process),
         )
-        self._events.append(event)
+        self._record(event)
         return OperationToken(
             op_id=op_id,
             process=process,
@@ -390,8 +431,7 @@ class HistoryRecorder:
             op_id=token.op_id,
             seq=self._next_seq(token.process),
         )
-        self._events.append(event)
-        return event
+        return self._record(event)
 
     def complete(self, process: str, operation: str, argument: Any, output: Any) -> Event:
         """Record an invocation immediately followed by its response."""
@@ -423,8 +463,7 @@ class HistoryRecorder:
             argument=(parent_id, block_id),
             seq=self._next_seq(process),
         )
-        self._events.append(event)
-        return event
+        return self._record(event)
 
     # -- extraction ----------------------------------------------------------------
 

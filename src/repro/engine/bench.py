@@ -15,6 +15,13 @@ the ones before it:
   machine, on the same trace.
 * ``run_*_fork_heavy`` — wall-clock of whole fork-prone protocol runs
   (longest-chain Bitcoin and GHOST Ethereum) through the engine.
+* ``consistency_*`` — the consistency-checking hot path: the SC and EC
+  criteria evaluated on deterministic read-heavy histories through the
+  index-backed checkers and through the brute-force ``_Reference*``
+  oracles (the pre-index implementations, kept verbatim in
+  :mod:`repro.core.consistency`), with the reports asserted identical;
+  plus the streaming :class:`ConsistencyMonitor` replaying the same
+  events, with its verdicts asserted against the post-hoc checkers.
 * ``table1_sweep`` — a small Table-1 sweep through :class:`SweepRunner`.
 * ``cache_sweep`` — the same sweep cold vs. warm through a
   :class:`~repro.engine.cache.ResultCache` (the warm pass must be all
@@ -38,6 +45,13 @@ from typing import Any, Callable, Dict, List, Tuple, Union
 
 from repro.core.block import GENESIS_ID, Block
 from repro.core.blocktree import BlockTree
+from repro.core.consistency import (
+    BTEventualConsistency,
+    BTStrongConsistency,
+    _reference_eventual_consistency,
+    _reference_strong_consistency,
+)
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import (
     GHOSTSelection,
     HeaviestChain,
@@ -156,6 +170,138 @@ def _bench_selection(seed: int, quick: bool) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# consistency checking hot path
+# ---------------------------------------------------------------------------
+
+
+def _read_heavy_forked_history(levels: int, processes: int, seed: int):
+    """A deterministic fork-heavy, read-heavy history whose fork resolves.
+
+    Two branches grow in lockstep for ``levels`` levels; each process
+    follows one branch (so per-process scores stay monotone) and reads it
+    at every level.  At the end the first branch overtakes and every
+    process's final read adopts it: Eventual Consistency holds while
+    Strong Prefix visibly fails — the proof-of-work shape, at the read
+    density the EC checkers are quadratic in.
+    """
+    from repro.core.block import Block, Blockchain, GENESIS, GENESIS_ID
+    from repro.core.history import HistoryRecorder
+
+    rng = random.Random(seed)
+    pids = [f"p{i}" for i in range(processes)]
+    followers = {pid: index % 2 for index, pid in enumerate(pids)}
+    rec = HistoryRecorder()
+    branches: List[List[Block]] = [[], []]
+    parents = [GENESIS_ID, GENESIS_ID]
+    for level in range(1, levels + 1):
+        for branch in (0, 1):
+            block = Block(f"br{branch}_{level:04d}", parents[branch], creator=pids[branch])
+            branches[branch].append(block)
+            parents[branch] = block.block_id
+            rec.complete(pids[branch], "append", block, True)
+        for pid in rng.sample(pids, k=len(pids)):
+            chain = Blockchain((GENESIS, *branches[followers[pid]]))
+            rec.complete(pid, "read", None, chain)
+    # Branch 0 overtakes; all limit views converge on it.
+    extra = Block(f"br0_{levels + 1:04d}", parents[0], creator=pids[0])
+    branches[0].append(extra)
+    rec.complete(pids[0], "append", extra, True)
+    winner = Blockchain((GENESIS, *branches[0]))
+    for pid in pids:
+        rec.complete(pid, "read", None, winner)
+    return rec.history()
+
+
+def _bench_consistency(seed: int, quick: bool) -> Dict[str, Any]:
+    """Index-backed criteria vs. the brute-force oracles, plus the monitor.
+
+    Two deterministic read-heavy histories: a fork-free growing chain
+    (Strong Consistency holds — the shape every consensus-system run
+    produces) and a fork-heavy history whose branches resolve (Eventual
+    Consistency holds — the proof-of-work shape).  The reference reports
+    are computed in the same run and asserted identical, so ``speedup``
+    is measured against the pre-index baseline on the same machine.
+    """
+    from repro.workload.scenarios import generate_chain_history
+
+    chain_history = generate_chain_history(
+        n_processes=4 if quick else 5,
+        chain_length=250 if quick else 450,
+        reads_per_process=60 if quick else 120,
+        seed=seed,
+    )
+    forked_history = _read_heavy_forked_history(
+        levels=90 if quick else 160,
+        processes=4 if quick else 6,
+        seed=seed,
+    )
+
+    scenarios: Dict[str, Any] = {}
+    cases = (
+        (
+            "consistency_strong_chain_heavy",
+            chain_history,
+            lambda h: BTStrongConsistency().check(h),
+            _reference_strong_consistency,
+        ),
+        (
+            "consistency_eventual_fork_heavy",
+            forked_history,
+            lambda h: BTEventualConsistency().check(h),
+            _reference_eventual_consistency,
+        ),
+    )
+    for name, history, indexed_check, reference_check in cases:
+        started = time.perf_counter()
+        indexed_report = indexed_check(history)
+        indexed_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        reference_report = reference_check(history)
+        reference_seconds = time.perf_counter() - started
+        if indexed_report != reference_report:  # pragma: no cover - equivalence bug
+            raise AssertionError(
+                f"{name}: indexed report differs from the reference oracle"
+            )
+        reads = history.read_responses()
+        scenarios[name] = {
+            "indexed_seconds": indexed_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": reference_seconds / indexed_seconds if indexed_seconds else None,
+            "reads": len(reads),
+            "events": len(history),
+            "max_chain_length": max((r.chain.length for r in reads), default=0),
+            "holds": indexed_report.holds,
+        }
+
+    # Streaming monitor over the fork-heavy event stream.
+    monitor = ConsistencyMonitor()
+    started = time.perf_counter()
+    monitor.replay(forked_history)
+    monitor_verdicts = monitor.summary()
+    monitor_seconds = time.perf_counter() - started
+    post_hoc_strong = BTStrongConsistency().check(forked_history).holds
+    post_hoc_eventual = BTEventualConsistency().check(forked_history).holds
+    if (monitor_verdicts["strong"], monitor_verdicts["eventual"]) != (
+        post_hoc_strong,
+        post_hoc_eventual,
+    ):  # pragma: no cover - agreement bug
+        raise AssertionError("monitor verdicts diverge from the post-hoc checkers")
+    scenarios["consistency_monitor_fork_heavy"] = {
+        "seconds": monitor_seconds,
+        "events": monitor_verdicts["events"],
+        "reads": monitor_verdicts["reads"],
+        "blocks_indexed": monitor_verdicts["blocks_indexed"],
+        "events_per_second": (
+            monitor_verdicts["events"] / monitor_seconds if monitor_seconds else None
+        ),
+        "strong": monitor_verdicts["strong"],
+        "eventual": monitor_verdicts["eventual"],
+        "agrees_with_post_hoc": True,
+    }
+    return scenarios
+
+
+# ---------------------------------------------------------------------------
 # protocol runs and sweeps
 # ---------------------------------------------------------------------------
 
@@ -254,6 +400,7 @@ def run_bench(*, seed: int = 7, quick: bool = False, jobs: int = 1) -> Dict[str,
     """Run every scenario and return the report document (JSON-ready)."""
     scenarios: Dict[str, Any] = {}
     scenarios.update(_bench_selection(seed, quick))
+    scenarios.update(_bench_consistency(seed, quick))
     scenarios.update(_bench_protocol_runs(seed, quick))
     scenarios.update(_bench_table1_sweep(seed, quick, jobs))
     scenarios.update(_bench_cache_sweep(seed, quick))

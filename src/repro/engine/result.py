@@ -53,6 +53,10 @@ class RunResult:
     network: Dict[str, Any]
     blocks: Dict[str, Any]
     timings: Dict[str, float]
+    #: Streaming-monitor verdict summary; only present when the spec opted
+    #: into ``monitor=True`` (kept out of the payload otherwise so existing
+    #: artifacts and cache entries stay byte-identical).
+    consistency: Optional[Dict[str, Any]] = None
     run: Optional[Any] = field(default=None, repr=False, compare=False)
     classification_result: Optional[Any] = field(default=None, repr=False, compare=False)
 
@@ -74,7 +78,7 @@ class RunResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form; ``timings`` are the only non-deterministic keys."""
-        return {
+        data = {
             "spec": self.spec.to_dict(),
             "protocol_name": self.protocol_name,
             "classification": dict(self.classification),
@@ -85,6 +89,9 @@ class RunResult:
             "blocks": dict(self.blocks),
             "timings": dict(self.timings),
         }
+        if self.consistency is not None:
+            data["consistency"] = dict(self.consistency)
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
@@ -101,6 +108,9 @@ class RunResult:
             network=dict(data["network"]),
             blocks=dict(data["blocks"]),
             timings=dict(data["timings"]),
+            consistency=(
+                dict(data["consistency"]) if data.get("consistency") is not None else None
+            ),
         )
 
 
@@ -183,6 +193,8 @@ def analyse_run(
         "tree_sizes": {pid: len(r.tree) for pid, r in run.replicas.items()},
     }
 
+    monitor = getattr(run, "monitor", None)
+
     return RunResult(
         spec=spec,
         protocol_name=run.name,
@@ -193,6 +205,7 @@ def analyse_run(
         network=network_dict,
         blocks=blocks_dict,
         timings={"run_seconds": run_seconds, "analysis_seconds": analysis_seconds},
+        consistency=monitor.summary() if monitor is not None else None,
         run=run,
         classification_result=classification,
     )

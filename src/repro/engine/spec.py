@@ -206,6 +206,11 @@ class ExperimentSpec:
     score: str = "length"
     params: Mapping[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
+    #: Opt-in streaming consistency monitoring: a
+    #: :class:`~repro.core.consistency_index.ConsistencyMonitor` is
+    #: subscribed to the run's recorder and its verdicts land on the
+    #: result artifact (``RunResult.consistency``).
+    monitor: bool = False
 
     # -- serialization ------------------------------------------------------
 
@@ -213,7 +218,7 @@ class ExperimentSpec:
         oracle_k: Any = self.oracle_k
         if oracle_k is not None and math.isinf(oracle_k):
             oracle_k = "inf"
-        return {
+        data = {
             "protocol": self.protocol,
             "replicas": self.replicas,
             "duration": self.duration,
@@ -226,6 +231,11 @@ class ExperimentSpec:
             "params": dict(self.params),
             "label": self.label,
         }
+        # Only serialized when enabled, so digests of pre-existing specs
+        # (and therefore their cache entries) are unaffected.
+        if self.monitor:
+            data["monitor"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -246,6 +256,7 @@ class ExperimentSpec:
             score=data.get("score", "length"),
             params=dict(data.get("params", {})),
             label=data.get("label"),
+            monitor=bool(data.get("monitor", False)),
         )
 
     def to_json(self) -> str:
@@ -328,6 +339,10 @@ class ExperimentSpec:
             put("merit", merit)
         if self.oracle_k is not None:
             put("oracle", self._build_oracle(entry))
+        if self.monitor:
+            from repro.core.consistency_index import ConsistencyMonitor
+
+            put("monitor", ConsistencyMonitor(score=self.build_score()))
         for key, value in self.params.items():
             if key == "selection":
                 value = self._build_selection(value)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
@@ -50,6 +51,7 @@ def run_algorand(
     round_interval: float = 5.0,
     read_interval: float = 5.0,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run the Algorand model (stake-weighted sortition + BA*-style commit)."""
     stake_distribution = stake if stake is not None else default_stake(n)
@@ -67,5 +69,6 @@ def run_algorand(
         channel=channel,
         read_interval=read_interval,
         seed=seed,
+        monitor=monitor,
     )
     return result

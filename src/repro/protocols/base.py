@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.block import Block, BlockIdFactory, Blockchain
 from repro.core.blocktree import BlockTree
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.history import History, HistoryRecorder
 from repro.core.score import LengthScore, ScoreFunction
 from repro.core.selection import LongestChain, SelectionFunction
@@ -236,6 +237,10 @@ class RunResult:
     network: Network
     duration: float
     score: ScoreFunction = field(default_factory=LengthScore)
+    #: The streaming consistency monitor that observed the run, when one
+    #: was passed to :func:`run_protocol` (its verdicts then reflect the
+    #: full recorded history).
+    monitor: Optional[ConsistencyMonitor] = field(default=None, repr=False)
 
     @property
     def correct_replicas(self) -> Tuple[str, ...]:
@@ -269,6 +274,7 @@ def run_protocol(
     final_reads: bool = True,
     drain: bool = True,
     max_events: int = 2_000_000,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run a protocol model and collect its history.
 
@@ -283,6 +289,11 @@ def run_protocol(
     n, duration, channel:
         Number of replicas, virtual run length, channel model (default: a
         synchronous channel with δ = 1).
+    monitor:
+        Optional :class:`~repro.core.consistency_index.ConsistencyMonitor`
+        subscribed to the recorder before the run starts, so consistency
+        verdicts are maintained online while events stream in.  The
+        monitor is returned on the result (``result.monitor``).
     final_reads:
         Issue one last ``read()`` at every replica after the run quiesces,
         so the "limit views" used by the eventual-prefix interpretation are
@@ -296,6 +307,8 @@ def run_protocol(
     """
     simulator = Simulator()
     recorder = HistoryRecorder()
+    if monitor is not None:
+        monitor.attach(recorder)
     network = Network(
         simulator,
         channel if channel is not None else SynchronousChannel(delta=1.0, seed=7),
@@ -326,4 +339,5 @@ def run_protocol(
         oracle=oracle,
         network=network,
         duration=duration,
+        monitor=monitor,
     )

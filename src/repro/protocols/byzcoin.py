@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
@@ -45,6 +46,7 @@ def run_byzcoin(
     round_interval: float = 5.0,
     read_interval: float = 5.0,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run the ByzCoin model; hashing power defaults to a Zipf distribution."""
     hashing_power = merit if merit is not None else zipf_merit(n, exponent=1.0)
@@ -62,5 +64,6 @@ def run_byzcoin(
         channel=channel,
         read_interval=read_interval,
         seed=seed,
+        monitor=monitor,
     )
     return result

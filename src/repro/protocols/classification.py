@@ -25,6 +25,7 @@ from repro.core.consistency import (
     BTStrongConsistency,
     ConsistencyReport,
 )
+from repro.core.consistency_index import ConsistencyIndex
 from repro.core.hierarchy import Consistency, OracleKind, Refinement
 from repro.core.score import LengthScore, ScoreFunction
 from repro.protocols.base import RunResult
@@ -110,8 +111,10 @@ def classify_run(
     """Classify one protocol run in the refinement hierarchy."""
     scorer = score if score is not None else LengthScore()
     history = run.history.without_failed_appends()
-    strong = BTStrongConsistency(score=scorer).check(history)
-    eventual = BTEventualConsistency(score=scorer).check(history)
+    # Both criteria read the same union prefix index; build it once.
+    index = ConsistencyIndex.from_history(history)
+    strong = BTStrongConsistency(score=scorer).check(history, index)
+    eventual = BTEventualConsistency(score=scorer).check(history, index)
 
     oracle_kind, k = _oracle_coordinates(run.oracle.k)
     if strong.holds:

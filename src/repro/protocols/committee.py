@@ -28,6 +28,7 @@ from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.block import Block
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import FixedTipSelection, LongestChain
 from repro.network.channels import ChannelModel, SynchronousChannel
 from repro.network.simulator import Message, Network
@@ -268,6 +269,7 @@ def run_committee_protocol(
     read_interval: float = 5.0,
     transactions_per_block: int = 4,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run a committee-based protocol and return its :class:`RunResult`.
 
@@ -317,4 +319,5 @@ def run_committee_protocol(
         n=n,
         duration=duration,
         channel=channel if channel is not None else SynchronousChannel(delta=0.5, seed=seed),
+        monitor=monitor,
     )

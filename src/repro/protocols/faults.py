@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import FixedTipSelection, HeaviestChain
 from repro.engine.registry import register_fault_runner, register_protocol
 from repro.network.channels import ChannelModel, SynchronousChannel
@@ -94,6 +95,7 @@ def run_bitcoin_with_crashes(
     channel: Optional[ChannelModel] = None,
     read_interval: float = 5.0,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Bitcoin model with the replicas named in ``crash_at`` crashing."""
     merit_distribution = merit if merit is not None else uniform_merit(n)
@@ -118,6 +120,7 @@ def run_bitcoin_with_crashes(
         n=n,
         duration=duration,
         channel=channel if channel is not None else SynchronousChannel(delta=1.0, seed=seed),
+        monitor=monitor,
     )
 
 
@@ -136,6 +139,7 @@ def run_committee_with_byzantine(
     read_interval: float = 5.0,
     transactions_per_block: int = 4,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Round-robin committee protocol with silent Byzantine members.
 
@@ -181,4 +185,5 @@ def run_committee_with_byzantine(
         n=n,
         duration=duration,
         channel=channel if channel is not None else SynchronousChannel(delta=0.5, seed=seed),
+        monitor=monitor,
     )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import GHOSTSelection
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
@@ -66,6 +67,7 @@ def run_ethereum(
     use_lrc: bool = True,
     seed: int = 0,
     oracle: Optional[TokenOracle] = None,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run the Ethereum model (GHOST selection over the prodigal oracle).
 
@@ -86,6 +88,7 @@ def run_ethereum(
         seed=seed,
         oracle=oracle,
         replica_cls=EthereumReplica,
+        monitor=monitor,
     )
     # Re-label: the harness was shared with the Bitcoin runner.
     result.name = "ethereum"

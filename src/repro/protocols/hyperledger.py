@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
@@ -47,6 +48,7 @@ def run_hyperledger(
     read_interval: float = 5.0,
     transactions_per_block: int = 6,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run the Hyperledger Fabric model (fixed orderer, permissioned writers)."""
     all_pids = [f"p{i}" for i in range(n)]
@@ -67,4 +69,5 @@ def run_hyperledger(
         read_interval=read_interval,
         transactions_per_block=transactions_per_block,
         seed=seed,
+        monitor=monitor,
     )

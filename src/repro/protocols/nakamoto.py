@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import HeaviestChain, LongestChain, SelectionFunction
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
@@ -115,6 +116,7 @@ def run_bitcoin(
     seed: int = 0,
     oracle: Optional[TokenOracle] = None,
     replica_cls: type = NakamotoReplica,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run the Bitcoin model and return its :class:`RunResult`.
 
@@ -150,4 +152,5 @@ def run_bitcoin(
         n=n,
         duration=duration,
         channel=channel,
+        monitor=monitor,
     )

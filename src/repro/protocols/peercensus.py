@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
@@ -44,6 +45,7 @@ def run_peercensus(
     round_interval: float = 5.0,
     read_interval: float = 5.0,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run the PeerCensus model (PoW proposer + BFT commit, k = 1)."""
     hashing_power = merit if merit is not None else zipf_merit(n, exponent=0.8)
@@ -61,4 +63,5 @@ def run_peercensus(
         channel=channel,
         read_interval=read_interval,
         seed=seed,
+        monitor=monitor,
     )

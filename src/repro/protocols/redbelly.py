@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.protocols.base import RunResult
@@ -45,6 +46,7 @@ def run_redbelly(
     round_interval: float = 5.0,
     read_interval: float = 5.0,
     seed: int = 0,
+    monitor: Optional[ConsistencyMonitor] = None,
 ) -> RunResult:
     """Run the Red Belly model: consortium writers, consensus-decided chain."""
     all_pids = [f"p{i}" for i in range(n)]
@@ -62,4 +64,5 @@ def run_redbelly(
         channel=channel,
         read_interval=read_interval,
         seed=seed,
+        monitor=monitor,
     )

@@ -384,3 +384,76 @@ class TestMergeFailurePaths:
         assert "ok" in target
         assert target.height == 1
         assert target.leaves() == ("ok",)
+
+
+class TestIncrementalForkCaches:
+    """fork_points / max_fork_degree / blocks_at_height are maintained by
+    ``append`` (and therefore by ``merge`` and ``copy``) instead of full
+    scans; these tests pin the caches to a from-scratch recomputation."""
+
+    @staticmethod
+    def _recomputed(tree: BlockTree):
+        fork_points = {b for b in tree.block_ids() if len(tree.children_of(b)) >= 2}
+        max_degree = max(
+            (len(tree.children_of(b)) for b in tree.block_ids()), default=0
+        )
+        by_height = {}
+        for b in tree.block_ids():
+            by_height.setdefault(tree.height_of(b), set()).add(b)
+        return fork_points, max_degree, by_height
+
+    def _assert_caches_consistent(self, tree: BlockTree):
+        fork_points, max_degree, by_height = self._recomputed(tree)
+        assert set(tree.fork_points()) == fork_points
+        assert tree.max_fork_degree() == max_degree
+        for height in range(tree.height + 2):
+            assert set(tree.blocks_at_height(height)) == by_height.get(height, set())
+
+    def test_random_append_sequence(self):
+        rng = random.Random(42)
+        tree = BlockTree()
+        ids = [GENESIS_ID]
+        for i in range(120):
+            parent = rng.choice(ids)
+            block_id = f"r{i}"
+            tree.append(Block(block_id, parent))
+            ids.append(block_id)
+            if i % 17 == 0:
+                self._assert_caches_consistent(tree)
+        self._assert_caches_consistent(tree)
+
+    def test_bare_and_linear_degrees(self, linear_tree):
+        assert BlockTree().max_fork_degree() == 0
+        assert BlockTree().fork_points() == ()
+        assert BlockTree().blocks_at_height(0) == (GENESIS_ID,)
+        assert linear_tree.max_fork_degree() == 1
+
+    def test_copy_duplicates_the_caches(self, forked_tree):
+        clone = forked_tree.copy()
+        self._assert_caches_consistent(clone)
+        # Divergent appends must not leak between original and clone.
+        clone.append(Block("c1", "b2"))
+        clone.append(Block("c2", "b2"))  # b2 becomes a fork point in the clone only
+        self._assert_caches_consistent(clone)
+        self._assert_caches_consistent(forked_tree)
+        assert "b2" in clone.fork_points()
+        assert "b2" not in forked_tree.fork_points()
+
+    def test_merge_funnels_through_append(self, forked_tree):
+        other = BlockTree()
+        other.append(Block("a1", GENESIS_ID))
+        other.append(Block("m1", "a1"))
+        other.append(Block("m2", "a1"))
+        inserted = forked_tree.merge(other)
+        assert inserted == 2
+        self._assert_caches_consistent(forked_tree)
+        assert "a1" in forked_tree.fork_points()  # a2 + m1 + m2 under a1
+        assert forked_tree.max_fork_degree() == 3
+
+    def test_blocks_at_height_insertion_order(self):
+        tree = BlockTree()
+        tree.append(Block("h1", GENESIS_ID))
+        tree.append(Block("h2", GENESIS_ID))
+        tree.append(Block("h3", GENESIS_ID))
+        assert tree.blocks_at_height(1) == ("h1", "h2", "h3")
+        assert tree.blocks_at_height(9) == ()

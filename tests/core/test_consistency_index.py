@@ -1,0 +1,155 @@
+"""Unit tests for the union prefix index (ConsistencyIndex)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block import Block, Blockchain, GENESIS, GENESIS_ID
+from repro.core.consistency import BlockValidityChecker, _ReferenceBlockValidityChecker
+from repro.core.consistency_index import ConsistencyIndex, InconsistentChainError
+from repro.core.history import HistoryRecorder
+from repro.core.score import LengthScore, WeightScore
+
+
+def _chain(*blocks: Block) -> Blockchain:
+    return Blockchain((GENESIS, *blocks))
+
+
+@pytest.fixture()
+def forked_index():
+    """Index holding two branches: a1-a2-a3 and b1-b2."""
+    a1, a2, a3 = Block("a1", GENESIS_ID), Block("a2", "a1"), Block("a3", "a2", weight=2.0)
+    b1, b2 = Block("b1", GENESIS_ID, weight=0.5), Block("b2", "b1")
+    index = ConsistencyIndex()
+    index.add_chain(_chain(a1, a2, a3), read_eid=10)
+    index.add_chain(_chain(b1, b2), read_eid=20)
+    index.add_chain(_chain(a1, a2), read_eid=30)
+    return index
+
+
+class TestMerging:
+    def test_blocks_inserted_once(self, forked_index):
+        assert len(forked_index) == 6  # genesis + 5
+        assert forked_index.block_ids() == ("b0", "a1", "a2", "a3", "b1", "b2")
+
+    def test_known_chain_is_cheap_and_tracked(self, forked_index):
+        a1, a2 = forked_index.block("a1"), forked_index.block("a2")
+        new = forked_index.add_chain(_chain(a1, a2), read_eid=40)
+        assert new == []
+        assert forked_index.read_tip(40) == "a2"
+
+    def test_heights_and_weights(self, forked_index):
+        assert forked_index.height_of("a3") == 3
+        assert forked_index.height_of("b2") == 2
+        assert forked_index.cumulative_weight("a3") == pytest.approx(4.0)
+        assert forked_index.cumulative_weight("b2") == pytest.approx(1.5)
+
+    def test_first_seen_read_is_the_introducing_read(self, forked_index):
+        assert forked_index.first_seen_read("a3") == 10
+        assert forked_index.first_seen_read("b1") == 20
+        # a2 arrived with the first chain, not the third.
+        assert forked_index.first_seen_read("a2") == 10
+
+    def test_conflicting_block_content_rejected(self, forked_index):
+        impostor = Block("a2", "a1", weight=99.0)
+        with pytest.raises(InconsistentChainError):
+            forked_index.add_chain(_chain(forked_index.block("a1"), impostor))
+
+    def test_conflicting_genesis_content_rejected(self):
+        from repro.core.block import genesis_block
+
+        index = ConsistencyIndex()
+        index.add_chain(Blockchain.genesis_only())
+        with pytest.raises(InconsistentChainError):
+            index.add_chain(Blockchain((genesis_block(payload=("tx",)),)))
+
+
+class TestAncestry:
+    def test_prefix_queries(self, forked_index):
+        assert forked_index.is_prefix("a1", "a3")
+        assert forked_index.is_prefix("a3", "a3")
+        assert not forked_index.is_prefix("a3", "a1")
+        assert not forked_index.is_prefix("b1", "a3")
+        assert forked_index.prefix_related("a1", "a3")
+        assert not forked_index.prefix_related("b2", "a2")
+
+    def test_climb_variant_agrees_with_labels(self, forked_index):
+        ids = forked_index.block_ids()
+        for a in ids:
+            for b in ids:
+                assert forked_index.prefix_related(a, b) == forked_index.prefix_related_climb(a, b)
+
+    def test_labels_refresh_after_mutation(self, forked_index):
+        a3 = forked_index.block("a3")
+        assert not forked_index.prefix_related("a3", "b2")
+        a4 = Block("a4", "a3")
+        forked_index.add_chain(
+            _chain(forked_index.block("a1"), forked_index.block("a2"), a3, a4)
+        )
+        assert forked_index.is_prefix("a3", "a4")
+
+    def test_lowest_common_ancestor(self, forked_index):
+        assert forked_index.lowest_common_ancestor("a3", "b2") == GENESIS_ID
+        assert forked_index.lowest_common_ancestor("a3", "a2") == "a2"
+        assert forked_index.lowest_common_ancestor("a2", "a2") == "a2"
+
+
+class TestScores:
+    def test_path_scores(self, forked_index):
+        assert forked_index.path_score("a3", LengthScore()) == 3.0
+        assert forked_index.path_score("b2", WeightScore()) == pytest.approx(1.5)
+        assert forked_index.path_score(
+            "a3", WeightScore(min_increment=0.5)
+        ) == pytest.approx(4.0 + 0.5 * 3)
+        assert forked_index.path_score("a3", lambda chain: 1.0) is None
+
+    def test_mcps_of_tips(self, forked_index):
+        assert forked_index.mcps_of_tips("a3", "b2", LengthScore()) == 0.0
+        assert forked_index.mcps_of_tips("a3", "a2", LengthScore()) == 2.0
+        assert forked_index.mcps_of_tips("a3", "a2", WeightScore()) == pytest.approx(2.0)
+
+    def test_tips_totally_ordered(self, forked_index):
+        assert forked_index.tips_totally_ordered(["a1", "a2", "a3", "a1"])
+        assert not forked_index.tips_totally_ordered(["a1", "b2"])
+        assert forked_index.tips_totally_ordered([])
+
+
+class TestBlockValidityMemoization:
+    """Satellite regression: the validator runs once per distinct block."""
+
+    @staticmethod
+    def _history_with_repeated_reads(reads: int):
+        rec = HistoryRecorder()
+        b1, b2 = Block("v1", GENESIS_ID), Block("v2", "v1")
+        rec.complete("i", "append", b1, True)
+        rec.complete("i", "append", b2, True)
+        for _ in range(reads):
+            rec.complete("i", "read", None, _chain(b1, b2))
+        return rec.history()
+
+    def test_validator_called_once_per_block(self):
+        history = self._history_with_repeated_reads(reads=25)
+        calls = []
+
+        def counting_validator(block):
+            calls.append(block.block_id)
+            return True
+
+        result = BlockValidityChecker(counting_validator).check(history)
+        assert result.holds
+        assert sorted(calls) == ["v1", "v2"]  # not 25 × 2
+
+        # The reference oracle revalidates per read — the behaviour the
+        # memoization removes.
+        calls.clear()
+        _ReferenceBlockValidityChecker(counting_validator).check(history)
+        assert len(calls) == 50
+
+    def test_memoized_verdicts_keep_violations_identical(self):
+        history = self._history_with_repeated_reads(reads=7)
+        validator = lambda block: block.block_id != "v2"  # noqa: E731
+        indexed = BlockValidityChecker(validator).check(history)
+        reference = _ReferenceBlockValidityChecker(validator).check(history)
+        assert indexed == reference
+        assert not indexed.holds
+        assert len(indexed.violations) == 7

@@ -158,3 +158,53 @@ class TestComposition:
         assert len(history) == 0
         assert history.processes == ()
         assert history.read_responses() == ()
+
+
+class TestSelectorCaching:
+    """read_responses / append_invocations are memoized on the History."""
+
+    def test_cached_tuples_are_the_same_object(self, sample_history):
+        assert sample_history.read_responses() is sample_history.read_responses()
+        assert sample_history.append_invocations() is sample_history.append_invocations()
+        assert sample_history.read_responses("j") is sample_history.read_responses("j")
+
+    def test_cache_is_per_process_argument(self, sample_history):
+        assert sample_history.read_responses() != sample_history.read_responses("i")
+        assert sample_history.read_responses("i") == ()
+        assert len(sample_history.read_responses("j")) == 1
+
+    def test_cached_results_match_fresh_filtering(self, sample_history):
+        expected_reads = tuple(e for e in sample_history if e.is_read_response)
+        expected_appends = tuple(e for e in sample_history if e.is_append_invocation)
+        assert sample_history.read_responses() == expected_reads
+        assert sample_history.append_invocations() == expected_appends
+
+
+class TestRecorderSubscription:
+    def test_listener_sees_every_event_in_order(self):
+        rec = HistoryRecorder()
+        seen = []
+        rec.subscribe(seen.append)
+        block = Block("x", GENESIS_ID)
+        rec.complete("i", "append", block, True)
+        rec.send("i", GENESIS_ID, "x")
+        token = rec.invoke("j", "read", None)
+        rec.respond(token, None)
+        assert [e.eid for e in seen] == [e.eid for e in rec.history()]
+        assert [e.kind for e in seen] == [
+            EventKind.INVOCATION,
+            EventKind.RESPONSE,
+            EventKind.SEND,
+            EventKind.INVOCATION,
+            EventKind.RESPONSE,
+        ]
+
+    def test_multiple_listeners(self):
+        rec = HistoryRecorder()
+        first, second = [], []
+        rec.subscribe(first.append)
+        rec.complete("i", "read", None, None)
+        rec.subscribe(second.append)
+        rec.complete("i", "read", None, None)
+        assert len(first) == 4
+        assert len(second) == 2

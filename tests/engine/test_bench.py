@@ -7,6 +7,7 @@ import json
 from repro.engine.bench import (
     BENCH_SCHEMA,
     _fork_heavy_trace,
+    _read_heavy_forked_history,
     _replay_trace,
     run_bench,
     write_report,
@@ -36,6 +37,25 @@ class TestForkHeavyTrace:
         assert indexed_tip == reference_tip
 
 
+class TestReadHeavyForkedHistory:
+    def test_deterministic_in_the_seed(self):
+        a = _read_heavy_forked_history(levels=20, processes=4, seed=3)
+        b = _read_heavy_forked_history(levels=20, processes=4, seed=3)
+        assert [e.eid for e in a] == [e.eid for e in b]
+        assert [str(e) for e in a] == [str(e) for e in b]
+
+    def test_shape_is_ec_but_not_sc(self):
+        from repro.core.consistency import (
+            check_eventual_consistency,
+            check_strong_consistency,
+        )
+
+        history = _read_heavy_forked_history(levels=15, processes=4, seed=3)
+        assert not check_strong_consistency(history).holds
+        assert check_eventual_consistency(history).holds
+        assert len(history.read_responses()) == 15 * 4 + 4
+
+
 class TestRunBench:
     def test_quick_report_shape_and_artifact(self, tmp_path):
         report = run_bench(seed=11, quick=True)
@@ -45,6 +65,9 @@ class TestRunBench:
             "selection_longest_fork_heavy",
             "selection_heaviest_fork_heavy",
             "selection_ghost_fork_heavy",
+            "consistency_strong_chain_heavy",
+            "consistency_eventual_fork_heavy",
+            "consistency_monitor_fork_heavy",
             "run_longest_fork_heavy",
             "run_ghost_fork_heavy",
             "table1_sweep",
@@ -55,11 +78,20 @@ class TestRunBench:
             "selection_longest_fork_heavy",
             "selection_heaviest_fork_heavy",
             "selection_ghost_fork_heavy",
+            "consistency_strong_chain_heavy",
+            "consistency_eventual_fork_heavy",
         ):
             data = scenarios[name]
             assert data["speedup"] is not None and data["speedup"] > 1.0
             assert data["indexed_seconds"] > 0
             assert data["reference_seconds"] > 0
+        for name in ("consistency_strong_chain_heavy", "consistency_eventual_fork_heavy"):
+            assert scenarios[name]["holds"] is True
+            assert scenarios[name]["reads"] > 100
+        monitor = scenarios["consistency_monitor_fork_heavy"]
+        assert monitor["agrees_with_post_hoc"] is True
+        assert monitor["strong"] is False and monitor["eventual"] is True
+        assert monitor["events"] > 0 and monitor["reads"] > 100
         cache = scenarios["cache_sweep"]
         assert cache["cold_hits"] == 0
         assert cache["warm_hits"] == cache["cells"]

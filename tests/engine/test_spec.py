@@ -6,7 +6,14 @@ import math
 
 import pytest
 
-from repro.engine import ChannelSpec, ExperimentSpec, FaultSpec, WorkloadSpec, table1_spec
+from repro.engine import (
+    ChannelSpec,
+    ExperimentSpec,
+    FaultSpec,
+    RunResult,
+    WorkloadSpec,
+    table1_spec,
+)
 from repro.network.channels import (
     LossyChannel,
     PartiallySynchronousChannel,
@@ -164,3 +171,50 @@ class TestOracleBoundValidation:
         spec = ExperimentSpec(protocol="bitcoin", oracle_k=0, params={"token_rate": 0.4})
         with pytest.raises(ValueError, match="positive integer or inf"):
             spec.build_kwargs()
+
+
+class TestMonitorOptIn:
+    def test_monitor_field_round_trips(self):
+        spec = ExperimentSpec(protocol="bitcoin", monitor=True, params={"token_rate": 0.4})
+        assert spec.to_dict()["monitor"] is True
+        assert ExperimentSpec.from_json(spec.to_json()).monitor is True
+
+    def test_monitor_absent_from_default_serialization(self):
+        # Keeps spec digests (and therefore cache keys) of pre-existing
+        # specs unchanged.
+        spec = ExperimentSpec(protocol="bitcoin", params={"token_rate": 0.4})
+        assert "monitor" not in spec.to_dict()
+        assert ExperimentSpec.from_json(spec.to_json()).monitor is False
+
+    def test_build_kwargs_materializes_a_monitor(self):
+        from repro.core.consistency_index import ConsistencyMonitor
+
+        spec = ExperimentSpec(protocol="bitcoin", monitor=True, params={"token_rate": 0.4})
+        kwargs = spec.build_kwargs()
+        assert isinstance(kwargs["monitor"], ConsistencyMonitor)
+        plain = ExperimentSpec(protocol="bitcoin", params={"token_rate": 0.4})
+        assert "monitor" not in plain.build_kwargs()
+
+    def test_execute_attaches_verdicts(self):
+        spec = ExperimentSpec(
+            protocol="hyperledger", replicas=3, duration=20.0, seed=1, monitor=True
+        )
+        record = spec.execute()
+        assert record.consistency is not None
+        assert set(record.consistency["properties"]) == {
+            "block-validity",
+            "local-monotonic-read",
+            "strong-prefix",
+            "ever-growing-tree",
+            "eventual-prefix",
+        }
+        payload = record.to_dict()
+        assert payload["consistency"]["strong"] == record.consistency["strong"]
+        restored = RunResult.from_dict(payload)
+        assert restored.consistency == record.consistency
+
+    def test_plain_execute_has_no_consistency_key(self):
+        spec = ExperimentSpec(protocol="hyperledger", replicas=3, duration=20.0, seed=1)
+        record = spec.execute()
+        assert record.consistency is None
+        assert "consistency" not in record.to_dict()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -153,3 +155,40 @@ class TestBenchCommand:
         payload = json.loads(artifacts[0].read_text())
         assert payload["schema"] == "repro.bench/1"
         assert payload["quick"] is True
+
+
+class TestMonitorFlags:
+    def test_classify_monitor_prints_streaming_verdicts(self, capsys):
+        assert main([
+            "classify", "hyperledger", "--replicas", "3", "--duration", "30",
+            "--seed", "3", "--monitor",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "streaming monitor" in out
+        assert "strong consistency: True" in out
+        assert "eventual-prefix=True" in out
+
+    def test_classify_without_monitor_stays_silent(self, capsys):
+        assert main([
+            "classify", "hyperledger", "--replicas", "3", "--duration", "30",
+            "--seed", "3",
+        ]) == 0
+        assert "streaming monitor" not in capsys.readouterr().out
+
+    def test_sweep_monitor_lands_in_json(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        assert main([
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "20", "--seeds", "0:2", "--monitor", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        for cell in payload["cells"]:
+            assert cell["spec"]["monitor"] is True
+            assert set(cell["consistency"]["properties"]) == {
+                "block-validity",
+                "local-monotonic-read",
+                "strong-prefix",
+                "ever-growing-tree",
+                "eventual-prefix",
+            }
