@@ -1,0 +1,60 @@
+"""Perf floor for the simulation-plane hot path.
+
+Mirrors the sibling floor modules for the message plane: the batched
+fan-out (vectorized channel sampling + shared multicast envelopes + bulk
+queue inserts) must beat the pre-batching scalar reference path — timed
+in the same run, on the same gossip storms — by at least 2×, and the two
+paths must have produced identical outcomes (the harness asserts
+equivalence while recording the scenarios; the flags land in the
+artifact).
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_simulation_floor.py -q
+
+Like the siblings, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+#: CI floor.  The full-size scenarios record ≥3× on the flood storm; the
+#: quick sizes on shared CI runners keep a 2× safety margin.
+FLOOR = 2.0
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True)
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_simulation_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    scenarios = report["scenarios"]
+
+    for name in ("simulation_flood_heavy", "simulation_lrc_gossip"):
+        data = scenarios[name]
+        speedup = data["speedup"]
+        assert speedup is not None and speedup >= FLOOR, (
+            f"{name}: batched message plane only {speedup:.1f}x faster than the "
+            f"scalar reference fan-out (expected >= {FLOOR}x)"
+        )
+        assert data["events"] > 0
+        assert data["events_per_second"] > 0
+
+    assert scenarios["simulation_flood_heavy"]["outcomes_identical"] is True
+    assert scenarios["simulation_lrc_gossip"]["histories_identical"] is True
+    assert scenarios["simulation_lrc_gossip"]["messages_dropped"] > 0

@@ -151,6 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="small scenario sizes (CI smoke); timings are not comparable to full runs",
     )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each scenario section under cProfile and print a top-25 "
+            "cumulative-time table per section (also recorded in the JSON); "
+            "profiled timings/speedups are inflated and not comparable"
+        ),
+    )
 
     return parser
 
@@ -381,13 +390,19 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 
 def _cmd_bench(args: argparse.Namespace) -> str:
-    report = run_bench(seed=args.seed, quick=args.quick, jobs=args.jobs)
+    report = run_bench(
+        seed=args.seed, quick=args.quick, jobs=args.jobs, profile=args.profile
+    )
     path = write_report(report, args.out_dir)
 
     rows: List[List[object]] = []
     for name, data in sorted(report["scenarios"].items()):
-        if "indexed_seconds" in data:
-            seconds = data["indexed_seconds"]
+        # Fast-path scenarios: timed against an in-run reference baseline.
+        fast_key = next(
+            (k for k in ("indexed_seconds", "batched_seconds") if k in data), None
+        )
+        if fast_key is not None:
+            seconds = data[fast_key]
             baseline = f"{data['reference_seconds']:.3f}s"
             speedup = f"{data['speedup']:.1f}x"
         elif "cold_seconds" in data:
@@ -404,7 +419,14 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         rows,
         title=f"Perf bench — seed={args.seed}{' (quick)' if args.quick else ''}",
     )
-    return f"{table}\n\nwrote {path}"
+    sections = [table]
+    for name, entry in sorted(report.get("profiles", {}).items()):
+        sections.append(
+            f"profile [{name}] — scenarios: {', '.join(entry['scenarios'])}\n"
+            f"{entry['top25_cumulative'].rstrip()}"
+        )
+    sections.append(f"wrote {path}")
+    return "\n\n".join(sections)
 
 
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {

@@ -49,7 +49,7 @@ class EventKind(enum.Enum):
     UPDATE = "update"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A single event of a concurrent history.
 
@@ -123,7 +123,7 @@ class Event:
         return f"[{self.eid}] {self.process}.{self.operation}({arg}).{self.kind.value}{out}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperationToken:
     """Handle returned by :meth:`HistoryRecorder.invoke`, consumed by ``respond``."""
 
@@ -361,8 +361,12 @@ class HistoryRecorder:
     def __init__(self) -> None:
         self._clock = itertools.count(1)
         self._op_ids = itertools.count(1)
-        self._seq: Dict[str, itertools.count] = {}
+        self._seq: Dict[str, int] = {}
         self._events: List[Event] = []
+        # Pre-bound append: the recorder sits on the simulation hot path
+        # (every replication event of every delivery lands here), so the
+        # fast path below avoids re-resolving the bound method per event.
+        self._append: Callable[[Event], None] = self._events.append
         self._listeners: List[Callable[[Event], None]] = []
 
     # -- streaming subscribers ---------------------------------------------------
@@ -380,9 +384,11 @@ class HistoryRecorder:
         return listener
 
     def _record(self, event: Event) -> Event:
-        self._events.append(event)
-        for listener in self._listeners:
-            listener(event)
+        self._append(event)
+        listeners = self._listeners
+        if listeners:
+            for listener in listeners:
+                listener(event)
         return event
 
     # -- clocks ----------------------------------------------------------------
@@ -391,9 +397,9 @@ class HistoryRecorder:
         return next(self._clock)
 
     def _next_seq(self, process: str) -> int:
-        if process not in self._seq:
-            self._seq[process] = itertools.count(1)
-        return next(self._seq[process])
+        seq = self._seq.get(process, 0) + 1
+        self._seq[process] = seq
+        return seq
 
     # -- operation events --------------------------------------------------------
 

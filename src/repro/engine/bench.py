@@ -22,6 +22,13 @@ the ones before it:
   :mod:`repro.core.consistency`), with the reports asserted identical;
   plus the streaming :class:`ConsistencyMonitor` replaying the same
   events, with its verdicts asserted against the post-hoc checkers.
+* ``simulation_*`` — the simulation-plane hot path: gossip/relay storms
+  driven through the batched message plane (vectorized channel sampling,
+  shared multicast envelopes, bulk queue inserts) and through the
+  pre-batching scalar reference path (``Network(batched=False)``), timed
+  in the same run with the outcomes asserted identical — counters and
+  final gossip state for the flood storm, the recorded histories
+  event-for-event for the LRC relay storm.
 * ``table1_sweep`` — a small Table-1 sweep through :class:`SweepRunner`.
 * ``cache_sweep`` — the same sweep cold vs. warm through a
   :class:`~repro.engine.cache.ResultCache` (the warm pass must be all
@@ -30,18 +37,26 @@ the ones before it:
 Scenario sizes are deterministic functions of ``seed`` and the ``quick``
 flag (used by the CI bench-smoke job); timings are the only
 non-deterministic values in the artifact.
+
+``run_bench(profile=True)`` (CLI: ``python -m repro bench --profile``)
+additionally runs every scenario section under :mod:`cProfile` and
+attaches a top-25 cumulative-time table per section to the report, so
+future perf PRs can locate hot paths without hand-wiring a profiler.
 """
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import platform
+import pstats
 import random
 import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.block import GENESIS_ID, Block
 from repro.core.blocktree import BlockTree
@@ -302,6 +317,236 @@ def _bench_consistency(seed: int, quick: bool) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# simulation-plane hot path
+# ---------------------------------------------------------------------------
+
+
+def _make_gossip_process():
+    from repro.network.process import Process
+
+    class GossipProcess(Process):
+        """Pure message-plane load: re-flood each rumor once on first receipt.
+
+        The classic epidemic storm — every rumor triggers ``n`` broadcasts
+        of ``n - 1`` messages each, so the run is dominated by the fan-out
+        path under test rather than by protocol logic.
+        """
+
+        def __init__(self, pid: str, rumors) -> None:
+            super().__init__(pid)
+            self.rumors = rumors
+            self.seen = set()
+
+        def on_start(self) -> None:
+            for at, rumor in self.rumors:
+                self.schedule(at, lambda rumor=rumor: self._originate(rumor))
+
+        def _originate(self, rumor: str) -> None:
+            self.seen.add(rumor)
+            self.broadcast("rumor", rumor, include_self=False)
+
+        def on_message(self, message) -> None:
+            rumor = message.payload
+            if rumor not in self.seen:
+                self.seen.add(rumor)
+                self.broadcast("rumor", rumor, include_self=False)
+
+    return GossipProcess
+
+
+def _flood_network(n: int, rumors_per_process: int, seed: int, batched: bool):
+    from repro.network.channels import SynchronousChannel
+    from repro.network.simulator import Network, Simulator
+
+    gossip_cls = _make_gossip_process()
+    network = Network(
+        Simulator(),
+        SynchronousChannel(delta=1.0, min_delay=0.1, seed=seed),
+        batched=batched,
+    )
+    for index in range(n):
+        pid = f"p{index}"
+        rumors = [
+            (0.5 + 3.0 * j + 0.1 * index, f"{pid}_r{j}")
+            for j in range(rumors_per_process)
+        ]
+        network.register(gossip_cls(pid, rumors))
+    return network
+
+
+def _run_flood(network) -> Tuple[float, Dict[str, Any]]:
+    network.start()
+    started = time.perf_counter()
+    network.run(max_events=20_000_000)
+    seconds = time.perf_counter() - started
+    outcome = {
+        "events": network.simulator.events_processed,
+        "now": network.simulator.now,
+        "messages_sent": network.messages_sent,
+        "messages_delivered": network.messages_delivered,
+        "messages_dropped": network.messages_dropped,
+        "seen": {p.pid: tuple(sorted(p.seen)) for p in map(network.process, network.process_ids)},
+    }
+    return seconds, outcome
+
+
+def _lrc_network(n: int, blocks_per_publisher: int, publishers: int, seed: int, batched: bool):
+    from repro.core.block import GENESIS_ID, Block
+    from repro.network.broadcast import BlockAnnouncement, LightReliableCommunication
+    from repro.network.channels import LossyChannel, SynchronousChannel
+    from repro.network.process import Process
+    from repro.network.simulator import Network, Simulator
+
+    class LrcPublisher(Process):
+        def __init__(self, pid: str, blocks) -> None:
+            super().__init__(pid)
+            self.blocks = blocks
+            self.transport = None
+
+        def attach(self, network) -> None:
+            super().attach(network)
+            self.transport = LightReliableCommunication(self)
+
+        def on_start(self) -> None:
+            for at, block_id in self.blocks:
+                self.schedule(at, lambda block_id=block_id: self._publish(block_id))
+
+        def _publish(self, block_id: str) -> None:
+            block = Block(block_id, GENESIS_ID, creator=self.pid)
+            self.transport.disseminate(BlockAnnouncement(GENESIS_ID, block))
+
+        def on_message(self, message) -> None:
+            self.transport.handle(message)
+
+    channel = LossyChannel(
+        SynchronousChannel(delta=1.0, min_delay=0.1, seed=seed),
+        drop_probability=0.05,
+        seed=seed + 1,
+    )
+    network = Network(Simulator(), channel, batched=batched)
+    for index in range(n):
+        pid = f"p{index}"
+        blocks = (
+            [
+                (1.0 + 4.0 * j + 0.2 * index, f"{pid}_blk{j}")
+                for j in range(blocks_per_publisher)
+            ]
+            if index < publishers
+            else []
+        )
+        network.register(LrcPublisher(pid, blocks))
+    return network
+
+
+def _run_lrc(network) -> Tuple[float, Dict[str, Any]]:
+    network.start()
+    started = time.perf_counter()
+    network.run(max_events=20_000_000)
+    seconds = time.perf_counter() - started
+    outcome = {
+        "events": network.simulator.events_processed,
+        "messages_sent": network.messages_sent,
+        "messages_delivered": network.messages_delivered,
+        "messages_dropped": network.messages_dropped,
+        "history": network.history().events,
+    }
+    return seconds, outcome
+
+
+def _best_of(
+    repeats: int, build: Callable[[], Any], run: Callable[[Any], Tuple[float, Any]]
+) -> Tuple[float, Any]:
+    """Fresh-build ``run`` ``repeats`` times; best wall-clock, one outcome.
+
+    The storms take milliseconds at quick sizes, where single-shot
+    timings are scheduler noise; the minimum over fresh identically-
+    seeded runs is the stable estimator.  Repeats must agree exactly
+    (determinism is the whole point of the seeded substrate).
+    """
+    best_seconds: Optional[float] = None
+    outcome: Any = None
+    for index in range(repeats):
+        seconds, this_outcome = run(build())
+        if index == 0:
+            outcome = this_outcome
+        elif this_outcome != outcome:  # pragma: no cover - determinism bug
+            raise AssertionError("identically-seeded simulation runs diverged")
+        if best_seconds is None or seconds < best_seconds:
+            best_seconds = seconds
+    return float(best_seconds), outcome
+
+
+def _bench_simulation(seed: int, quick: bool) -> Dict[str, Any]:
+    """Batched message plane vs. the scalar reference path, same run.
+
+    Both networks consume identically-seeded channel generators, so every
+    delay, drop and tie-break matches; the assertions below pin that
+    equivalence (it is what keeps recorded histories bit-identical across
+    the overhaul), and ``speedup`` is measured against the pre-batching
+    baseline on the same machine.
+    """
+    scenarios: Dict[str, Any] = {}
+    repeats = 2
+
+    # Flood storm: pure fan-out/delivery load, no recorder in the loop.
+    n = 20 if quick else 30
+    rumors = 3 if quick else 5
+    batched_seconds, batched_outcome = _best_of(
+        repeats, lambda: _flood_network(n, rumors, seed, True), _run_flood
+    )
+    reference_seconds, reference_outcome = _best_of(
+        repeats, lambda: _flood_network(n, rumors, seed, False), _run_flood
+    )
+    if batched_outcome != reference_outcome:  # pragma: no cover - equivalence bug
+        raise AssertionError(
+            "simulation_flood_heavy: batched outcome differs from the scalar reference"
+        )
+    scenarios["simulation_flood_heavy"] = {
+        "batched_seconds": batched_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / batched_seconds if batched_seconds else None,
+        "events": batched_outcome["events"],
+        "events_per_second": (
+            batched_outcome["events"] / batched_seconds if batched_seconds else None
+        ),
+        "processes": n,
+        "messages_sent": batched_outcome["messages_sent"],
+        "outcomes_identical": True,
+    }
+
+    # LRC relay storm over a lossy channel: send/receive events recorded,
+    # histories asserted identical event-for-event (drops included).
+    n = 24 if quick else 28
+    blocks = 2 if quick else 3
+    publishers = max(2, n // 3)
+    batched_seconds, batched_outcome = _best_of(
+        repeats, lambda: _lrc_network(n, blocks, publishers, seed, True), _run_lrc
+    )
+    reference_seconds, reference_outcome = _best_of(
+        repeats, lambda: _lrc_network(n, blocks, publishers, seed, False), _run_lrc
+    )
+    if batched_outcome != reference_outcome:  # pragma: no cover - equivalence bug
+        raise AssertionError(
+            "simulation_lrc_gossip: batched run differs from the scalar reference"
+        )
+    scenarios["simulation_lrc_gossip"] = {
+        "batched_seconds": batched_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / batched_seconds if batched_seconds else None,
+        "events": batched_outcome["events"],
+        "events_per_second": (
+            batched_outcome["events"] / batched_seconds if batched_seconds else None
+        ),
+        "processes": n,
+        "messages_sent": batched_outcome["messages_sent"],
+        "messages_dropped": batched_outcome["messages_dropped"],
+        "history_events": len(batched_outcome["history"]),
+        "histories_identical": True,
+    }
+    return scenarios
+
+
+# ---------------------------------------------------------------------------
 # protocol runs and sweeps
 # ---------------------------------------------------------------------------
 
@@ -396,15 +641,47 @@ def _bench_cache_sweep(seed: int, quick: bool) -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-def run_bench(*, seed: int = 7, quick: bool = False, jobs: int = 1) -> Dict[str, Any]:
-    """Run every scenario and return the report document (JSON-ready)."""
+def _profile_section(section: Callable[[], Dict[str, Any]]) -> Tuple[Dict[str, Any], str]:
+    """Run a scenario section under cProfile; return (result, top-25 table)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = section()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+    return result, stream.getvalue()
+
+
+def run_bench(
+    *, seed: int = 7, quick: bool = False, jobs: int = 1, profile: bool = False
+) -> Dict[str, Any]:
+    """Run every scenario and return the report document (JSON-ready).
+
+    With ``profile=True`` each scenario section additionally runs under
+    :mod:`cProfile` and the report gains a ``profiles`` mapping of section
+    name → top-25 cumulative-time table (one table per scenario group,
+    labelled with the scenario names it produced).
+    """
+    sections: List[Tuple[str, Callable[[], Dict[str, Any]]]] = [
+        ("selection", lambda: _bench_selection(seed, quick)),
+        ("consistency", lambda: _bench_consistency(seed, quick)),
+        ("simulation", lambda: _bench_simulation(seed, quick)),
+        ("protocol_runs", lambda: _bench_protocol_runs(seed, quick)),
+        ("table1_sweep", lambda: _bench_table1_sweep(seed, quick, jobs)),
+        ("cache_sweep", lambda: _bench_cache_sweep(seed, quick)),
+    ]
     scenarios: Dict[str, Any] = {}
-    scenarios.update(_bench_selection(seed, quick))
-    scenarios.update(_bench_consistency(seed, quick))
-    scenarios.update(_bench_protocol_runs(seed, quick))
-    scenarios.update(_bench_table1_sweep(seed, quick, jobs))
-    scenarios.update(_bench_cache_sweep(seed, quick))
-    return {
+    profiles: Dict[str, Any] = {}
+    for name, section in sections:
+        if profile:
+            result, table = _profile_section(section)
+            profiles[name] = {"scenarios": sorted(result), "top25_cumulative": table}
+        else:
+            result = section()
+        scenarios.update(result)
+    report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "date": time.strftime("%Y-%m-%d"),
         "seed": seed,
@@ -413,6 +690,9 @@ def run_bench(*, seed: int = 7, quick: bool = False, jobs: int = 1) -> Dict[str,
         "platform": platform.platform(),
         "scenarios": scenarios,
     }
+    if profile:
+        report["profiles"] = profiles
+    return report
 
 
 def write_report(report: Dict[str, Any], out_dir: Union[str, Path] = ".") -> Path:

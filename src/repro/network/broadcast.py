@@ -26,6 +26,12 @@ necessity result.
 Both primitives record the paper's ``send``/``receive`` replication events
 through the shared history recorder; the ``update`` event is recorded by
 the replica when it applies the block (see :mod:`repro.protocols.base`).
+
+Dissemination rides the network's batched message plane: an n-way
+``disseminate`` (and every LRC relay) is one shared envelope, one batched
+channel draw and one bulk queue insert through
+:meth:`repro.network.simulator.Network.multicast` — the LRC relay storm in
+particular no longer allocates O(n²) per-recipient closures.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ __all__ = ["BlockAnnouncement", "FloodingBroadcast", "LightReliableCommunication
 BLOCK_KIND = "block"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockAnnouncement:
     """Payload of a block dissemination message: ``(parent id, block)``."""
 

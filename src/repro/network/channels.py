@@ -18,11 +18,21 @@ asynchrony at all.
 
 All randomness is drawn from a seeded generator owned by the model, so a
 given (seed, workload) pair always yields the same execution.
+
+Every model additionally answers the question for a whole fan-out at once:
+``delays_for(sender, receivers, now)`` returns one delay (or ``None``) per
+receiver and is **stream-identical** to the equivalent sequence of scalar
+``delay_for`` calls — numpy's ``Generator`` fills vectorized ``uniform``/
+``exponential``/``random`` draws by consuming the bit stream element by
+element, exactly as the scalar calls do, so a batched multicast and a
+per-recipient loop produce the same delays from the same seed.  The
+scalar loop is kept as :func:`_reference_delays_for`, the equivalence
+oracle the stream tests and the simulation benches compare against.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, runtime_checkable
+from typing import Callable, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -33,16 +43,82 @@ __all__ = [
     "PartiallySynchronousChannel",
     "LossyChannel",
     "TargetedLossChannel",
+    "batched_delays",
 ]
+
+#: The batched return type: one entry per receiver, ``None`` = dropped.
+DelayVector = List[Optional[float]]
 
 
 @runtime_checkable
 class ChannelModel(Protocol):
-    """Decides the fate of each message."""
+    """Decides the fate of each message.
+
+    Only the scalar ``delay_for`` is required.  Models may additionally
+    provide ``delays_for(sender, receivers, now) -> DelayVector`` — a
+    batched fan-out draw that must be stream-identical to the sequence of
+    scalar calls it replaces (same values, same generator state after) —
+    and the batched message plane uses it via :func:`batched_delays`,
+    falling back to the scalar loop otherwise.  It is deliberately *not*
+    part of this protocol so scalar-only third-party models still satisfy
+    the ``ChannelModel`` annotations (and ``isinstance`` checks).
+    """
 
     def delay_for(self, sender: str, receiver: str, now: float) -> Optional[float]:
         """Return the delivery delay, or ``None`` if the message is lost."""
         ...
+
+
+def _reference_delays_for(
+    channel: ChannelModel, sender: str, receivers: Sequence[str], now: float
+) -> DelayVector:
+    """The pre-batching scalar fan-out, kept as the equivalence oracle.
+
+    This is what :meth:`Network.broadcast` did before the batched message
+    plane existed: one ``delay_for`` call per receiver, in receiver order.
+    The per-model ``delays_for`` implementations must match it bit-for-bit
+    from the same generator state.
+    """
+    return [channel.delay_for(sender, receiver, now) for receiver in receivers]
+
+
+def _scatter_inner_batch(
+    inner: ChannelModel,
+    sender: str,
+    receivers: Sequence[str],
+    now: float,
+    keep_flags: Sequence[bool],
+) -> DelayVector:
+    """One inner batch over the kept receivers, scattered back in place.
+
+    Shared by the loss wrappers: receivers whose ``keep_flags`` entry is
+    false stay ``None`` (dropped); the survivors are forwarded to the
+    inner model in receiver order — exactly the messages the scalar path
+    would have forwarded — and their delays land back in their slots.
+    """
+    delays: DelayVector = [None] * len(receivers)
+    kept_slots = [slot for slot, keep in enumerate(keep_flags) if keep]
+    if kept_slots:
+        kept_receivers = [receivers[slot] for slot in kept_slots]
+        inner_delays = batched_delays(inner, sender, kept_receivers, now)
+        for slot, delay in zip(kept_slots, inner_delays):
+            delays[slot] = delay
+    return delays
+
+
+def batched_delays(
+    channel: ChannelModel, sender: str, receivers: Sequence[str], now: float
+) -> DelayVector:
+    """Sample a fan-out through ``channel``, batched when it supports it.
+
+    Third-party channel models only need the scalar ``delay_for``; this
+    helper falls back to the (stream-identical) scalar loop for them, so
+    the batched message plane accepts any :class:`ChannelModel`.
+    """
+    batched = getattr(channel, "delays_for", None)
+    if batched is not None:
+        return batched(sender, receivers, now)
+    return _reference_delays_for(channel, sender, receivers, now)
 
 
 class SynchronousChannel:
@@ -64,6 +140,28 @@ class SynchronousChannel:
         if sender == receiver:
             return 0.0
         return float(self._rng.uniform(self.min_delay, self.delta))
+
+    def delays_for(
+        self, sender: str, receivers: Sequence[str], now: float  # noqa: ARG002
+    ) -> DelayVector:
+        """One vectorized ``uniform`` draw for the whole fan-out.
+
+        Self-delivery entries stay 0.0 and consume nothing, matching the
+        scalar path; the remote entries are filled from a single
+        ``Generator.uniform(size=k)`` call, which consumes the bit stream
+        exactly as ``k`` scalar draws would.
+        """
+        if sender not in receivers:
+            # The common fan-out (include_self=False): every entry draws.
+            draws = self._rng.uniform(self.min_delay, self.delta, size=len(receivers))
+            return draws.tolist()
+        delays: DelayVector = [0.0] * len(receivers)
+        remote = [i for i, receiver in enumerate(receivers) if receiver != sender]
+        if remote:
+            draws = self._rng.uniform(self.min_delay, self.delta, size=len(remote))
+            for slot, value in zip(remote, draws.tolist()):
+                delays[slot] = value
+        return delays
 
 
 class AsynchronousChannel:
@@ -99,6 +197,36 @@ class AsynchronousChannel:
             delay *= self.tail_factor
         return delay
 
+    def delays_for(
+        self, sender: str, receivers: Sequence[str], now: float  # noqa: ARG002
+    ) -> DelayVector:
+        """Batched fan-out with the scalar draw interleave preserved.
+
+        Each message consumes ``exponential`` *then* ``random`` (the tail
+        coin-flip); splitting those into two vector calls would permute
+        the stream (all exponentials first, then all coin-flips) and break
+        bit-identity with the scalar path.  The batch therefore keeps the
+        per-message interleave and only hoists the generator bindings out
+        of the loop.
+        """
+        rng = self._rng
+        exponential = rng.exponential
+        random = rng.random
+        mean = self.mean_delay
+        tail_probability = self.tail_probability
+        tail_factor = self.tail_factor
+        delays: DelayVector = []
+        append = delays.append
+        for receiver in receivers:
+            if receiver == sender:
+                append(0.0)
+                continue
+            delay = float(exponential(mean))
+            if random() < tail_probability:
+                delay *= tail_factor
+            append(delay)
+        return delays
+
 
 class PartiallySynchronousChannel:
     """Partial synchrony (Dwork–Lynch–Stockmeyer): synchronous after GST.
@@ -125,6 +253,20 @@ class PartiallySynchronousChannel:
             return self._post.delay_for(sender, receiver, now)
         return self._pre.delay_for(sender, receiver, now)
 
+    def delays_for(
+        self, sender: str, receivers: Sequence[str], now: float
+    ) -> DelayVector:
+        """A multicast happens at a single instant, hence in a single regime.
+
+        Every receiver shares ``now``, so the whole batch is either before
+        GST (delegate to the asynchronous model) or at/after it (delegate
+        to the synchronous model) — the same per-message dispatch the
+        scalar path performs, on the same sub-model generators.
+        """
+        if now >= self.gst:
+            return self._post.delays_for(sender, receivers, now)
+        return self._pre.delays_for(sender, receivers, now)
+
 
 class LossyChannel:
     """Wrap another model and drop each message with a fixed probability.
@@ -147,6 +289,46 @@ class LossyChannel:
             self.dropped += 1
             return None
         return self.inner.delay_for(sender, receiver, now)
+
+    def delays_for(
+        self, sender: str, receivers: Sequence[str], now: float
+    ) -> DelayVector:
+        """One vectorized drop lottery, then one inner batch for survivors.
+
+        The drop coin-flips come from this wrapper's *own* generator and
+        the delays from the inner model's, so the two streams never
+        interleave: a ``random(size=k)`` call over the non-self receivers
+        consumes the drop stream exactly as ``k`` scalar flips would, and
+        the inner model only ever samples the surviving receivers, in
+        order — exactly the messages the scalar path forwards to it.
+        """
+        if not receivers:
+            return []
+        if sender not in receivers:
+            # The common fan-out (include_self=False): every entry flips,
+            # so the whole lottery is one vectorized comparison.
+            keep_flags = (self._rng.random(size=len(receivers)) >= self.drop_probability).tolist()
+            dropped = len(receivers) - sum(keep_flags)
+            if not dropped:
+                return batched_delays(self.inner, sender, receivers, now)
+            self.dropped += dropped
+            return _scatter_inner_batch(self.inner, sender, receivers, now, keep_flags)
+        # The general path: self-addressed entries skip the drop lottery,
+        # so the flips are consumed lazily, one per remote receiver.
+        remote_count = sum(1 for receiver in receivers if receiver != sender)
+        flips = (
+            iter(self._rng.random(size=remote_count).tolist())
+            if remote_count
+            else iter(())
+        )
+        drop_probability = self.drop_probability
+        keep_flags = [
+            receiver == sender or next(flips) >= drop_probability
+            for receiver in receivers
+        ]
+        dropped = len(receivers) - sum(keep_flags)
+        self.dropped += dropped
+        return _scatter_inner_batch(self.inner, sender, receivers, now, keep_flags)
 
 
 class TargetedLossChannel:
@@ -171,3 +353,20 @@ class TargetedLossChannel:
             self.dropped += 1
             return None
         return self.inner.delay_for(sender, receiver, now)
+
+    def delays_for(
+        self, sender: str, receivers: Sequence[str], now: float
+    ) -> DelayVector:
+        """Predicate filter (no randomness), then one inner batch.
+
+        The predicate consumes no generator state, so stream-identity only
+        requires forwarding the surviving receivers to the inner model in
+        receiver order — which is what the scalar path does.
+        """
+        drop_if = self.drop_if
+        keep_flags = [
+            receiver == sender or not drop_if(sender, receiver, now)
+            for receiver in receivers
+        ]
+        self.dropped += len(receivers) - sum(keep_flags)
+        return _scatter_inner_batch(self.inner, sender, receivers, now, keep_flags)

@@ -75,6 +75,18 @@ class Process:
             return 0
         return self.network.broadcast(self.pid, kind, payload, include_self=include_self)
 
+    def multicast(self, receivers, kind: str, payload: Any) -> int:
+        """Send one payload to an explicit receiver subset (batched).
+
+        The building block sharded fan-outs ride on: one shared envelope,
+        one batched channel draw, one bulk queue insert — see
+        :meth:`repro.network.simulator.Network.multicast`.
+        """
+        assert self.network is not None
+        if not self.alive:
+            return 0
+        return self.network.multicast(self.pid, receivers, kind, payload)
+
     def schedule(self, delay: float, action) -> None:
         """Schedule a local timer; the action is skipped if we are dead by then."""
         assert self.network is not None
@@ -136,4 +148,7 @@ class SilentProcess(Process):
         return False
 
     def broadcast(self, kind: str, payload: Any, include_self: bool = True) -> int:  # noqa: ARG002
+        return 0
+
+    def multicast(self, receivers, kind: str, payload: Any) -> int:  # noqa: ARG002
         return 0

@@ -17,29 +17,67 @@ module provides:
 
 The simulator is intentionally single-threaded: determinism and
 reproducibility of the paper's histories matter far more here than wall
-clock parallelism, and the event loop is already dominated by protocol
-logic rather than queue overhead (heap operations are O(log n)).
+clock parallelism.  What the event core *is* optimized for is allocation
+pressure on the fan-out hot path: queue entries are plain
+``(time, seq, method, arg)`` tuples rather than per-recipient lambda
+closures, an n-way multicast shares a single :class:`Message` envelope and
+draws all its channel delays in one batched call
+(:func:`repro.network.channels.batched_delays`), and
+:meth:`Simulator.schedule_many` bulk-inserts the resulting deliveries.
+The pre-batching scalar fan-out is kept verbatim as
+``Network._reference_broadcast`` (constructed with ``batched=False``), the
+equivalence oracle the history tests and the ``simulation_*`` bench
+scenarios compare against: both paths consume the channel generators
+identically and assign queue sequence numbers in the same receiver order,
+so the recorded histories are bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.core.history import HistoryRecorder
+from repro.network.channels import batched_delays
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.network.channels import ChannelModel
     from repro.network.process import Process
 
-__all__ = ["Simulator", "Message", "Network"]
+__all__ = ["Simulator", "Message", "Network", "MULTICAST"]
+
+#: Receiver marker carried by a shared multicast envelope.  The actual
+#: recipient of each delivery is the queue entry's argument, not the
+#: envelope; processes address replies through ``message.sender``.
+MULTICAST = "*"
+
+#: Queue-entry marker for a no-argument callback (the ``schedule``/
+#: ``schedule_at`` API).  A private sentinel rather than ``None`` so that
+#: ``call_at(t, fn, None)`` / ``schedule_many`` entries carrying a
+#: legitimate ``None`` argument still invoke ``fn(None)``.
+_NO_ARG = object()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """A network message envelope."""
+    """A network message envelope.
+
+    Multicast deliveries share one envelope across all recipients (the
+    ``receiver`` field is then :data:`MULTICAST`); point-to-point sends
+    carry their receiver as before.
+    """
 
     sender: str
     receiver: str
@@ -52,10 +90,17 @@ class Message:
 
 
 class Simulator:
-    """Priority-queue discrete-event engine with a virtual clock."""
+    """Priority-queue discrete-event engine with a virtual clock.
+
+    Queue entries are ``(time, seq, method, arg)`` tuples; ``seq`` is a
+    global insertion counter, so ties on ``time`` resolve in insertion
+    order and the comparison never reaches the (uncomparable) callables.
+    ``arg is _NO_ARG`` marks a no-argument callback (the public
+    :meth:`schedule` API); otherwise the run loop calls ``method(arg)``.
+    """
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Callable[..., None], Any]] = []
         self._sequence = itertools.count()
         self.now: float = 0.0
         self.events_processed: int = 0
@@ -64,13 +109,46 @@ class Simulator:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), action))
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), action, _NO_ARG)
+        )
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> None:
         """Schedule ``action`` at an absolute virtual time."""
         if time < self.now:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._queue, (time, next(self._sequence), action))
+        heapq.heappush(self._queue, (time, next(self._sequence), action, _NO_ARG))
+
+    def call_at(self, time: float, method: Callable[[Any], None], arg: Any) -> None:
+        """Schedule ``method(arg)`` at an absolute virtual time.
+
+        The single-argument form the message plane uses: no closure is
+        allocated, the bound method and its argument ride the queue entry.
+        """
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (time, next(self._sequence), method, arg))
+
+    def schedule_many(
+        self, entries: Iterable[Tuple[float, Callable[[Any], None], Any]]
+    ) -> int:
+        """Bulk insert ``(time, method, arg)`` entries; returns the count.
+
+        Sequence numbers are assigned in iteration order, so a batched
+        fan-out ties-breaks exactly like the equivalent sequence of
+        :meth:`call_at` calls.
+        """
+        queue = self._queue
+        push = heapq.heappush
+        sequence = self._sequence
+        now = self.now
+        count = 0
+        for time, method, arg in entries:
+            if time < now:
+                raise ValueError("cannot schedule into the past")
+            push(queue, (time, next(sequence), method, arg))
+            count += 1
+        return count
 
     @property
     def pending(self) -> int:
@@ -84,26 +162,34 @@ class Simulator:
         ----------
         until:
             Stop once the clock would pass this time (events scheduled
-            later stay in the queue).  ``None`` drains the queue.
+            later stay in the queue; an event at exactly ``until`` is
+            still processed).  ``None`` drains the queue.
         max_events:
             Safety bound against runaway protocols.
 
         Returns the number of events processed by this call.
         """
+        queue = self._queue
+        pop = heapq.heappop
         processed = 0
-        while self._queue and processed < max_events:
-            time, _, action = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
-            self.now = max(self.now, time)
-            action()
-            processed += 1
-            self.events_processed += 1
-        if processed >= max_events and self._queue:
+        try:
+            while queue and processed < max_events:
+                if until is not None and queue[0][0] > until:
+                    break
+                time, _, method, arg = pop(queue)
+                if time > self.now:
+                    self.now = time
+                if arg is _NO_ARG:
+                    method()
+                else:
+                    method(arg)
+                processed += 1
+        finally:
+            self.events_processed += processed
+        if processed >= max_events and queue:
             raise RuntimeError(
                 f"simulation did not quiesce within {max_events} events "
-                f"({len(self._queue)} still pending at t={self.now:.2f})"
+                f"({len(queue)} still pending at t={self.now:.2f})"
             )
         if until is not None and self.now < until:
             # Whether the queue drained early or only later events remain,
@@ -119,6 +205,11 @@ class Network:
     so that every replica's operation events and every ``send``/``receive``/
     ``update`` replication event land in a single concurrent history, ready
     for the consistency and update-agreement checkers.
+
+    ``batched=False`` routes every fan-out through the pre-batching scalar
+    path (one ``delay_for`` call and one closure per recipient) — the
+    reference oracle the equivalence tests and the ``simulation_*`` bench
+    scenarios compare the batched plane against.
     """
 
     def __init__(
@@ -126,11 +217,19 @@ class Network:
         simulator: Simulator,
         channel: "ChannelModel",
         recorder: Optional[HistoryRecorder] = None,
+        batched: bool = True,
     ) -> None:
         self.simulator = simulator
         self.channel = channel
         self.recorder = recorder if recorder is not None else HistoryRecorder()
+        self.batched = batched
         self._processes: Dict[str, "Process"] = {}
+        self._pids: Tuple[str, ...] = ()
+        # sender -> every other pid, in registration order.  Built lazily
+        # and invalidated on register: broadcasts with include_self=False
+        # (every LRC relay) would otherwise rebuild this list — and
+        # re-validate each receiver against the process table — per call.
+        self._others: Dict[str, Tuple[str, ...]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -141,6 +240,8 @@ class Network:
         if process.pid in self._processes:
             raise ValueError(f"process {process.pid!r} already registered")
         self._processes[process.pid] = process
+        self._pids = self._pids + (process.pid,)
+        self._others.clear()
         process.attach(self)
 
     def process(self, pid: str) -> "Process":
@@ -148,7 +249,7 @@ class Network:
 
     @property
     def process_ids(self) -> Tuple[str, ...]:
-        return tuple(self._processes)
+        return self._pids
 
     def correct_process_ids(self) -> Tuple[str, ...]:
         """Processes that are neither crashed nor Byzantine."""
@@ -160,6 +261,89 @@ class Network:
         """Send one message; returns ``False`` if the channel dropped it."""
         if receiver not in self._processes:
             raise KeyError(f"unknown receiver {receiver!r}")
+        now = self.simulator.now
+        message = Message(sender, receiver, kind, payload, now)
+        self.messages_sent += 1
+        delay = self.channel.delay_for(sender, receiver, now)
+        if delay is None:
+            self.messages_dropped += 1
+            return False
+        self.simulator.call_at(now + delay, self._deliver, message)
+        return True
+
+    def multicast(
+        self, sender: str, receivers: Sequence[str], kind: str, payload: Any
+    ) -> int:
+        """Send one payload to many receivers; returns messages not dropped.
+
+        Builds a single shared envelope, draws every fan-out delay in one
+        batched channel call, and bulk-inserts the deliveries — one tuple
+        per recipient instead of one :class:`Message` plus one closure.
+        Stream- and order-identical to the per-recipient scalar loop (see
+        the module docstring).
+        """
+        processes = self._processes
+        for pid in receivers:
+            if pid not in processes:
+                raise KeyError(f"unknown receiver {pid!r}")
+        if not self.batched:
+            delivered = 0
+            for pid in receivers:
+                if self._reference_send(sender, pid, kind, payload):
+                    delivered += 1
+            return delivered
+        return self._multicast_trusted(sender, receivers, kind, payload)
+
+    def _multicast_trusted(
+        self, sender: str, receivers: Sequence[str], kind: str, payload: Any
+    ) -> int:
+        """The multicast fast path: receivers already known to be registered."""
+        simulator = self.simulator
+        now = simulator.now
+        envelope = Message(sender, MULTICAST, kind, payload, now)
+        delays = batched_delays(self.channel, sender, receivers, now)
+        deliver = self._deliver_multicast
+        entries = [
+            (now + delay, deliver, (pid, envelope))
+            for pid, delay in zip(receivers, delays)
+            if delay is not None
+        ]
+        scheduled = simulator.schedule_many(entries)
+        self.messages_sent += len(receivers)
+        self.messages_dropped += len(receivers) - scheduled
+        return scheduled
+
+    def broadcast(self, sender: str, kind: str, payload: Any, include_self: bool = True) -> int:
+        """Send to every registered process; returns messages not dropped."""
+        if not self.batched:
+            return self._reference_broadcast(sender, kind, payload, include_self)
+        if include_self:
+            receivers: Tuple[str, ...] = self._pids
+        else:
+            receivers = self._others.get(sender, None)  # type: ignore[assignment]
+            if receivers is None:
+                receivers = tuple(pid for pid in self._pids if pid != sender)
+                self._others[sender] = receivers
+        return self._multicast_trusted(sender, receivers, kind, payload)
+
+    def _reference_broadcast(
+        self, sender: str, kind: str, payload: Any, include_self: bool = True
+    ) -> int:
+        """Pre-batching scalar fan-out (PR ≤ 3), kept as the equivalence
+        and perf oracle: one envelope, one scalar channel draw and one
+        closure per recipient."""
+        delivered = 0
+        for pid in self._processes:
+            if pid == sender and not include_self:
+                continue
+            if self._reference_send(sender, pid, kind, payload):
+                delivered += 1
+        return delivered
+
+    def _reference_send(self, sender: str, receiver: str, kind: str, payload: Any) -> bool:
+        """The pre-batching ``send``: scalar draw + per-message closure."""
+        if receiver not in self._processes:
+            raise KeyError(f"unknown receiver {receiver!r}")
         message = Message(sender, receiver, kind, payload, self.simulator.now)
         self.messages_sent += 1
         delay = self.channel.delay_for(sender, receiver, self.simulator.now)
@@ -168,16 +352,6 @@ class Network:
             return False
         self.simulator.schedule(delay, lambda m=message: self._deliver(m))
         return True
-
-    def broadcast(self, sender: str, kind: str, payload: Any, include_self: bool = True) -> int:
-        """Send to every registered process; returns messages not dropped."""
-        delivered = 0
-        for pid in self._processes:
-            if pid == sender and not include_self:
-                continue
-            if self.send(sender, pid, kind, payload):
-                delivered += 1
-        return delivered
 
     def _deliver(self, message: Message) -> None:
         process = self._processes.get(message.receiver)
@@ -188,6 +362,17 @@ class Network:
             return
         self.messages_delivered += 1
         process.on_message(message)
+
+    def _deliver_multicast(self, entry: Tuple[str, Message]) -> None:
+        """Deliver a shared multicast envelope to one recipient."""
+        process = self._processes.get(entry[0])
+        if process is None:  # pragma: no cover - receivers cannot unregister
+            return
+        if not process.alive:
+            # Crashed processes receive nothing.
+            return
+        self.messages_delivered += 1
+        process.on_message(entry[1])
 
     # -- lifecycle --------------------------------------------------------------------
 

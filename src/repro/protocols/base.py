@@ -275,6 +275,7 @@ def run_protocol(
     drain: bool = True,
     max_events: int = 2_000_000,
     monitor: Optional[ConsistencyMonitor] = None,
+    batched: bool = True,
 ) -> RunResult:
     """Run a protocol model and collect its history.
 
@@ -304,6 +305,11 @@ def run_protocol(
         lets correct replicas converge under reliable communication (and is
         deliberately *not* enough to make them converge when messages were
         dropped, which is the Theorem 4.6/4.7 experiment).
+    batched:
+        Route fan-outs through the batched message plane (the default).
+        ``False`` uses the pre-batching scalar reference path; the two are
+        stream-identical and the equivalence tests assert the recorded
+        histories match event-for-event.
     """
     simulator = Simulator()
     recorder = HistoryRecorder()
@@ -313,6 +319,7 @@ def run_protocol(
         simulator,
         channel if channel is not None else SynchronousChannel(delta=1.0, seed=7),
         recorder=recorder,
+        batched=batched,
     )
     replicas: Dict[str, BlockchainReplica] = {}
     for index in range(n):

@@ -208,3 +208,32 @@ class TestRecorderSubscription:
         rec.complete("i", "read", None, None)
         assert len(first) == 4
         assert len(second) == 2
+
+
+class TestSlottedEvents:
+    """PR 4: the hot-path envelopes are slotted — no per-event __dict__."""
+
+    def test_event_and_token_have_no_dict(self, sample_history):
+        event = sample_history[0]
+        assert not hasattr(event, "__dict__")
+        recorder = HistoryRecorder()
+        token = recorder.invoke("i", "read", None)
+        assert not hasattr(token, "__dict__")
+
+    def test_events_pickle_round_trip(self, sample_history):
+        # Sweep workers ship results across process boundaries; slotted
+        # frozen dataclasses must survive the trip.
+        import pickle
+
+        for event in sample_history:
+            clone = pickle.loads(pickle.dumps(event))
+            assert clone == event
+
+    def test_message_is_slotted_too(self):
+        from repro.network.simulator import Message
+
+        message = Message("a", "b", "ping", None, 0.0)
+        assert not hasattr(message, "__dict__")
+        import pickle
+
+        assert pickle.loads(pickle.dumps(message)) == message

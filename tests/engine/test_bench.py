@@ -68,6 +68,8 @@ class TestRunBench:
             "consistency_strong_chain_heavy",
             "consistency_eventual_fork_heavy",
             "consistency_monitor_fork_heavy",
+            "simulation_flood_heavy",
+            "simulation_lrc_gossip",
             "run_longest_fork_heavy",
             "run_ghost_fork_heavy",
             "table1_sweep",
@@ -95,9 +97,59 @@ class TestRunBench:
         cache = scenarios["cache_sweep"]
         assert cache["cold_hits"] == 0
         assert cache["warm_hits"] == cache["cells"]
+        flood = scenarios["simulation_flood_heavy"]
+        assert flood["outcomes_identical"] is True
+        assert flood["events"] > 0 and flood["batched_seconds"] > 0
+        lrc = scenarios["simulation_lrc_gossip"]
+        assert lrc["histories_identical"] is True
+        assert lrc["messages_dropped"] > 0  # the lossy channel actually bites
+        assert lrc["history_events"] > 0
 
         path = write_report(report, tmp_path)
         assert path.name == f"BENCH_{report['date']}.json"
         payload = json.loads(path.read_text(encoding="utf-8"))
         assert payload["schema"] == BENCH_SCHEMA
         assert payload["scenarios"].keys() == scenarios.keys()
+        assert "profiles" not in payload  # only recorded when profiling
+
+
+class TestSimulationScenarios:
+    def test_flood_network_is_deterministic_and_batched_matches_reference(self):
+        from repro.engine.bench import _flood_network, _run_flood
+
+        _, batched = _run_flood(_flood_network(8, 2, seed=5, batched=True))
+        _, reference = _run_flood(_flood_network(8, 2, seed=5, batched=False))
+        assert batched == reference
+        assert batched["events"] > 0
+        # Every process heard every rumor (reliable channel, full flood).
+        rumor_sets = set(batched["seen"].values())
+        assert len(rumor_sets) == 1 and len(next(iter(rumor_sets))) == 16
+
+    def test_lrc_network_histories_match(self):
+        from repro.engine.bench import _lrc_network, _run_lrc
+
+        _, batched = _run_lrc(_lrc_network(6, 2, publishers=2, seed=5, batched=True))
+        _, reference = _run_lrc(_lrc_network(6, 2, publishers=2, seed=5, batched=False))
+        assert batched["history"] == reference["history"]
+        assert batched["messages_sent"] == reference["messages_sent"]
+
+
+class TestProfile:
+    def test_profile_report_carries_a_table_per_section(self):
+        report = run_bench(seed=11, quick=True, profile=True)
+        profiles = report["profiles"]
+        assert set(profiles) == {
+            "selection",
+            "consistency",
+            "simulation",
+            "protocol_runs",
+            "table1_sweep",
+            "cache_sweep",
+        }
+        simulation = profiles["simulation"]
+        assert simulation["scenarios"] == [
+            "simulation_flood_heavy",
+            "simulation_lrc_gossip",
+        ]
+        assert "cumulative" in simulation["top25_cumulative"]
+        assert "ncalls" in simulation["top25_cumulative"]

@@ -1,0 +1,114 @@
+"""Batched vs. reference message plane: recorded histories are identical.
+
+The PR 4 acceptance bar: on randomized fork-, drop- and fault-heavy
+protocol runs, ``run_protocol(batched=True)`` (vectorized channel
+sampling + shared-envelope multicast + bulk queue inserts) and
+``run_protocol(batched=False)`` (the pre-batching scalar fan-out kept as
+the reference oracle) must record *identical* histories — every event,
+every timestamp, every read result — for all channel models.  Anything
+less would mean the overhaul changed the simulated executions, not just
+their speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.selection import HeaviestChain
+from repro.network.channels import (
+    AsynchronousChannel,
+    LossyChannel,
+    PartiallySynchronousChannel,
+    SynchronousChannel,
+    TargetedLossChannel,
+)
+from repro.oracle.tape import TapeFamily
+from repro.oracle.theta import ProdigalOracle
+from repro.protocols.base import ReplicaConfig, run_protocol
+from repro.protocols.nakamoto import NakamotoReplica
+
+
+class CrashingMiner(NakamotoReplica):
+    """A miner that crash-faults at a pre-programmed virtual time."""
+
+    def __init__(self, *args, crash_at: float = 25.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.crash_at = crash_at
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.schedule(self.crash_at, self.crash)
+
+
+def _channel(kind: str, seed: int):
+    if kind == "synchronous":
+        # Fork-prone: large delta relative to the mining interval.
+        return SynchronousChannel(delta=3.0, min_delay=0.5, seed=seed)
+    if kind == "asynchronous":
+        return AsynchronousChannel(mean_delay=2.0, tail_probability=0.2, seed=seed)
+    if kind == "partial":
+        return PartiallySynchronousChannel(gst=25.0, delta=1.0, pre_gst_mean=4.0, seed=seed)
+    if kind == "lossy":
+        return LossyChannel(
+            SynchronousChannel(delta=2.0, min_delay=0.3, seed=seed), 0.25, seed=seed + 1
+        )
+    if kind == "targeted":
+        return TargetedLossChannel(
+            SynchronousChannel(delta=2.0, min_delay=0.3, seed=seed),
+            drop_if=lambda s, r, t: r == "p2" and t < 30.0,
+        )
+    raise AssertionError(kind)
+
+
+def _run(kind: str, seed: int, batched: bool, faulty: bool):
+    tapes = TapeFamily(seed=seed, probability_scale=0.5)
+    oracle = ProdigalOracle(tapes=tapes)
+
+    def factory(pid, orc, network):  # noqa: ARG001
+        config = ReplicaConfig(
+            selection=HeaviestChain(), read_interval=4.0, use_lrc=True, merit=0.2
+        )
+        if faulty and pid == "p1":
+            return CrashingMiner(pid, orc, config, mining_interval=1.0, crash_at=20.0)
+        return NakamotoReplica(pid, orc, config, mining_interval=1.0)
+
+    return run_protocol(
+        f"equiv-{kind}",
+        factory,
+        oracle,
+        n=5,
+        duration=50.0,
+        channel=_channel(kind, seed),
+        batched=batched,
+    )
+
+
+@pytest.mark.parametrize("kind", ("synchronous", "asynchronous", "partial", "lossy", "targeted"))
+@pytest.mark.parametrize("seed", (3, 17))
+def test_histories_identical_across_channel_models(kind: str, seed: int):
+    batched = _run(kind, seed, batched=True, faulty=False)
+    reference = _run(kind, seed, batched=False, faulty=False)
+    assert batched.history.events == reference.history.events
+    assert batched.network.messages_sent == reference.network.messages_sent
+    assert batched.network.messages_delivered == reference.network.messages_delivered
+    assert batched.network.messages_dropped == reference.network.messages_dropped
+    # The runs are meant to be interesting: blocks were produced and read.
+    assert len(batched.history.read_responses()) > 0
+    assert len(batched.history.append_invocations()) > 0
+
+
+@pytest.mark.parametrize("kind", ("lossy", "partial"))
+def test_histories_identical_with_crash_faults_and_drops(kind: str):
+    """Fault-heavy: a replica crashes mid-run while messages are dropped."""
+    batched = _run(kind, seed=11, batched=True, faulty=True)
+    reference = _run(kind, seed=11, batched=False, faulty=True)
+    assert batched.history.events == reference.history.events
+    assert not batched.replicas["p1"].alive
+    assert batched.network.messages_dropped == reference.network.messages_dropped
+
+
+def test_fork_heavy_run_actually_forks():
+    """Sanity: the equivalence scenarios exercise the fork-heavy shape."""
+    result = _run("synchronous", seed=3, batched=True, faulty=False)
+    trees = [replica.tree for replica in result.replicas.values()]
+    assert any(len(tree.leaves()) > 1 for tree in trees)

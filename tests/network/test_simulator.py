@@ -86,6 +86,70 @@ class TestSimulator:
         with pytest.raises(RuntimeError):
             simulator.run(max_events=100)
 
+    def test_max_events_exhaustion_leaves_queue_and_counts(self):
+        """Exhaustion raises with the queue non-empty and the work counted."""
+        simulator = Simulator()
+
+        def rearm():
+            simulator.schedule(1.0, rearm)
+            simulator.schedule(1.0, lambda: None)
+
+        simulator.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="did not quiesce"):
+            simulator.run(max_events=50)
+        assert simulator.pending > 0
+        assert simulator.events_processed == 50
+
+    def test_event_exactly_at_until_is_processed(self):
+        simulator = Simulator()
+        log: list[str] = []
+        simulator.schedule(5.0, lambda: log.append("at"))
+        simulator.schedule(5.0 + 1e-9, lambda: log.append("after"))
+        simulator.run(until=5.0)
+        assert log == ["at"]
+        assert simulator.pending == 1
+        assert simulator.now == 5.0
+
+    def test_schedule_at_in_the_past_rejected_after_clock_advance(self):
+        simulator = Simulator()
+        simulator.schedule(4.0, lambda: None)
+        simulator.run()
+        assert simulator.now == 4.0
+        with pytest.raises(ValueError):
+            simulator.schedule_at(3.0, lambda: None)
+        # The present is still schedulable.
+        simulator.schedule_at(4.0, lambda: None)
+        assert simulator.pending == 1
+
+    def test_schedule_many_bulk_insert(self):
+        simulator = Simulator()
+        log: list[str] = []
+        count = simulator.schedule_many(
+            (t, log.append, tag) for t, tag in ((2.0, "b"), (1.0, "a"), (2.0, "c"))
+        )
+        assert count == 3
+        simulator.run()
+        # Timestamp order, ties in insertion order.
+        assert log == ["a", "b", "c"]
+        assert simulator.now == 2.0
+
+    def test_schedule_many_rejects_past_times(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(ValueError):
+            simulator.schedule_many([(0.5, lambda _: None, "x")])
+
+    def test_schedule_many_ties_with_schedule_preserve_global_order(self):
+        """schedule_many shares the sequence counter with schedule/call_at."""
+        simulator = Simulator()
+        log: list[str] = []
+        simulator.schedule(1.0, lambda: log.append("closure"))
+        simulator.schedule_many([(1.0, log.append, "bulk")])
+        simulator.call_at(1.0, log.append, "call_at")
+        simulator.run()
+        assert log == ["closure", "bulk", "call_at"]
+
 
 class TestNetwork:
     def _network(self, delta: float = 1.0) -> tuple[Network, Echo, Echo]:
@@ -149,6 +213,153 @@ class TestNetwork:
         assert network.process("a") is a
         assert set(network.process_ids) == {"a", "b"}
         assert a.now == 0.0
+
+
+class TestMulticast:
+    def _network(self, n: int = 4, batched: bool = True) -> tuple[Network, list[Echo]]:
+        network = Network(
+            Simulator(), SynchronousChannel(delta=1.0, seed=2), batched=batched
+        )
+        processes = [Echo(f"p{i}") for i in range(n)]
+        for process in processes:
+            network.register(process)
+        return network, processes
+
+    def test_multicast_reaches_listed_receivers(self):
+        network, processes = self._network()
+        delivered = network.multicast("p0", ["p1", "p3"], "ping", 7)
+        assert delivered == 2
+        network.run()
+        assert len(processes[1].received) == 1
+        assert processes[1].received[0].payload == 7
+        assert processes[2].received == []
+        assert len(processes[3].received) == 1
+
+    def test_multicast_unknown_receiver_rejected(self):
+        network, _ = self._network()
+        with pytest.raises(KeyError):
+            network.multicast("p0", ["p1", "ghost"], "ping", None)
+
+    def test_multicast_skips_crashed_receivers_at_delivery(self):
+        network, processes = self._network()
+        network.multicast("p0", ["p1", "p2"], "ping", None)
+        processes[1].crash()
+        network.run()
+        assert processes[1].received == []
+        assert len(processes[2].received) == 1
+        assert network.messages_delivered == 1
+
+    def test_shared_envelope_carries_sender_kind_payload(self):
+        network, processes = self._network()
+        network.broadcast("p0", "hello", {"x": 1}, include_self=False)
+        network.run()
+        for process in processes[1:]:
+            (message,) = process.received
+            assert message.sender == "p0"
+            assert message.kind == "hello"
+            assert message.payload == {"x": 1}
+
+    def test_registration_after_broadcast_invalidates_receiver_cache(self):
+        network, processes = self._network(n=2)
+        network.broadcast("p0", "hello", None, include_self=False)
+        late = Echo("late")
+        network.register(late)
+        network.broadcast("p0", "hello", None, include_self=False)
+        network.run()
+        assert len(processes[1].received) == 2
+        assert len(late.received) == 1
+
+    def test_process_multicast_helper(self):
+        network, processes = self._network()
+        sent = processes[0].multicast(["p2"], "ping", None)
+        assert sent == 1
+        network.run()
+        assert len(processes[2].received) == 1
+
+    def test_multicast_honours_the_reference_switch(self):
+        """batched=False covers the multicast API too, not just broadcast."""
+        from repro.network.channels import LossyChannel
+
+        def build(batched: bool):
+            channel = LossyChannel(
+                SynchronousChannel(delta=1.0, seed=4), 0.4, seed=5
+            )
+            network = Network(Simulator(), channel, batched=batched)
+            processes = [Echo(f"p{i}") for i in range(6)]
+            for process in processes:
+                network.register(process)
+            for round_ in range(20):
+                network.multicast("p0", ["p1", "p2", "p3", "p4", "p5"], "ping", round_)
+            network.run()
+            return network, processes
+
+        batched_net, batched_procs = build(True)
+        reference_net, reference_procs = build(False)
+        assert batched_net.messages_sent == reference_net.messages_sent == 100
+        assert batched_net.messages_dropped == reference_net.messages_dropped > 0
+        assert batched_net.messages_delivered == reference_net.messages_delivered
+        for a, b in zip(batched_procs, reference_procs):
+            assert [(m.sender, m.payload, m.sent_at) for m in a.received] == [
+                (m.sender, m.payload, m.sent_at) for m in b.received
+            ]
+
+
+class TestBatchedReferenceEquivalence:
+    """The batched plane must be indistinguishable from the scalar oracle."""
+
+    class Relay(Echo):
+        """Re-broadcasts each payload once: a deterministic gossip storm."""
+
+        def __init__(self, pid: str) -> None:
+            super().__init__(pid)
+            self.seen: set[str] = set()
+
+        def on_message(self, message: Message) -> None:
+            super().on_message(message)
+            if message.payload not in self.seen:
+                self.seen.add(message.payload)
+                self.broadcast("gossip", message.payload, include_self=False)
+
+    def _storm(self, batched: bool, drop: float, seed: int):
+        from repro.network.channels import LossyChannel
+
+        channel = LossyChannel(
+            SynchronousChannel(delta=1.0, min_delay=0.1, seed=seed), drop, seed=seed + 1
+        )
+        network = Network(Simulator(), channel, batched=batched)
+        processes = [self.Relay(f"p{i}") for i in range(8)]
+        for process in processes:
+            network.register(process)
+        for i, origin in enumerate(("p0", "p3", "p5")):
+            network.simulator.schedule(
+                0.2 * i, lambda o=origin, i=i: network.broadcast(o, "gossip", f"r{i}")
+            )
+        network.run()
+        return network, processes
+
+    @pytest.mark.parametrize("seed", (1, 9, 42))
+    @pytest.mark.parametrize("drop", (0.0, 0.35))
+    def test_drop_accounting_unchanged_by_batching(self, drop: float, seed: int):
+        """Regression (PR 4): sent/delivered/dropped match the scalar path."""
+        batched_net, batched_procs = self._storm(True, drop, seed)
+        reference_net, reference_procs = self._storm(False, drop, seed)
+        assert batched_net.messages_sent == reference_net.messages_sent
+        assert batched_net.messages_delivered == reference_net.messages_delivered
+        assert batched_net.messages_dropped == reference_net.messages_dropped
+        assert (
+            batched_net.messages_sent
+            == batched_net.messages_delivered + batched_net.messages_dropped
+        )
+        assert batched_net.channel.dropped == reference_net.channel.dropped
+        if drop:
+            assert batched_net.messages_dropped > 0
+        # Delivery order and contents match message-for-message.
+        for a, b in zip(batched_procs, reference_procs):
+            assert [(m.sender, m.kind, m.payload, m.sent_at) for m in a.received] == [
+                (m.sender, m.kind, m.payload, m.sent_at) for m in b.received
+            ]
+        assert batched_net.simulator.events_processed == reference_net.simulator.events_processed
+        assert batched_net.simulator.now == reference_net.simulator.now
 
 
 class TestRunUntilClockAdvance:
