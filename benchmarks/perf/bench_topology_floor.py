@@ -1,0 +1,77 @@
+"""Perf floor for the dissemination-topology scenarios.
+
+Mirrors the sibling floor modules: the topology bench scenarios compare
+the *same* declarative runs under full-mesh flooding and under restricted
+topologies, so the recorded volume ratios are pure topology effects.  The
+CI bars:
+
+* gossip fan-out must cut message volume well below full flood
+  (``k/(n-1)`` per origination — the quick grid runs ``k=3`` against 9
+  full-mesh peers, so 0.7 keeps a wide margin);
+* the sharded gateway overlay and committee-only dissemination must cut
+  their message volumes below full flood / the open committee;
+* the full-mesh leg must still converge perfectly (agreement 1.0) — the
+  baseline run is the pre-topology behaviour.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_topology_floor.py -q
+
+Like the siblings, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+#: CI ceiling on every restricted-topology volume ratio.
+RATIO_CEILING = 0.7
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True, scenarios=["topology"])
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_topology_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    scenarios = report["scenarios"]
+
+    gossip = scenarios["simulation_gossip_fanout"]
+    assert gossip["message_volume_ratio"] <= RATIO_CEILING, (
+        f"gossip fan-out k={gossip['fanout']} only cut message volume to "
+        f"{gossip['message_volume_ratio']:.2f}x of full flood "
+        f"(expected <= {RATIO_CEILING}x)"
+    )
+    assert gossip["event_volume_ratio"] < 1.0
+    # The baseline full flood is the pre-topology behaviour and converges.
+    assert gossip["full"]["agreement_ratio"] == 1.0
+    assert gossip["full"]["mean_blocks"] > 1.0
+    assert gossip["gossip"]["mean_blocks"] > 1.0
+
+    sharded = scenarios["simulation_sharded_committee"]
+    assert sharded["sharded_message_ratio"] <= RATIO_CEILING, (
+        f"sharded overlay only cut message volume to "
+        f"{sharded['sharded_message_ratio']:.2f}x of full flood "
+        f"(expected <= {RATIO_CEILING}x)"
+    )
+    assert sharded["committee_message_ratio"] <= RATIO_CEILING + 0.1, (
+        f"committee-only dissemination only cut message volume to "
+        f"{sharded['committee_message_ratio']:.2f}x of the open committee"
+    )
+    # LRC relays bridge the shard gateways, so the sharded run still
+    # disseminates real blocks everywhere.
+    assert sharded["sharded"]["mean_blocks"] > 1.0
+    assert sharded["committee_open"]["agreement_ratio"] == 1.0

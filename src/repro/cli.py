@@ -37,6 +37,7 @@ import sys
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_classification_table, render_table
+from repro.core.errors import UnknownVocabularyError
 from repro.core.consistency import check_eventual_consistency, check_strong_consistency
 from repro.core.hierarchy import message_passing_hierarchy, refinement_hierarchy
 from repro.engine import (
@@ -45,13 +46,15 @@ from repro.engine import (
     ExperimentSpec,
     ResultCache,
     SweepRunner,
+    TopologySpec,
     available_protocols,
     expand_grid,
     get_protocol,
     regime_spec,
     results_payload,
 )
-from repro.engine.bench import run_bench, write_report
+from repro.engine.bench import available_scenarios, run_bench, write_report
+from repro.network.topology import available_topologies
 from repro.protocols.classification import reproduce_table1
 from repro.workload.scenarios import figure2_history, figure3_history, figure4_history
 
@@ -86,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream consistency verdicts during the run (ConsistencyMonitor)",
     )
+    classify.add_argument(
+        "--topology",
+        default=None,
+        metavar="KIND",
+        help=(
+            "dissemination topology: a registered kind "
+            f"({', '.join(sorted(available_topologies()))}), "
+            "'kind:key=value,...' for parameters "
+            "(e.g. 'gossip:fanout=4'), or a JSON object"
+        ),
+    )
 
     sub.add_parser("hierarchy", help="print the Figure 8 and Figure 14 hierarchies")
 
@@ -111,6 +125,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--replica-counts", default=None, help="replica-count axis, e.g. '4,6,8'")
     sweep.add_argument("--token-rates", default=None, help="token-rate axis, e.g. '0.1,0.4'")
     sweep.add_argument("--oracle-bounds", default=None, help="oracle bound axis, e.g. '1,2,inf'")
+    sweep.add_argument(
+        "--topology",
+        default=None,
+        metavar="KIND",
+        help="base topology for every cell (same forms as classify --topology)",
+    )
+    sweep.add_argument(
+        "--topologies",
+        default=None,
+        metavar="KINDS",
+        help=(
+            "topology axis: comma-separated registered kinds, e.g. 'full,gossip,ring' "
+            "(grid cells are labelled topology=<kind>)"
+        ),
+    )
     sweep.add_argument(
         "--fork-prone",
         action="store_true",
@@ -144,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="perf benchmark harness; writes BENCH_<date>.json for the perf trajectory",
     )
     bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=(
+            "run only the named scenarios/sections instead of the full suite; "
+            "filtered reports record the filter under 'scenario_filter'. "
+            f"Available: {', '.join(available_scenarios())}"
+        ),
+    )
     bench.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep scenario")
     bench.add_argument("--out-dir", default=".", help="directory BENCH_<date>.json is written to")
     bench.add_argument(
@@ -192,6 +232,81 @@ def _parse_bound(text: str) -> float:
     return float(text)
 
 
+def _split_topology_params(rest: str) -> List[str]:
+    """Split ``key=value,key=value`` on top-level commas only.
+
+    Commas inside brackets, braces or quotes belong to a JSON value
+    (``members=["p0","p1"]``), not to the pair separator.
+    """
+    pairs: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current = ""
+    for char in rest:
+        if quote is not None:
+            current += char
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            current += char
+        elif char in "[{":
+            depth += 1
+            current += char
+        elif char in "]}":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            pairs.append(current)
+            current = ""
+        else:
+            current += char
+    pairs.append(current)
+    return pairs
+
+
+def _parse_topology(text: str) -> TopologySpec:
+    """Parse ``--topology``: a kind, ``kind:key=value,...``, or a JSON object.
+
+    Parameter values go through :func:`json.loads` when they parse (so
+    ``fanout=4`` is an int, ``members=["p0","p1"]`` a list,
+    ``include_observers=false`` a bool) and stay strings otherwise.
+    """
+    text = text.strip()
+    if text.startswith("{"):
+        try:
+            spec = TopologySpec.from_dict(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise SystemExit(
+                f"repro: error: cannot parse topology JSON {text!r} ({error})"
+            ) from None
+    elif ":" in text:
+        kind, _, rest = text.partition(":")
+        params = {}
+        for pair in _split_topology_params(rest):
+            if not pair:
+                continue
+            key, eq, raw = pair.partition("=")
+            if not eq:
+                raise SystemExit(
+                    f"repro: error: topology parameter {pair!r} is not 'key=value'"
+                )
+            try:
+                value = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            params[key.strip()] = value
+        spec = TopologySpec(kind=kind.strip(), params=params)
+    else:
+        spec = TopologySpec(kind=text)
+    if spec.kind not in available_topologies():
+        raise SystemExit(
+            f"repro: error: unknown topology {spec.kind!r} "
+            f"(registered: {', '.join(sorted(available_topologies()))})"
+        )
+    return spec
+
+
 def _regime_spec(
     system: str,
     *,
@@ -226,6 +341,8 @@ def _cmd_classify(args: argparse.Namespace) -> str:
     )
     if args.monitor:
         spec = spec.with_updates(monitor=True)
+    if args.topology is not None:
+        spec = spec.with_updates(topology=_parse_topology(args.topology))
     record = spec.execute()
 
     lines = [
@@ -336,8 +453,22 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     )
     if args.monitor:
         base = base.with_updates(monitor=True)
+    if args.topology is not None:
+        base = base.with_updates(topology=_parse_topology(args.topology))
 
     axes: Dict[str, Sequence[Any]] = {}
+    if args.topologies is not None:
+        kinds = []
+        for item in args.topologies.split(","):
+            if item == "":
+                continue
+            if ":" in item or item.lstrip().startswith("{"):
+                raise SystemExit(
+                    "repro sweep: error: --topologies takes bare registered kinds; "
+                    "use --topology (base spec) for parameterized topologies"
+                )
+            kinds.append(_parse_topology(item).kind)
+        axes["topology"] = kinds
     seeds = _parse_axis(args.seeds, int)
     if seeds is not None:
         axes["seed"] = seeds
@@ -390,9 +521,19 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 
 def _cmd_bench(args: argparse.Namespace) -> str:
-    report = run_bench(
-        seed=args.seed, quick=args.quick, jobs=args.jobs, profile=args.profile
-    )
+    try:
+        report = run_bench(
+            seed=args.seed,
+            quick=args.quick,
+            jobs=args.jobs,
+            profile=args.profile,
+            scenarios=args.scenario,
+        )
+    except UnknownVocabularyError as error:
+        # Unknown --scenario names surface the uniform vocabulary error;
+        # re-raise as a clean CLI failure instead of a traceback.  (Other
+        # exceptions keep their tracebacks — they are bugs, not usage.)
+        raise SystemExit(f"repro bench: error: {error}") from None
     path = write_report(report, args.out_dir)
 
     rows: List[List[object]] = []

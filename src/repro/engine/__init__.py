@@ -44,6 +44,7 @@ from repro.engine.spec import (
     ChannelSpec,
     ExperimentSpec,
     FaultSpec,
+    TopologySpec,
     WorkloadSpec,
     regime_spec,
     table1_spec,
@@ -64,6 +65,7 @@ __all__ = [
     "ChannelSpec",
     "ExperimentSpec",
     "FaultSpec",
+    "TopologySpec",
     "WorkloadSpec",
     "regime_spec",
     "table1_spec",

@@ -29,6 +29,11 @@ the ones before it:
   in the same run with the outcomes asserted identical — counters and
   final gossip state for the flood storm, the recorded histories
   event-for-event for the LRC relay storm.
+* ``simulation_gossip_fanout`` / ``simulation_sharded_committee`` — the
+  dissemination-topology scenarios: the same declarative runs under
+  full-mesh flooding and under restricted topologies (gossip fan-out,
+  sharded gateways, committee-only dissemination), recording how event
+  and message volume — and the fork rate — scale with the fan-out.
 * ``table1_sweep`` — a small Table-1 sweep through :class:`SweepRunner`.
 * ``cache_sweep`` — the same sweep cold vs. warm through a
   :class:`~repro.engine.cache.ResultCache` (the warm pass must be all
@@ -56,7 +61,7 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.block import GENESIS_ID, Block
 from repro.core.blocktree import BlockTree
@@ -76,12 +81,19 @@ from repro.core.selection import (
     _ReferenceHeaviestChain,
     _ReferenceLongestChain,
 )
+from repro.core.errors import UnknownVocabularyError
 from repro.engine.cache import ResultCache
 from repro.engine.registry import available_protocols
-from repro.engine.spec import ChannelSpec, ExperimentSpec, table1_spec
+from repro.engine.spec import ChannelSpec, ExperimentSpec, TopologySpec, table1_spec
 from repro.engine.sweep import SweepRunner
 
-__all__ = ["run_bench", "write_report", "BENCH_SCHEMA"]
+__all__ = [
+    "run_bench",
+    "write_report",
+    "available_scenarios",
+    "SECTION_SCENARIOS",
+    "BENCH_SCHEMA",
+]
 
 BENCH_SCHEMA = "repro.bench/1"
 
@@ -547,6 +559,148 @@ def _bench_simulation(seed: int, quick: bool) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# dissemination topologies
+# ---------------------------------------------------------------------------
+
+
+def _timed_cell(spec: ExperimentSpec) -> Tuple[float, Any]:
+    """Execute one declarative cell under a wall-clock timer."""
+    started = time.perf_counter()
+    record = spec.execute()
+    return time.perf_counter() - started, record
+
+
+def _topology_leg(seconds: float, record: Any) -> Dict[str, Any]:
+    """The per-topology measurements the scenarios compare."""
+    return {
+        "seconds": seconds,
+        "events": record.network["events_processed"],
+        "messages_sent": record.network["messages_sent"],
+        "mean_blocks": record.forks["mean_blocks"],
+        "mean_forks": record.forks["mean_forks"],
+        "agreement_ratio": record.convergence["agreement_ratio"],
+    }
+
+
+def _bench_topology(seed: int, quick: bool) -> Dict[str, Any]:
+    """Restricted dissemination vs. full flood, through the declarative path.
+
+    Both scenarios run the *same* :class:`ExperimentSpec` cells with only
+    the :class:`~repro.engine.spec.TopologySpec` changed, so the recorded
+    deltas are pure topology effects:
+
+    * ``simulation_gossip_fanout`` — a fork-prone proof-of-work run under
+      full-mesh flooding and under ``GossipFanout(k)`` (with the LRC
+      relay carrying the epidemic): message volume drops from ``O(n²)``
+      per block towards ``O(n·k)`` while the fork rate rises with the
+      extra propagation hops.
+    * ``simulation_sharded_committee`` — the same run under a
+      ``Sharded`` gateway overlay, plus the Red Belly committee model
+      under committee-only dissemination (``include_observers=False``)
+      against its default committee topology.
+    """
+    scenarios: Dict[str, Any] = {}
+
+    # Gossip fan-out vs. full flood on a fork-prone proof-of-work run.
+    n = 10 if quick else 14
+    duration = 40.0 if quick else 90.0
+    fanout = 3
+    pow_base = ExperimentSpec(
+        protocol="bitcoin",
+        replicas=n,
+        duration=duration,
+        seed=seed,
+        channel=ChannelSpec(kind="synchronous", params={"delta": 3.0, "min_delay": 0.5}),
+        params={"token_rate": 0.4},
+        label="bench:topology-full",
+    )
+    full_seconds, full_record = _timed_cell(pow_base)
+    gossip_seconds, gossip_record = _timed_cell(
+        pow_base.with_updates(
+            topology=TopologySpec("gossip", params={"fanout": fanout}),
+            label=f"bench:topology-gossip-k{fanout}",
+        )
+    )
+    full_leg = _topology_leg(full_seconds, full_record)
+    gossip_leg = _topology_leg(gossip_seconds, gossip_record)
+    if gossip_leg["messages_sent"] >= full_leg["messages_sent"]:  # pragma: no cover
+        raise AssertionError(
+            "simulation_gossip_fanout: gossip fan-out did not reduce message volume"
+        )
+    scenarios["simulation_gossip_fanout"] = {
+        "seconds": full_seconds + gossip_seconds,
+        "processes": n,
+        "fanout": fanout,
+        "full": full_leg,
+        "gossip": gossip_leg,
+        "message_volume_ratio": gossip_leg["messages_sent"] / full_leg["messages_sent"],
+        "event_volume_ratio": gossip_leg["events"] / full_leg["events"],
+        "fork_rate_delta": gossip_leg["mean_forks"] - full_leg["mean_forks"],
+    }
+
+    # Sharded gateway overlay on the same proof-of-work run, and the Red
+    # Belly committee closing its dissemination to members only.
+    sharded_seconds, sharded_record = _timed_cell(
+        pow_base.with_updates(
+            topology=TopologySpec("sharded", params={"shards": 3, "cross_links": 1}),
+            label="bench:topology-sharded",
+        )
+    )
+    sharded_leg = _topology_leg(sharded_seconds, sharded_record)
+
+    bft_n = 9 if quick else 12
+    bft_duration = 60.0 if quick else 120.0
+    writers = [f"p{i}" for i in range(max(2, bft_n // 2))]
+    bft_base = ExperimentSpec(
+        protocol="redbelly",
+        replicas=bft_n,
+        duration=bft_duration,
+        seed=seed,
+        label="bench:topology-committee-open",
+    )
+    open_seconds, open_record = _timed_cell(bft_base)
+    closed_seconds, closed_record = _timed_cell(
+        bft_base.with_updates(
+            topology=TopologySpec(
+                "committee", params={"members": writers, "include_observers": False}
+            ),
+            label="bench:topology-committee-only",
+        )
+    )
+    open_leg = _topology_leg(open_seconds, open_record)
+    closed_leg = _topology_leg(closed_seconds, closed_record)
+    if sharded_leg["messages_sent"] >= full_leg["messages_sent"]:  # pragma: no cover
+        raise AssertionError(
+            "simulation_sharded_committee: sharding did not reduce message volume"
+        )
+    if closed_leg["messages_sent"] >= open_leg["messages_sent"]:  # pragma: no cover
+        raise AssertionError(
+            "simulation_sharded_committee: committee-only dissemination did not "
+            "reduce message volume"
+        )
+    scenarios["simulation_sharded_committee"] = {
+        # full_seconds is already attributed to simulation_gossip_fanout;
+        # summing per-scenario seconds across a report must not count the
+        # shared full-mesh leg twice.
+        "seconds": sharded_seconds + open_seconds + closed_seconds,
+        "processes": n,
+        "committee_processes": bft_n,
+        "committee_members": len(writers),
+        "full": full_leg,
+        "sharded": sharded_leg,
+        "committee_open": open_leg,
+        "committee_only": closed_leg,
+        "sharded_message_ratio": sharded_leg["messages_sent"] / full_leg["messages_sent"],
+        "sharded_event_ratio": sharded_leg["events"] / full_leg["events"],
+        "committee_message_ratio": (
+            closed_leg["messages_sent"] / open_leg["messages_sent"]
+        ),
+        "sharded_fork_rate_delta": sharded_leg["mean_forks"] - full_leg["mean_forks"],
+    }
+    return scenarios
+
+
+# ---------------------------------------------------------------------------
 # protocol runs and sweeps
 # ---------------------------------------------------------------------------
 
@@ -654,8 +808,60 @@ def _profile_section(section: Callable[[], Dict[str, Any]]) -> Tuple[Dict[str, A
     return result, stream.getvalue()
 
 
+#: Section name → the scenario names it produces.  Filtering is at
+#: section granularity: requesting any scenario runs its whole section
+#: (sections share setup, and in-section baselines are timed together).
+SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
+    "selection": tuple(f"selection_{name}_fork_heavy" for name in _SELECTION_RULES),
+    "consistency": (
+        "consistency_strong_chain_heavy",
+        "consistency_eventual_fork_heavy",
+        "consistency_monitor_fork_heavy",
+    ),
+    "simulation": ("simulation_flood_heavy", "simulation_lrc_gossip"),
+    "topology": ("simulation_gossip_fanout", "simulation_sharded_committee"),
+    "protocol_runs": ("run_longest_fork_heavy", "run_ghost_fork_heavy"),
+    "table1_sweep": ("table1_sweep",),
+    "cache_sweep": ("cache_sweep",),
+}
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Every name ``run_bench(scenarios=...)`` accepts (sections + scenarios)."""
+    names: List[str] = []
+    for section, produced in SECTION_SCENARIOS.items():
+        names.append(section)
+        names.extend(produced)
+    return tuple(names)
+
+
+def _select_sections(requested: Optional[Sequence[str]]) -> Optional[set]:
+    """Resolve a scenario/section-name filter to the set of sections to run.
+
+    ``None`` (no filter) runs everything.  Unknown names raise the
+    uniform vocabulary error listing everything that can be requested.
+    """
+    if requested is None:
+        return None
+    known = set(available_scenarios())
+    for name in requested:
+        if name not in known:
+            raise UnknownVocabularyError("bench scenario", name, known)
+    wanted = set(requested)
+    return {
+        section
+        for section, produced in SECTION_SCENARIOS.items()
+        if section in wanted or wanted.intersection(produced)
+    }
+
+
 def run_bench(
-    *, seed: int = 7, quick: bool = False, jobs: int = 1, profile: bool = False
+    *,
+    seed: int = 7,
+    quick: bool = False,
+    jobs: int = 1,
+    profile: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
     """Run every scenario and return the report document (JSON-ready).
 
@@ -663,24 +869,33 @@ def run_bench(
     :mod:`cProfile` and the report gains a ``profiles`` mapping of section
     name → top-25 cumulative-time table (one table per scenario group,
     labelled with the scenario names it produced).
+
+    ``scenarios`` filters the run to the named scenarios or sections (CLI:
+    ``python -m repro bench --scenario NAME [NAME ...]``); a filtered
+    report records the filter under ``"scenario_filter"`` so partial
+    artifacts are never mistaken for full trajectory points.
     """
+    selected = _select_sections(scenarios)
     sections: List[Tuple[str, Callable[[], Dict[str, Any]]]] = [
         ("selection", lambda: _bench_selection(seed, quick)),
         ("consistency", lambda: _bench_consistency(seed, quick)),
         ("simulation", lambda: _bench_simulation(seed, quick)),
+        ("topology", lambda: _bench_topology(seed, quick)),
         ("protocol_runs", lambda: _bench_protocol_runs(seed, quick)),
         ("table1_sweep", lambda: _bench_table1_sweep(seed, quick, jobs)),
         ("cache_sweep", lambda: _bench_cache_sweep(seed, quick)),
     ]
-    scenarios: Dict[str, Any] = {}
+    results: Dict[str, Any] = {}
     profiles: Dict[str, Any] = {}
     for name, section in sections:
+        if selected is not None and name not in selected:
+            continue
         if profile:
             result, table = _profile_section(section)
             profiles[name] = {"scenarios": sorted(result), "top25_cumulative": table}
         else:
             result = section()
-        scenarios.update(result)
+        results.update(result)
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "date": time.strftime("%Y-%m-%d"),
@@ -688,18 +903,25 @@ def run_bench(
         "quick": quick,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
-        "scenarios": scenarios,
+        "scenarios": results,
     }
+    if scenarios is not None:
+        report["scenario_filter"] = sorted(set(scenarios))
     if profile:
         report["profiles"] = profiles
     return report
 
 
 def write_report(report: Dict[str, Any], out_dir: Union[str, Path] = ".") -> Path:
-    """Write ``BENCH_<date>.json`` under ``out_dir`` and return the path."""
+    """Write ``BENCH_<date>.json`` under ``out_dir`` and return the path.
+
+    Scenario-filtered reports land in ``BENCH_<date>.partial.json`` so a
+    partial run can never clobber the same-day full trajectory point.
+    """
     directory = Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"BENCH_{report['date']}.json"
+    suffix = ".partial.json" if "scenario_filter" in report else ".json"
+    path = directory / f"BENCH_{report['date']}{suffix}"
     with path.open("w", encoding="utf-8") as handle:
         json.dump(report, handle, sort_keys=True, indent=2)
         handle.write("\n")

@@ -32,6 +32,8 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
 
+from repro.core.errors import UnknownVocabularyError
+
 __all__ = [
     "ProtocolEntry",
     "ProtocolRegistry",
@@ -113,9 +115,9 @@ class ProtocolRegistry:
         try:
             return self._entries[name]
         except KeyError:
-            raise KeyError(
-                f"unknown protocol {name!r}; registered: {sorted(self._entries)}"
-            ) from None
+            # The uniform vocabulary error (still a KeyError for callers
+            # that catch the historical type).
+            raise UnknownVocabularyError("protocol", name, self._entries) from None
 
     def names(self) -> Tuple[str, ...]:
         return tuple(self._entries)

@@ -21,8 +21,9 @@ import json
 import math
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
+from repro.core.errors import UnknownVocabularyError
 from repro.core.score import LengthScore, ScoreFunction, WeightScore
 from repro.core.selection import (
     FixedTipSelection,
@@ -39,12 +40,14 @@ from repro.network.channels import (
     PartiallySynchronousChannel,
     SynchronousChannel,
 )
+from repro.network.topology import Topology, build_topology
 from repro.oracle.tape import TapeFamily
 from repro.oracle.theta import FrugalOracle, ProdigalOracle, TokenOracle
 from repro.workload.merit import MeritDistribution, uniform_merit, zipf_merit
 
 __all__ = [
     "ChannelSpec",
+    "TopologySpec",
     "WorkloadSpec",
     "FaultSpec",
     "ExperimentSpec",
@@ -92,8 +95,8 @@ class ChannelSpec:
         try:
             cls = _CHANNEL_KINDS[self.kind]
         except KeyError:
-            raise ValueError(
-                f"unknown channel kind {self.kind!r}; known: {sorted(_CHANNEL_KINDS)}"
+            raise UnknownVocabularyError(
+                "channel kind", self.kind, _CHANNEL_KINDS
             ) from None
         seed = self.seed if self.seed is not None else default_seed
         channel: ChannelModel = cls(**dict(self.params), seed=seed)
@@ -120,6 +123,49 @@ class ChannelSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Declarative dissemination topology.
+
+    ``kind`` names a registered :class:`~repro.network.topology.Topology`
+    (``full``, ``gossip``, ``committee``, ``sharded``, ``ring``,
+    ``random-regular``); ``params`` are its constructor arguments
+    (``fanout``, ``members``, ``shards``, ``hops``, ...).  ``seed``
+    defaults to the owning spec's seed and is forwarded only to
+    topologies that draw randomness (gossip, random-regular), so a single
+    spec-level integer still reproduces the whole run.
+
+    A spec without a topology serializes without the key at all — cache
+    digests of pre-topology specs are unchanged.
+    """
+
+    kind: str = "full"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def build(self, default_seed: int) -> Topology:
+        seed = self.seed if self.seed is not None else default_seed
+        return build_topology(self.kind, dict(self.params), seed=seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "TopologySpec":
+        if isinstance(data, str):
+            # A bare kind name ("gossip") is the sweep-axis / CLI shorthand.
+            return cls(kind=data)
+        return cls(
+            kind=data.get("kind", "full"),
+            params=dict(data.get("params", {})),
+            seed=data.get("seed"),
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """Read workload, dissemination primitive and merit distribution.
 
@@ -139,7 +185,9 @@ class WorkloadSpec:
             return uniform_merit(n)
         if self.merit == "zipf":
             return zipf_merit(n, exponent=self.merit_exponent)
-        raise ValueError(f"unknown merit distribution {self.merit!r}")
+        raise UnknownVocabularyError(
+            "merit distribution", self.merit, ("uniform", "zipf")
+        )
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -200,6 +248,11 @@ class ExperimentSpec:
     duration: float = 100.0
     seed: int = 0
     channel: Optional[ChannelSpec] = None
+    #: Dissemination topology; ``None`` means the full-mesh default and —
+    #: like ``monitor`` — is omitted from the serialized form entirely, so
+    #: digests (and therefore cache keys) of pre-topology specs are
+    #: unchanged.
+    topology: Optional[TopologySpec] = None
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     fault: Optional[FaultSpec] = None
     oracle_k: Optional[float] = None  # None → protocol default; math.inf → prodigal
@@ -231,8 +284,10 @@ class ExperimentSpec:
             "params": dict(self.params),
             "label": self.label,
         }
-        # Only serialized when enabled, so digests of pre-existing specs
+        # Only serialized when set, so digests of pre-existing specs
         # (and therefore their cache entries) are unaffected.
+        if self.topology is not None:
+            data["topology"] = self.topology.to_dict()
         if self.monitor:
             data["monitor"] = True
         return data
@@ -243,6 +298,7 @@ class ExperimentSpec:
         if isinstance(oracle_k, str):
             oracle_k = math.inf if oracle_k in ("inf", "Infinity", "∞") else float(oracle_k)
         channel = data.get("channel")
+        topology = data.get("topology")
         fault = data.get("fault")
         return cls(
             protocol=data["protocol"],
@@ -250,6 +306,7 @@ class ExperimentSpec:
             duration=float(data.get("duration", 100.0)),
             seed=int(data.get("seed", 0)),
             channel=ChannelSpec.from_dict(channel) if channel else None,
+            topology=TopologySpec.from_dict(topology) if topology else None,
             workload=WorkloadSpec.from_dict(data.get("workload", {})),
             fault=FaultSpec.from_dict(fault) if fault else None,
             oracle_k=oracle_k,
@@ -278,16 +335,14 @@ class ExperimentSpec:
         try:
             return _SCORES[self.score]()
         except KeyError:
-            raise ValueError(
-                f"unknown score function {self.score!r}; known: {sorted(_SCORES)}"
-            ) from None
+            raise UnknownVocabularyError("score function", self.score, _SCORES) from None
 
     def _build_selection(self, name: str) -> SelectionFunction:
         try:
             return _SELECTIONS[name]()
         except KeyError:
-            raise ValueError(
-                f"unknown selection function {name!r}; known: {sorted(_SELECTIONS)}"
+            raise UnknownVocabularyError(
+                "selection function", name, _SELECTIONS
             ) from None
 
     def _build_oracle(self, entry: ProtocolEntry) -> TokenOracle:
@@ -330,6 +385,8 @@ class ExperimentSpec:
         put("seed", self.seed)
         if self.channel is not None:
             put("channel", self.channel.build(self.seed))
+        if self.topology is not None:
+            put("topology", self.topology.build(self.seed))
         if self.workload.read_interval is not None:
             put("read_interval", self.workload.read_interval)
         if self.workload.use_lrc is not None:

@@ -8,6 +8,8 @@ loops).  Axis names address spec fields with dotted paths::
     seed, replicas, duration, oracle_k          — top-level fields
     channel.delta, channel.min_delay, ...       — channel constructor params
     channel.kind, channel.drop_probability      — channel spec fields
+    topology (kind shorthand), topology.kind    — dissemination topology
+    topology.fanout, topology.shards, ...       — topology constructor params
     params.token_rate, params.selection, ...    — protocol-specific knobs
     workload.use_lrc, workload.read_interval    — workload fields
 
@@ -29,7 +31,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.engine.cache import ResultCache
 from repro.engine.result import RunResult
-from repro.engine.spec import ChannelSpec, ExperimentSpec
+from repro.engine.spec import ChannelSpec, ExperimentSpec, TopologySpec
 
 __all__ = ["expand_grid", "derive_seed", "SweepRunner", "results_payload"]
 
@@ -44,6 +46,11 @@ def _apply_override(data: Dict[str, Any], path: str, value: Any) -> None:
     parts = path.split(".")
     top = parts[0]
     if len(parts) == 1:
+        if top == "topology":
+            # Absent unless set (digest stability), so it cannot rely on
+            # the key-exists check; a bare string value is a kind name.
+            data["topology"] = TopologySpec.from_dict(value).to_dict()
+            return
         if top not in data:
             raise KeyError(f"unknown spec field {path!r}")
         data[top] = value
@@ -58,6 +65,13 @@ def _apply_override(data: Dict[str, Any], path: str, value: Any) -> None:
             data["channel"][key] = value
         else:
             data["channel"]["params"][key] = value
+    elif top == "topology":
+        if data.get("topology") is None:
+            data["topology"] = TopologySpec().to_dict()
+        if key in ("kind", "seed"):
+            data["topology"][key] = value
+        else:
+            data["topology"]["params"][key] = value
     elif top == "params":
         data["params"][key] = value
     elif top == "workload":

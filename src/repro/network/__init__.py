@@ -9,6 +9,9 @@ abstractions the paper reasons about:
 * :mod:`repro.network.process` — the process framework, including crash
   and Byzantine behaviours, wired to a shared
   :class:`~repro.core.history.HistoryRecorder`;
+* :mod:`repro.network.topology` — pluggable dissemination topologies
+  (full mesh, gossip fan-out, committee, sharded, ring, random-regular)
+  deciding who hears each broadcast, registered as spec vocabulary;
 * :mod:`repro.network.broadcast` — best-effort flooding and the Light
   Reliable Communication (LRC) abstraction of Definition 4.4;
 * :mod:`repro.network.update_agreement` — the Update Agreement properties
@@ -25,6 +28,18 @@ from repro.network.channels import (
     LossyChannel,
 )
 from repro.network.process import Process, CrashingProcess, SilentProcess
+from repro.network.topology import (
+    Topology,
+    FullMesh,
+    GossipFanout,
+    Committee,
+    Sharded,
+    Ring,
+    RandomRegular,
+    register_topology,
+    available_topologies,
+    get_topology,
+)
 from repro.network.broadcast import FloodingBroadcast, LightReliableCommunication
 from repro.network.update_agreement import (
     UpdateAgreementResult,
@@ -44,6 +59,16 @@ __all__ = [
     "Process",
     "CrashingProcess",
     "SilentProcess",
+    "Topology",
+    "FullMesh",
+    "GossipFanout",
+    "Committee",
+    "Sharded",
+    "Ring",
+    "RandomRegular",
+    "register_topology",
+    "available_topologies",
+    "get_topology",
     "FloodingBroadcast",
     "LightReliableCommunication",
     "UpdateAgreementResult",

@@ -69,7 +69,12 @@ class Process:
         return self.network.send(self.pid, receiver, kind, payload)
 
     def broadcast(self, kind: str, payload: Any, include_self: bool = True) -> int:
-        """Best-effort broadcast to every process."""
+        """Best-effort broadcast through the network's dissemination topology.
+
+        Reaches every process under the default full mesh; restricted
+        topologies (gossip fan-out, committee, sharded — see
+        :mod:`repro.network.topology`) narrow the receiver list.
+        """
         assert self.network is not None
         if not self.alive:
             return 0

@@ -55,6 +55,7 @@ from repro.network.channels import batched_delays
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.network.channels import ChannelModel
     from repro.network.process import Process
+    from repro.network.topology import Topology
 
 __all__ = ["Simulator", "Message", "Network", "MULTICAST"]
 
@@ -210,6 +211,14 @@ class Network:
     path (one ``delay_for`` call and one closure per recipient) — the
     reference oracle the equivalence tests and the ``simulation_*`` bench
     scenarios compare the batched plane against.
+
+    ``topology`` decides who hears a ``broadcast`` (see
+    :mod:`repro.network.topology`): the default :class:`FullMesh` keeps
+    the historical everyone-hears-everyone semantics byte-identically,
+    while gossip / committee / sharded topologies restrict each sender's
+    fan-out to its neighbor set.  Static topologies have their per-sender
+    receiver lists cached alongside the full-mesh ``_others`` exclusion
+    cache; both caches are invalidated when membership changes.
     """
 
     def __init__(
@@ -218,11 +227,19 @@ class Network:
         channel: "ChannelModel",
         recorder: Optional[HistoryRecorder] = None,
         batched: bool = True,
+        topology: Optional["Topology"] = None,
     ) -> None:
+        from repro.network.topology import FullMesh
+
         self.simulator = simulator
         self.channel = channel
         self.recorder = recorder if recorder is not None else HistoryRecorder()
         self.batched = batched
+        self.topology = topology if topology is not None else FullMesh()
+        # The full-mesh broadcast path is the hot default and must stay
+        # byte-identical to the pre-topology code, so it keeps its own
+        # branch (and the `_others` cache) instead of the generic one.
+        self._fullmesh = type(self.topology) is FullMesh
         self._processes: Dict[str, "Process"] = {}
         self._pids: Tuple[str, ...] = ()
         # sender -> every other pid, in registration order.  Built lazily
@@ -230,6 +247,10 @@ class Network:
         # (every LRC relay) would otherwise rebuild this list — and
         # re-validate each receiver against the process table — per call.
         self._others: Dict[str, Tuple[str, ...]] = {}
+        # (sender, include_self) -> receiver tuple for static non-fullmesh
+        # topologies; validated against the process table once per entry
+        # and invalidated on register, exactly like ``_others``.
+        self._topology_receivers: Dict[Tuple[str, bool], Tuple[str, ...]] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -242,6 +263,7 @@ class Network:
         self._processes[process.pid] = process
         self._pids = self._pids + (process.pid,)
         self._others.clear()
+        self._topology_receivers.clear()
         process.attach(self)
 
     def process(self, pid: str) -> "Process":
@@ -314,17 +336,59 @@ class Network:
         return scheduled
 
     def broadcast(self, sender: str, kind: str, payload: Any, include_self: bool = True) -> int:
-        """Send to every registered process; returns messages not dropped."""
-        if not self.batched:
+        """Fan out to the sender's topology neighbors; returns messages not dropped.
+
+        Under the default :class:`~repro.network.topology.FullMesh` this
+        reaches every registered process, exactly as before topologies
+        existed; other topologies restrict the receiver list (gossip
+        samples, committee members, shard + gateways, ...).
+        """
+        if not self.batched and self._fullmesh:
             return self._reference_broadcast(sender, kind, payload, include_self)
-        if include_self:
-            receivers: Tuple[str, ...] = self._pids
-        else:
-            receivers = self._others.get(sender, None)  # type: ignore[assignment]
+        receivers = self._broadcast_receivers(sender, include_self)
+        if not self.batched:
+            # Topology-restricted scalar path: the same reference sends,
+            # over the topology's receiver list.
+            delivered = 0
+            for pid in receivers:
+                if self._reference_send(sender, pid, kind, payload):
+                    delivered += 1
+            return delivered
+        return self._multicast_trusted(sender, receivers, kind, payload)
+
+    def _broadcast_receivers(self, sender: str, include_self: bool) -> Sequence[str]:
+        """The receiver list of one broadcast, with per-sender caching.
+
+        Full mesh keeps the historical fast path (the registered tuple /
+        the ``_others`` exclusion cache).  Static topologies are asked
+        once per ``(sender, include_self)`` and validated against the
+        process table; dynamic topologies are consulted per call (they
+        draw from their own seeded generator and sample only registered
+        pids by construction).
+        """
+        if self._fullmesh:
+            if include_self:
+                return self._pids
+            receivers = self._others.get(sender, None)
             if receivers is None:
                 receivers = tuple(pid for pid in self._pids if pid != sender)
                 self._others[sender] = receivers
-        return self._multicast_trusted(sender, receivers, kind, payload)
+            return receivers
+        topology = self.topology
+        if not topology.static:
+            return topology.receivers(sender, self._pids, include_self)
+        key = (sender, include_self)
+        receivers = self._topology_receivers.get(key, None)
+        if receivers is None:
+            receivers = tuple(topology.receivers(sender, self._pids, include_self))
+            processes = self._processes
+            for pid in receivers:
+                if pid not in processes:
+                    raise KeyError(
+                        f"topology {topology!r} names unknown receiver {pid!r}"
+                    )
+            self._topology_receivers[key] = receivers
+        return receivers
 
     def _reference_broadcast(
         self, sender: str, kind: str, payload: Any, include_self: bool = True

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
 from repro.workload.merit import MeritDistribution, proportional_merit
@@ -52,6 +53,7 @@ def run_algorand(
     read_interval: float = 5.0,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run the Algorand model (stake-weighted sortition + BA*-style commit)."""
     stake_distribution = stake if stake is not None else default_stake(n)
@@ -70,5 +72,6 @@ def run_algorand(
         read_interval=read_interval,
         seed=seed,
         monitor=monitor,
+        topology=topology,
     )
     return result

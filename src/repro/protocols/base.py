@@ -41,6 +41,7 @@ from repro.network.broadcast import (
 from repro.network.channels import ChannelModel, SynchronousChannel
 from repro.network.process import Process
 from repro.network.simulator import Message, Network, Simulator
+from repro.network.topology import Topology
 from repro.oracle.theta import TokenOracle, ValidatedBlock
 
 __all__ = ["ReplicaConfig", "BlockchainReplica", "RunResult", "run_protocol"]
@@ -276,6 +277,7 @@ def run_protocol(
     max_events: int = 2_000_000,
     monitor: Optional[ConsistencyMonitor] = None,
     batched: bool = True,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run a protocol model and collect its history.
 
@@ -310,6 +312,11 @@ def run_protocol(
         ``False`` uses the pre-batching scalar reference path; the two are
         stream-identical and the equivalence tests assert the recorded
         histories match event-for-event.
+    topology:
+        Dissemination topology deciding who hears each broadcast (see
+        :mod:`repro.network.topology`).  ``None`` keeps the historical
+        full-mesh semantics byte-identically; gossip / committee /
+        sharded topologies restrict each sender's fan-out.
     """
     simulator = Simulator()
     recorder = HistoryRecorder()
@@ -320,6 +327,7 @@ def run_protocol(
         channel if channel is not None else SynchronousChannel(delta=1.0, seed=7),
         recorder=recorder,
         batched=batched,
+        topology=topology,
     )
     replicas: Dict[str, BlockchainReplica] = {}
     for index in range(n):

@@ -25,6 +25,7 @@ from typing import Optional, Sequence, Tuple
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
 from repro.workload.merit import MeritDistribution, zipf_merit
@@ -47,6 +48,7 @@ def run_byzcoin(
     read_interval: float = 5.0,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run the ByzCoin model; hashing power defaults to a Zipf distribution."""
     hashing_power = merit if merit is not None else zipf_merit(n, exponent=1.0)
@@ -65,5 +67,6 @@ def run_byzcoin(
         read_interval=read_interval,
         seed=seed,
         monitor=monitor,
+        topology=topology,
     )
     return result

@@ -32,6 +32,7 @@ from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import FixedTipSelection, LongestChain
 from repro.network.channels import ChannelModel, SynchronousChannel
 from repro.network.simulator import Message, Network
+from repro.network.topology import Committee, Topology
 from repro.oracle.tape import TapeFamily
 from repro.oracle.theta import FrugalOracle, TokenOracle, ValidatedBlock
 from repro.protocols.base import BlockchainReplica, ReplicaConfig, RunResult, run_protocol
@@ -270,12 +271,23 @@ def run_committee_protocol(
     transactions_per_block: int = 4,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run a committee-based protocol and return its :class:`RunResult`.
 
     ``proposer_strategy_factory`` receives the committee and the merit
     distribution and returns the proposer strategy; the default is
     round-robin (the Red Belly / generic BFT pattern).
+
+    The committee is expressed structurally through the network's
+    :class:`~repro.network.topology.Committee` topology (members fan out
+    to everyone so observers learn decided blocks; observers address the
+    committee only) rather than ad-hoc per-message filtering — for member
+    senders its receiver lists coincide with full mesh, so this is
+    event-for-event identical to the pre-topology runs.  Pass
+    ``topology=`` to override (e.g. ``Committee(members,
+    include_observers=False)`` for committee-only dissemination, or a
+    :class:`~repro.network.topology.Sharded` overlay).
     """
     merit_distribution = merit if merit is not None else uniform_merit(n)
     all_pids = tuple(f"p{i}" for i in range(n))
@@ -320,4 +332,5 @@ def run_committee_protocol(
         duration=duration,
         channel=channel if channel is not None else SynchronousChannel(delta=0.5, seed=seed),
         monitor=monitor,
+        topology=topology if topology is not None else Committee(members=committee_ids),
     )

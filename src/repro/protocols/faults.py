@@ -31,6 +31,7 @@ from repro.core.selection import FixedTipSelection, HeaviestChain
 from repro.engine.registry import register_fault_runner, register_protocol
 from repro.network.channels import ChannelModel, SynchronousChannel
 from repro.network.simulator import Network
+from repro.network.topology import Committee, Topology
 from repro.oracle.tape import TapeFamily
 from repro.oracle.theta import FrugalOracle, ProdigalOracle, TokenOracle
 from repro.protocols.base import ReplicaConfig, RunResult, run_protocol
@@ -96,6 +97,7 @@ def run_bitcoin_with_crashes(
     read_interval: float = 5.0,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Bitcoin model with the replicas named in ``crash_at`` crashing."""
     merit_distribution = merit if merit is not None else uniform_merit(n)
@@ -121,6 +123,7 @@ def run_bitcoin_with_crashes(
         duration=duration,
         channel=channel if channel is not None else SynchronousChannel(delta=1.0, seed=seed),
         monitor=monitor,
+        topology=topology,
     )
 
 
@@ -140,6 +143,7 @@ def run_committee_with_byzantine(
     transactions_per_block: int = 4,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Round-robin committee protocol with silent Byzantine members.
 
@@ -186,4 +190,5 @@ def run_committee_with_byzantine(
         duration=duration,
         channel=channel if channel is not None else SynchronousChannel(delta=0.5, seed=seed),
         monitor=monitor,
+        topology=topology if topology is not None else Committee(members=all_pids),
     )

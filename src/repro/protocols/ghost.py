@@ -25,6 +25,7 @@ from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import GHOSTSelection
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.topology import Topology
 from repro.oracle.theta import TokenOracle
 from repro.protocols.base import RunResult
 from repro.protocols.nakamoto import NakamotoReplica, run_bitcoin
@@ -68,6 +69,7 @@ def run_ethereum(
     seed: int = 0,
     oracle: Optional[TokenOracle] = None,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run the Ethereum model (GHOST selection over the prodigal oracle).
 
@@ -89,6 +91,7 @@ def run_ethereum(
         oracle=oracle,
         replica_cls=EthereumReplica,
         monitor=monitor,
+        topology=topology,
     )
     # Re-label: the harness was shared with the Bitcoin runner.
     result.name = "ethereum"

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import fixed_proposer, run_committee_protocol
 from repro.workload.merit import MeritDistribution, permissioned_merit
@@ -49,6 +50,7 @@ def run_hyperledger(
     transactions_per_block: int = 6,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run the Hyperledger Fabric model (fixed orderer, permissioned writers)."""
     all_pids = [f"p{i}" for i in range(n)]
@@ -70,4 +72,5 @@ def run_hyperledger(
         transactions_per_block=transactions_per_block,
         seed=seed,
         monitor=monitor,
+        topology=topology,
     )

@@ -30,6 +30,7 @@ from repro.core.selection import HeaviestChain, LongestChain, SelectionFunction
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
 from repro.network.simulator import Network
+from repro.network.topology import Topology
 from repro.oracle.tape import TapeFamily
 from repro.oracle.theta import ProdigalOracle, TokenOracle
 from repro.protocols.base import BlockchainReplica, ReplicaConfig, RunResult, run_protocol
@@ -117,6 +118,7 @@ def run_bitcoin(
     oracle: Optional[TokenOracle] = None,
     replica_cls: type = NakamotoReplica,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run the Bitcoin model and return its :class:`RunResult`.
 
@@ -153,4 +155,5 @@ def run_bitcoin(
         duration=duration,
         channel=channel,
         monitor=monitor,
+        topology=topology,
     )

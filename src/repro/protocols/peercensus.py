@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
 from repro.workload.merit import MeritDistribution, zipf_merit
@@ -46,6 +47,7 @@ def run_peercensus(
     read_interval: float = 5.0,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run the PeerCensus model (PoW proposer + BFT commit, k = 1)."""
     hashing_power = merit if merit is not None else zipf_merit(n, exponent=0.8)
@@ -64,4 +66,5 @@ def run_peercensus(
         read_interval=read_interval,
         seed=seed,
         monitor=monitor,
+        topology=topology,
     )

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, round_robin_proposer
 from repro.workload.merit import MeritDistribution, permissioned_merit
@@ -47,6 +48,7 @@ def run_redbelly(
     read_interval: float = 5.0,
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
+    topology: Optional[Topology] = None,
 ) -> RunResult:
     """Run the Red Belly model: consortium writers, consensus-decided chain."""
     all_pids = [f"p{i}" for i in range(n)]
@@ -65,4 +67,5 @@ def run_redbelly(
         read_interval=read_interval,
         seed=seed,
         monitor=monitor,
+        topology=topology,
     )

@@ -142,6 +142,7 @@ class TestProfile:
             "selection",
             "consistency",
             "simulation",
+            "topology",
             "protocol_runs",
             "table1_sweep",
             "cache_sweep",

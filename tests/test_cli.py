@@ -192,3 +192,118 @@ class TestMonitorFlags:
                 "ever-growing-tree",
                 "eventual-prefix",
             }
+
+
+class TestTopologyFlags:
+    def test_classify_topology_flag_runs(self, capsys):
+        assert main([
+            "classify", "bitcoin", "--replicas", "4", "--duration", "30",
+            "--seed", "3", "--topology", "gossip:fanout=2",
+        ]) == 0
+        assert "blocks/replica" in capsys.readouterr().out
+
+    def test_classify_topology_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit, match="unknown topology 'mesh2'"):
+            main([
+                "classify", "bitcoin", "--replicas", "3", "--duration", "10",
+                "--topology", "mesh2",
+            ])
+
+    def test_topology_parse_forms(self):
+        from repro.cli import _parse_topology
+
+        assert _parse_topology("ring").kind == "ring"
+        spec = _parse_topology("sharded:shards=3,cross_links=2")
+        assert spec.kind == "sharded"
+        assert spec.params == {"shards": 3, "cross_links": 2}
+        spec = _parse_topology(
+            '{"kind": "committee", "params": {"members": ["p0", "p1"]}}'
+        )
+        assert spec.params["members"] == ["p0", "p1"]
+        # JSON list values survive the colon form: commas inside brackets
+        # and quotes are not pair separators.
+        spec = _parse_topology(
+            'committee:members=["p0","p1"],include_observers=false'
+        )
+        assert spec.params == {"members": ["p0", "p1"], "include_observers": False}
+        spec = _parse_topology('sharded:groups=[["p0","p1"],["p2"]],cross_links=1')
+        assert spec.params == {"groups": [["p0", "p1"], ["p2"]], "cross_links": 1}
+        with pytest.raises(SystemExit, match="not 'key=value'"):
+            _parse_topology("gossip:fanout")
+
+    def test_sweep_grids_over_topologies(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        assert main([
+            "sweep", "--protocol", "bitcoin", "--replicas", "4",
+            "--duration", "20", "--topologies", "full,gossip,ring",
+            "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "topology=gossip" in printed
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        kinds = [
+            (cell["spec"].get("topology") or {"kind": None})["kind"]
+            for cell in payload["cells"]
+        ]
+        assert kinds == ["full", "gossip", "ring"]
+
+    def test_topologies_axis_rejects_parameterized_entries(self):
+        with pytest.raises(SystemExit, match="bare registered kinds"):
+            main([
+                "sweep", "--protocol", "bitcoin", "--replicas", "3",
+                "--duration", "10", "--topologies", "gossip:fanout=3,ring",
+            ])
+
+    def test_sweep_base_topology_applies_to_every_cell(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        assert main([
+            "sweep", "--protocol", "bitcoin", "--replicas", "4",
+            "--duration", "15", "--seeds", "0:2",
+            "--topology", "gossip:fanout=2", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert all(
+            cell["spec"]["topology"] == {
+                "kind": "gossip", "params": {"fanout": 2}, "seed": None,
+            }
+            for cell in payload["cells"]
+        )
+
+
+class TestBenchScenarioFilter:
+    def test_parser_default_is_full_suite(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scenario is None
+
+    def test_single_scenario_runs_only_its_section(self, capsys, tmp_path):
+        assert main([
+            "bench", "--quick", "--scenario", "selection",
+            "--out-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "selection_ghost_fork_heavy" in out
+        # Filtered runs write a .partial artifact so they can never
+        # clobber the same-day full trajectory point.
+        artifact = next(tmp_path.glob("BENCH_*"))
+        assert artifact.name.endswith(".partial.json")
+        payload = json.loads(artifact.read_text())
+        assert set(payload["scenarios"]) == {
+            "selection_longest_fork_heavy",
+            "selection_heaviest_fork_heavy",
+            "selection_ghost_fork_heavy",
+        }
+        assert payload["scenario_filter"] == ["selection"]
+
+    def test_scenario_name_selects_its_section(self, capsys, tmp_path):
+        assert main([
+            "bench", "--quick", "--scenario", "table1_sweep",
+            "--out-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(next(tmp_path.glob("BENCH_*.json")).read_text())
+        assert set(payload["scenarios"]) == {"table1_sweep"}
+
+    def test_unknown_scenario_lists_the_vocabulary(self):
+        with pytest.raises(SystemExit, match="unknown bench scenario 'warp'"):
+            main(["bench", "--quick", "--scenario", "warp"])
