@@ -1,0 +1,84 @@
+"""Perf floor for the array-native event core and the population plane.
+
+Two guarantees ride on this module:
+
+* the array event calendar (structured-array buckets + interned method
+  dispatch + bulk lexsort inserts) must beat the retained heap core's
+  scalar reference path on the flood storm by at least 2× (the full-size
+  scenarios record ≥3×), with both cores having produced identical
+  outcomes — the harness asserts event-for-event equality while
+  recording the scenario;
+* generating a population-scale client workload (vectorized Poisson
+  streams bulk-inserted through the calendar) must stay a small fraction
+  of the run it feeds — under 15% even at the largest swept size.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_event_core_floor.py -q
+
+Like the siblings, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+#: CI floor for the array core vs the heap core's scalar reference path.
+FLOOR = 2.0
+
+#: Ceiling on the workload generator's share of the run it feeds.
+GENERATION_SHARE_CEILING = 0.15
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True)
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_event_core_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    flood = report["scenarios"]["simulation_flood_heavy"]
+
+    speedup = flood["speedup"]
+    assert speedup is not None and speedup >= FLOOR, (
+        f"array event core only {speedup:.1f}x faster than the heap core's "
+        f"scalar reference path (expected >= {FLOOR}x)"
+    )
+    # Honest core-vs-core number (both legs batched) recorded alongside;
+    # no floor — at quick sizes the calendar's fixed costs dominate.
+    assert flood["core_speedup"] > 0
+    # Whether the drain loop ran as a compiled extension or pure Python;
+    # CI runs the pure-Python fallback, so the flag must exist either way.
+    assert isinstance(flood["drain_compiled"], bool)
+    assert flood["outcomes_identical"] is True
+    assert flood["events"] > 0
+    assert flood["events_per_second"] > 0
+
+
+def test_population_workload_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    scaling = report["scenarios"]["workload_population_scaling"]
+
+    assert scaling["sizes"], "population sweep recorded no sizes"
+    assert scaling["max_clients"] >= 1000
+    share = scaling["max_generation_share"]
+    assert share < GENERATION_SHARE_CEILING, (
+        f"workload generation took {share:.0%} of the run it feeds "
+        f"(expected < {GENERATION_SHARE_CEILING:.0%})"
+    )
+    for size, cell in scaling["sizes"].items():
+        assert cell["total_ops"] > 0, f"population:{size} generated no ops"
+        assert cell["events_per_second"] > 0
+        assert cell["generation_share"] < GENERATION_SHARE_CEILING

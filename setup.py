@@ -4,8 +4,29 @@ Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
 fully offline environments whose pip/setuptools cannot build PEP 660
 editable wheels (no ``wheel`` package available).  All metadata lives in
 ``pyproject.toml``.
+
+When mypyc is available the event-core drain loop
+(``repro.network._drain``) is additionally compiled to a C extension —
+the module is written to the mypyc-friendly subset (monomorphic locals,
+no closures) for exactly this.  The build degrades gracefully: without
+mypyc (or if the compile fails) the pure-Python module is the live path,
+and ``repro.network.event_core.DRAIN_COMPILED`` reports which one loaded.
 """
 
 from setuptools import setup
 
-setup()
+
+def _optional_ext_modules():
+    try:
+        from mypyc.build import mypycify
+    except ImportError:
+        return []
+    try:
+        return mypycify(["src/repro/network/_drain.py"])
+    except Exception:
+        # A broken toolchain (missing compiler, unsupported construct)
+        # must not block installation of the pure-Python package.
+        return []
+
+
+setup(ext_modules=_optional_ext_modules())

@@ -124,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--drops", default=None, help="drop-probability axis, e.g. '0.0,0.3'")
     sweep.add_argument("--replica-counts", default=None, help="replica-count axis, e.g. '4,6,8'")
     sweep.add_argument("--token-rates", default=None, help="token-rate axis, e.g. '0.1,0.4'")
+    sweep.add_argument(
+        "--clients",
+        default=None,
+        help="client-population axis, e.g. '100,1000,10000' (workload.clients)",
+    )
+    sweep.add_argument(
+        "--client-rate",
+        type=float,
+        default=None,
+        help="operations per client per time unit for every cell (default: runner's)",
+    )
     sweep.add_argument("--oracle-bounds", default=None, help="oracle bound axis, e.g. '1,2,inf'")
     sweep.add_argument(
         "--topology",
@@ -484,6 +495,15 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     token_rates = _parse_axis(args.token_rates, float)
     if token_rates is not None:
         axes["params.token_rate"] = token_rates
+    clients = _parse_axis(args.clients, int)
+    if clients is not None:
+        axes["workload.clients"] = clients
+    if args.client_rate is not None:
+        import dataclasses
+
+        base = base.with_updates(
+            workload=dataclasses.replace(base.workload, client_rate=args.client_rate)
+        )
     bounds = _parse_axis(args.oracle_bounds, _parse_bound)
     if bounds is not None:
         axes["oracle_k"] = bounds

@@ -23,17 +23,22 @@ the ones before it:
   plus the streaming :class:`ConsistencyMonitor` replaying the same
   events, with its verdicts asserted against the post-hoc checkers.
 * ``simulation_*`` — the simulation-plane hot path: gossip/relay storms
-  driven through the batched message plane (vectorized channel sampling,
-  shared multicast envelopes, bulk queue inserts) and through the
-  pre-batching scalar reference path (``Network(batched=False)``), timed
-  in the same run with the outcomes asserted identical — counters and
-  final gossip state for the flood storm, the recorded histories
-  event-for-event for the LRC relay storm.
+  driven through the live pipeline (array-native event calendar +
+  batched message plane), through the retained heap core under the same
+  batched plane (``core_speedup``), and through the full pre-optimization
+  reference path (heap core + scalar fan-out), timed in the same run
+  with the outcomes asserted identical — counters and final gossip state
+  for the flood storm, the recorded histories event-for-event for the
+  LRC relay storm.
 * ``simulation_gossip_fanout`` / ``simulation_sharded_committee`` — the
   dissemination-topology scenarios: the same declarative runs under
   full-mesh flooding and under restricted topologies (gossip fan-out,
   sharded gateways, committee-only dissemination), recording how event
   and message volume — and the fork rate — scale with the fan-out.
+* ``workload_population_scaling`` — population-scale client workloads
+  (100/1k/10k clients) generated column-wise and bulk-inserted through
+  ``schedule_block``, recording events/s and the generator's share of
+  each run's wall clock.
 * ``table1_sweep`` — a small Table-1 sweep through :class:`SweepRunner`.
 * ``cache_sweep`` — the same sweep cold vs. warm through a
   :class:`~repro.engine.cache.ResultCache` (the warm pass must be all
@@ -84,7 +89,13 @@ from repro.core.selection import (
 from repro.core.errors import UnknownVocabularyError
 from repro.engine.cache import ResultCache
 from repro.engine.registry import available_protocols
-from repro.engine.spec import ChannelSpec, ExperimentSpec, TopologySpec, table1_spec
+from repro.engine.spec import (
+    ChannelSpec,
+    ExperimentSpec,
+    TopologySpec,
+    WorkloadSpec,
+    table1_spec,
+)
 from repro.engine.sweep import SweepRunner
 
 __all__ = [
@@ -366,13 +377,15 @@ def _make_gossip_process():
     return GossipProcess
 
 
-def _flood_network(n: int, rumors_per_process: int, seed: int, batched: bool):
+def _flood_network(
+    n: int, rumors_per_process: int, seed: int, batched: bool, core: str = "array"
+):
     from repro.network.channels import SynchronousChannel
     from repro.network.simulator import Network, Simulator
 
     gossip_cls = _make_gossip_process()
     network = Network(
-        Simulator(),
+        Simulator(core=core),
         SynchronousChannel(delta=1.0, min_delay=0.1, seed=seed),
         batched=batched,
     )
@@ -435,7 +448,8 @@ def _lrc_network(n: int, blocks_per_publisher: int, publishers: int, seed: int, 
         drop_probability=0.05,
         seed=seed + 1,
     )
-    network = Network(Simulator(), channel, batched=batched)
+    core = "array" if batched else "heap"  # reference leg = full retained path
+    network = Network(Simulator(core=core), channel, batched=batched)
     for index in range(n):
         pid = f"p{index}"
         blocks = (
@@ -489,34 +503,54 @@ def _best_of(
 
 
 def _bench_simulation(seed: int, quick: bool) -> Dict[str, Any]:
-    """Batched message plane vs. the scalar reference path, same run.
+    """The full retained pipeline vs. the reference path, same run.
 
-    Both networks consume identically-seeded channel generators, so every
-    delay, drop and tie-break matches; the assertions below pin that
-    equivalence (it is what keeps recorded histories bit-identical across
-    the overhaul), and ``speedup`` is measured against the pre-batching
-    baseline on the same machine.
+    The flood storm is timed three ways on identically-seeded networks:
+
+    * ``batched_seconds`` — the live pipeline: array-native event
+      calendar + batched message plane;
+    * ``heap_seconds`` — the retained heap core under the same batched
+      plane (``core_speedup`` isolates the calendar's contribution);
+    * ``reference_seconds`` — heap core + scalar fan-out, the full
+      pre-optimization path kept verbatim as the equivalence oracle
+      (``speedup`` is the end-to-end win the floor bench enforces).
+
+    All three must produce identical outcomes — every delay, drop and
+    tie-break matches, which is what keeps recorded histories
+    bit-identical across both overhauls.
     """
+    from repro.network.event_core import DRAIN_COMPILED
+
     scenarios: Dict[str, Any] = {}
     repeats = 2
 
     # Flood storm: pure fan-out/delivery load, no recorder in the loop.
-    n = 20 if quick else 30
+    # Quick stays big enough (n=30, ~80k events) for the array calendar's
+    # per-bucket costs to amortize; below that the storm is all fixed
+    # overhead and the speedups are not meaningful.
+    n = 30 if quick else 40
     rumors = 3 if quick else 5
+    flood_repeats = repeats if quick else 3
     batched_seconds, batched_outcome = _best_of(
-        repeats, lambda: _flood_network(n, rumors, seed, True), _run_flood
+        flood_repeats, lambda: _flood_network(n, rumors, seed, True, core="array"), _run_flood
+    )
+    heap_seconds, heap_outcome = _best_of(
+        flood_repeats, lambda: _flood_network(n, rumors, seed, True, core="heap"), _run_flood
     )
     reference_seconds, reference_outcome = _best_of(
-        repeats, lambda: _flood_network(n, rumors, seed, False), _run_flood
+        flood_repeats, lambda: _flood_network(n, rumors, seed, False, core="heap"), _run_flood
     )
-    if batched_outcome != reference_outcome:  # pragma: no cover - equivalence bug
-        raise AssertionError(
-            "simulation_flood_heavy: batched outcome differs from the scalar reference"
+    if batched_outcome != reference_outcome or batched_outcome != heap_outcome:
+        raise AssertionError(  # pragma: no cover - equivalence bug
+            "simulation_flood_heavy: array/heap/reference outcomes differ"
         )
     scenarios["simulation_flood_heavy"] = {
         "batched_seconds": batched_seconds,
+        "heap_seconds": heap_seconds,
         "reference_seconds": reference_seconds,
         "speedup": reference_seconds / batched_seconds if batched_seconds else None,
+        "core_speedup": heap_seconds / batched_seconds if batched_seconds else None,
+        "drain_compiled": DRAIN_COMPILED,
         "events": batched_outcome["events"],
         "events_per_second": (
             batched_outcome["events"] / batched_seconds if batched_seconds else None
@@ -527,9 +561,12 @@ def _bench_simulation(seed: int, quick: bool) -> Dict[str, Any]:
     }
 
     # LRC relay storm over a lossy channel: send/receive events recorded,
-    # histories asserted identical event-for-event (drops included).
-    n = 24 if quick else 28
-    blocks = 2 if quick else 3
+    # histories asserted identical event-for-event (drops included).  The
+    # reference leg is the full retained path (heap core + scalar
+    # fan-out), so the storm needs ~100k events for the array calendar's
+    # fixed costs to amortize — the same size serves quick and full.
+    n = 44
+    blocks = 4
     publishers = max(2, n // 3)
     batched_seconds, batched_outcome = _best_of(
         repeats, lambda: _lrc_network(n, blocks, publishers, seed, True), _run_lrc
@@ -811,6 +848,62 @@ def _profile_section(section: Callable[[], Dict[str, Any]]) -> Tuple[Dict[str, A
 #: Section name → the scenario names it produces.  Filtering is at
 #: section granularity: requesting any scenario runs its whole section
 #: (sections share setup, and in-section baselines are timed together).
+# ---------------------------------------------------------------------------
+# population workloads
+# ---------------------------------------------------------------------------
+
+
+def _bench_workload(seed: int, quick: bool) -> Dict[str, Any]:
+    """Population scaling: generator share of runtime at n = 100/1k/10k.
+
+    Each cell is a declarative ``ExperimentSpec`` run of the Bitcoin
+    model with a :class:`~repro.workload.population.ClientPopulation`
+    attached — the whole population's operation streams drawn
+    column-wise and bulk-inserted through ``schedule_block``.  The
+    recorded ``generation_share`` is the vectorized generator's fraction
+    of the run's wall clock; the floor bench requires it to stay a small
+    minority (< 15%) even at 10k clients.
+    """
+    sizes = (100, 1000) if quick else (100, 1000, 10_000)
+    duration = 30.0 if quick else 60.0
+    per_size: Dict[str, Any] = {}
+    total_seconds = 0.0
+    for clients in sizes:
+        spec = ExperimentSpec(
+            protocol="bitcoin",
+            replicas=8,
+            duration=duration,
+            seed=seed,
+            workload=WorkloadSpec(clients=clients, client_rate=0.5),
+            params={"token_rate": 0.4},
+            label=f"population:{clients}",
+        )
+        _, record = _timed_cell(spec)
+        run_seconds = record.timings["run_seconds"]
+        generation = record.timings["workload_generation_seconds"]
+        events = record.network["events_processed"]
+        per_size[str(clients)] = {
+            "clients": clients,
+            "total_ops": record.network["client_ops"],
+            "seconds": run_seconds,
+            "generation_seconds": generation,
+            "generation_share": generation / run_seconds if run_seconds else None,
+            "events": events,
+            "events_per_second": events / run_seconds if run_seconds else None,
+        }
+        total_seconds += run_seconds
+    return {
+        "workload_population_scaling": {
+            "seconds": total_seconds,
+            "sizes": per_size,
+            "max_clients": max(sizes),
+            "max_generation_share": max(
+                cell["generation_share"] for cell in per_size.values()
+            ),
+        }
+    }
+
+
 SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
     "selection": tuple(f"selection_{name}_fork_heavy" for name in _SELECTION_RULES),
     "consistency": (
@@ -820,6 +913,7 @@ SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
     ),
     "simulation": ("simulation_flood_heavy", "simulation_lrc_gossip"),
     "topology": ("simulation_gossip_fanout", "simulation_sharded_committee"),
+    "workload": ("workload_population_scaling",),
     "protocol_runs": ("run_longest_fork_heavy", "run_ghost_fork_heavy"),
     "table1_sweep": ("table1_sweep",),
     "cache_sweep": ("cache_sweep",),
@@ -881,6 +975,7 @@ def run_bench(
         ("consistency", lambda: _bench_consistency(seed, quick)),
         ("simulation", lambda: _bench_simulation(seed, quick)),
         ("topology", lambda: _bench_topology(seed, quick)),
+        ("workload", lambda: _bench_workload(seed, quick)),
         ("protocol_runs", lambda: _bench_protocol_runs(seed, quick)),
         ("table1_sweep", lambda: _bench_table1_sweep(seed, quick, jobs)),
         ("cache_sweep", lambda: _bench_cache_sweep(seed, quick)),

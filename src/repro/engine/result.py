@@ -187,6 +187,14 @@ def analyse_run(
         "virtual_duration": spec.duration,
     }
 
+    timings = {"run_seconds": run_seconds, "analysis_seconds": analysis_seconds}
+    population = getattr(run, "population", None)
+    if population is not None:
+        # Population workload attached: surface the client-op volume and
+        # the generator's share of the run (the workload benches' floor).
+        network_dict["client_ops"] = population.total_ops
+        timings["workload_generation_seconds"] = population.generation_seconds
+
     blocks_dict = {
         "created": {pid: r.blocks_created for pid, r in run.replicas.items()},
         "adopted": {pid: r.blocks_adopted for pid, r in run.replicas.items()},
@@ -204,7 +212,7 @@ def analyse_run(
         fairness=fairness_dict,
         network=network_dict,
         blocks=blocks_dict,
-        timings={"run_seconds": run_seconds, "analysis_seconds": analysis_seconds},
+        timings=timings,
         consistency=monitor.summary() if monitor is not None else None,
         run=run,
         classification_result=classification,

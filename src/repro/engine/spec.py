@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import math
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.errors import UnknownVocabularyError
@@ -49,6 +49,7 @@ __all__ = [
     "ChannelSpec",
     "TopologySpec",
     "WorkloadSpec",
+    "WORKLOAD_FIELDS",
     "FaultSpec",
     "ExperimentSpec",
     "regime_spec",
@@ -167,16 +168,24 @@ class TopologySpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Read workload, dissemination primitive and merit distribution.
+    """Read workload, client population, dissemination and merit.
 
     ``None`` fields mean "use the protocol runner's default", which keeps
     a bare spec byte-compatible with a direct ``run_*`` call.
+
+    ``clients`` attaches a vectorized
+    :class:`~repro.workload.population.ClientPopulation` of that size to
+    the run (``client_rate`` operations per client per time unit) — a
+    first-class sweep axis (``workload.clients``), so population scaling
+    studies expand through ``expand_grid`` like any other parameter.
     """
 
     read_interval: Optional[float] = None
     use_lrc: Optional[bool] = None
     merit: Optional[str] = None  # "uniform" | "zipf" | None → protocol default
     merit_exponent: float = 1.0
+    clients: Optional[int] = None
+    client_rate: Optional[float] = None
 
     def build_merit(self, n: int) -> Optional[MeritDistribution]:
         if self.merit is None:
@@ -190,16 +199,41 @@ class WorkloadSpec:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        # The population keys are emitted only when set: serialized specs
+        # (and therefore cache digests) from before the population axis
+        # existed are unchanged.
+        data: Dict[str, Any] = {
+            "read_interval": self.read_interval,
+            "use_lrc": self.use_lrc,
+            "merit": self.merit,
+            "merit_exponent": self.merit_exponent,
+        }
+        if self.clients is not None:
+            data["clients"] = self.clients
+        if self.client_rate is not None:
+            data["client_rate"] = self.client_rate
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        clients = data.get("clients")
+        client_rate = data.get("client_rate")
         return cls(
             read_interval=data.get("read_interval"),
             use_lrc=data.get("use_lrc"),
             merit=data.get("merit"),
             merit_exponent=float(data.get("merit_exponent", 1.0)),
+            clients=int(clients) if clients is not None else None,
+            client_rate=float(client_rate) if client_rate is not None else None,
         )
+
+
+#: Valid ``workload.*`` sweep-axis names.  The serialized form omits the
+#: population keys when unset, so axis validation must check the field
+#: names, not dict membership.
+WORKLOAD_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in WorkloadSpec.__dataclass_fields__.values()
+)
 
 
 @dataclass(frozen=True)
@@ -394,6 +428,10 @@ class ExperimentSpec:
         merit = self.workload.build_merit(self.replicas)
         if merit is not None:
             put("merit", merit)
+        if self.workload.clients is not None:
+            put("clients", self.workload.clients)
+        if self.workload.client_rate is not None:
+            put("client_rate", self.workload.client_rate)
         if self.oracle_k is not None:
             put("oracle", self._build_oracle(entry))
         if self.monitor:

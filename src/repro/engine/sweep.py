@@ -12,6 +12,7 @@ loops).  Axis names address spec fields with dotted paths::
     topology.fanout, topology.shards, ...       — topology constructor params
     params.token_rate, params.selection, ...    — protocol-specific knobs
     workload.use_lrc, workload.read_interval    — workload fields
+    workload.clients, workload.client_rate      — client population axis
 
 :class:`SweepRunner` executes a list of specs either serially (``jobs=1``,
 the deterministic fallback tests rely on) or across a ``multiprocessing``
@@ -31,7 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.engine.cache import ResultCache
 from repro.engine.result import RunResult
-from repro.engine.spec import ChannelSpec, ExperimentSpec, TopologySpec
+from repro.engine.spec import WORKLOAD_FIELDS, ChannelSpec, ExperimentSpec, TopologySpec
 
 __all__ = ["expand_grid", "derive_seed", "SweepRunner", "results_payload"]
 
@@ -75,7 +76,10 @@ def _apply_override(data: Dict[str, Any], path: str, value: Any) -> None:
     elif top == "params":
         data["params"][key] = value
     elif top == "workload":
-        if key not in data["workload"]:
+        # Validate against the field names: the serialized workload omits
+        # the population keys (clients, client_rate) when unset, so dict
+        # membership would wrongly reject them as axes.
+        if key not in WORKLOAD_FIELDS:
             raise KeyError(f"unknown workload field {key!r}")
         data["workload"][key] = value
     elif top == "fault":

@@ -1,0 +1,95 @@
+"""Inner drain loop of the array-native event calendar.
+
+This module is the compilation unit for the optional accelerated build:
+``setup.py`` compiles it with mypyc (or Cython) when a compiler toolchain
+is present, in which case the import in :mod:`repro.network.event_core`
+resolves to the extension module instead of this file.  The source is
+deliberately monomorphic — plain attribute access, ints, floats, lists
+and tuples — so the compiled and interpreted versions execute the exact
+same logic and the pure-Python fallback is always available.
+
+The loop itself is the calendar-queue pop protocol:
+
+* the *run* is the current time-slot bucket, already sorted by
+  ``(time, seq)`` and materialized into parallel Python lists;
+* the *overflow* heap holds events scheduled (while the run was active)
+  into the run's own slot or earlier — they must interleave with the
+  remaining run entries, so each pop compares the two heads;
+* when both are exhausted the next bucket is materialized
+  (:meth:`ArrayEventCore._start_next_run`) and the loop continues.
+
+Ordering is exactly the heap core's ``(time, seq)``; the equivalence
+tests assert recorded histories are byte-identical.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop
+
+
+def drain_events(core, sim, until, max_events):
+    """Process queued events in ``(time, seq)`` order; returns the count.
+
+    Mirrors the heap core's run loop contract: stops once the next event
+    would pass ``until`` (leaving it queued), stops at ``max_events``,
+    advances ``sim.now`` before each dispatch, and accounts processed
+    events on the simulator even if a callback raises.  The run cursor
+    is kept in a local and written back on every exit path (including
+    exceptions); the loop itself is the only reader in between.
+    """
+    processed = 0
+    overflow = core._overflow
+    no_arg = core.no_arg
+    pos = core._run_pos
+    now = sim.now
+    try:
+        while processed < max_events:
+            if pos >= core._run_len and not overflow:
+                core._run_pos = pos
+                if not core._start_next_run():
+                    break
+                pos = 0
+            run_times = core._run_times
+            run_seqs = core._run_seqs
+            run_methods = core._run_methods
+            run_args = core._run_args
+            length = core._run_len
+            while processed < max_events:
+                from_overflow = False
+                if pos < length:
+                    time = run_times[pos]
+                    if overflow:
+                        head = overflow[0]
+                        head_time = head[0]
+                        if head_time < time or (
+                            head_time == time and head[1] < run_seqs[pos]
+                        ):
+                            from_overflow = True
+                            time = head_time
+                elif overflow:
+                    time = overflow[0][0]
+                    from_overflow = True
+                else:
+                    break
+                if until is not None and time > until:
+                    return processed
+                if from_overflow:
+                    method = None
+                    _, _, method, arg = heappop(overflow)
+                else:
+                    method = run_methods[pos]
+                    arg = run_args[pos]
+                    pos += 1
+                if time > now:
+                    now = time
+                    sim.now = time
+                if arg is no_arg:
+                    method()
+                else:
+                    method(arg)
+                processed += 1
+    finally:
+        core._run_pos = pos
+        sim.events_processed += processed
+        core._consumed += processed
+    return processed

@@ -1,0 +1,549 @@
+"""Array-native event calendar for the discrete-event simulator.
+
+The heap core (``Simulator(core="heap")``) stores every pending event as
+a Python tuple in one global ``heapq`` — O(log n) object-churning pushes
+and pops.  This module replaces that with a *calendar queue* whose
+storage is numpy:
+
+* events live in per-time-slot **buckets** — growable numpy structured
+  arrays with dtype ``time: f8, seq: i8, method: i2, arg: i8``;
+* the ``method`` column is an index into an **interned method-dispatch
+  table** (reference-counted, slots recycled when a bucket drains, so
+  one-shot closures cannot exhaust the 32767-entry i2 space);
+* the ``arg`` column is an index into the bucket's **arg intern pool** —
+  argument objects are interned per bucket and the whole pool is dropped
+  when the bucket drains, so no per-slot free-list bookkeeping runs on
+  the hot path;
+* a fan-out (:meth:`ArrayEventCore.schedule_block`) is one vectorized
+  column fill per touched bucket — the shared method is interned once,
+  times arrive as one numpy array, and slot grouping is a single stable
+  argsort — plus one ``lexsort`` per bucket at drain time, instead of k
+  heap pushes;
+* scalar pushes append to a small per-bucket staging list (a Python
+  list append is ~2x faster than a numpy scalar row write) that is
+  flushed into the arrays when the bucket is materialized.
+
+Draining pops the lowest-slot bucket (a tiny heap of slot numbers),
+sorts it once by ``(time, seq)``, and walks it with the loop in
+:mod:`repro.network._drain`.  Events scheduled *into the active slot or
+earlier* while it drains go to a small overflow heap that interleaves
+with the run — this preserves exact ``(time, seq)`` order, so recorded
+histories are byte-identical to the heap core's (asserted by the
+equivalence suite).
+
+The drain loop is importable as a compiled extension when ``setup.py``
+was able to build it (mypyc/Cython); ``DRAIN_COMPILED`` reports which
+flavour is live.  Absent a compiler the pure-Python module is used and
+results are identical.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network import _drain
+
+__all__ = ["ArrayEventCore", "EVENT_DTYPE", "NO_ARG", "DRAIN_COMPILED"]
+
+#: Sentinel marking "call the method with no argument".  The heap core in
+#: :mod:`repro.network.simulator` re-exports this as ``_NO_ARG`` so both
+#: cores dispatch through the same identity check.
+NO_ARG = object()
+
+#: True when the drain loop import resolved to a compiled extension
+#: (mypyc/Cython build); False under the pure-Python fallback.
+DRAIN_COMPILED = _drain.__file__.endswith((".so", ".pyd"))
+
+EVENT_DTYPE = np.dtype(
+    [("time", "f8"), ("seq", "i8"), ("method", "i2"), ("arg", "i8")]
+)
+
+_METHOD_TABLE_LIMIT = 32767  # max live i2 index
+
+
+class _Bucket:
+    """Events of one time slot.
+
+    Three complementary stores, all merged (and sorted once) when the
+    bucket is materialized:
+
+    * ``data`` — the canonical :data:`EVENT_DTYPE` structured array,
+      filled by the generic bulk path (:meth:`ArrayEventCore.extend`);
+    * ``blocks`` — deferred shared-method column blocks from the fan-out
+      fast path: appending ``(times, seqs, mid, args)`` views is O(1),
+      so a multicast pays no per-bucket numpy fill at insert time;
+    * ``stage`` — scalar pushes as plain tuples (a list append is ~2x
+      faster than a numpy scalar row write).
+
+    ``args`` is the bucket-local arg intern pool for ``data``/``stage``
+    rows; blocks carry their own arg lists, chained after it at
+    materialization.
+    """
+
+    __slots__ = ("data", "count", "t", "s", "m", "a", "blocks", "stage", "args")
+
+    def __init__(self) -> None:
+        self.data: Optional[np.ndarray] = None
+        self.count = 0
+        self.t: Any = None  # cached field views of ``data``
+        self.s: Any = None
+        self.m: Any = None
+        self.a: Any = None
+        self.blocks: List[Tuple[Any, Any, int, List[Any]]] = []
+        self.stage: List[Tuple[float, int, int, int]] = []
+        self.args: List[Any] = []  # bucket-local arg intern pool
+
+    def reserve(self, extra: int) -> None:
+        needed = self.count + extra
+        data = self.data
+        if data is not None and needed <= len(data):
+            return
+        capacity = 64
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=EVENT_DTYPE)
+        if data is not None and self.count:
+            grown[: self.count] = data[: self.count]
+        self.data = grown
+        self.t = grown["time"]
+        self.s = grown["seq"]
+        self.m = grown["method"]
+        self.a = grown["arg"]
+
+
+class ArrayEventCore:
+    """Calendar queue over numpy buckets; drop-in backend for Simulator.
+
+    ``slot_width`` is the virtual-time span of one bucket.  It trades
+    bucket count against overflow traffic: events pushed into the slot
+    currently being drained bypass the arrays and go through a classic
+    heap, so the width should be small relative to typical scheduling
+    deltas (with message delays around 0.1–1.0 the default 0.25 keeps
+    the overflow share in the low percent).
+    """
+
+    __slots__ = (
+        "slot_width",
+        "no_arg",
+        "_inv_width",
+        "_seq",
+        "_inserted",
+        "_consumed",
+        "_buckets",
+        "_bucket_heap",
+        "_overflow",
+        "_methods",
+        "_method_ids",
+        "_method_refs",
+        "_method_free",
+        "_run_times",
+        "_run_seqs",
+        "_run_methods",
+        "_run_args",
+        "_run_pos",
+        "_run_len",
+        "_run_slot",
+    )
+
+    def __init__(self, slot_width: float = 0.25) -> None:
+        if slot_width <= 0:
+            raise ValueError("slot_width must be positive")
+        self.slot_width = slot_width
+        self.no_arg = NO_ARG
+        self._inv_width = 1.0 / slot_width
+        self._seq = 0  # same numbering as the heap core's itertools.count()
+        self._inserted = 0
+        self._consumed = 0
+        self._buckets: Dict[int, _Bucket] = {}
+        self._bucket_heap: List[int] = []
+        # Events routed past the bucket plane while their slot is being
+        # drained; plain (time, seq, method, arg) tuples, never interned.
+        self._overflow: List[Tuple[float, int, Callable, Any]] = []
+        # Interned method-dispatch table.  Slot refcounts are decremented
+        # in bulk when a bucket materializes; zero-ref slots are recycled
+        # through the free list so one-shot closures (Process.schedule
+        # guards) cannot exhaust the i2 index space.
+        self._methods: List[Any] = []
+        self._method_ids: Dict[Any, int] = {}
+        self._method_refs: List[int] = []
+        self._method_free: List[int] = []
+        # Active run: the materialized current bucket as parallel lists.
+        self._run_times: List[float] = []
+        self._run_seqs: List[int] = []
+        self._run_methods: List[Any] = []
+        self._run_args: List[Any] = []
+        self._run_pos = 0
+        self._run_len = 0
+        self._run_slot: Optional[int] = None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Queued events not yet processed.
+
+        Exact between ``run()`` calls; during a drain it lags by the
+        events processed so far in that call (they are accounted in one
+        step when the drain returns).
+        """
+        return self._inserted - self._consumed
+
+    # -- insertion -------------------------------------------------------------
+
+    def push(self, time: float, method: Callable, arg: Any) -> int:
+        """Insert one event; returns its sequence number."""
+        seq = self._seq
+        self._seq = seq + 1
+        self._inserted += 1
+        slot = int(time * self._inv_width)
+        run_slot = self._run_slot
+        if run_slot is not None and slot <= run_slot:
+            heappush(self._overflow, (time, seq, method, arg))
+            return seq
+        bucket = self._buckets.get(slot)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[slot] = bucket
+            heappush(self._bucket_heap, slot)
+        mid = self._intern_method(method, 1)
+        args = bucket.args
+        bucket.stage.append((time, seq, mid, len(args)))
+        args.append(arg)
+        return seq
+
+    def schedule_block(
+        self,
+        now: float,
+        times: np.ndarray,
+        method: Callable,
+        args: List[Any],
+        validate: bool = True,
+    ) -> int:
+        """Bulk insert one shared ``method`` at ``times[i]`` with ``args[i]``.
+
+        The fan-out fast path: ``times`` is already a float64 array (e.g.
+        ``now`` plus a channel's batched delay vector), the method is
+        interned exactly once, and each touched bucket receives one
+        vectorized column fill.  Sequence numbers follow array order.
+        ``validate=False`` skips the past-timestamp check for callers
+        whose times are ``now`` plus non-negative delays by construction
+        (the multicast plane).
+        """
+        k = len(times)
+        if k == 0:
+            return 0
+        if validate and float(times.min()) < now:
+            raise ValueError("cannot schedule into the past")
+        base = self._seq
+        self._seq = base + k
+        self._inserted += k
+        slots = (times * self._inv_width).astype(np.int64)
+        run_slot = self._run_slot
+        first = int(slots[0])
+        if int(slots[k - 1]) == first and (run_slot is None or first > run_slot):
+            # Cheap probe: a block whose ends share an inactive slot is
+            # usually single-slot — confirm without a full sort.
+            if int(slots.min()) == first and int(slots.max()) == first:
+                seqs = np.arange(base, base + k, dtype=np.int64)
+                self._append_block(
+                    first, times, seqs, self._intern_method(method, k), args
+                )
+                return k
+        # General case: one stable argsort groups the block by slot (and,
+        # because slots are monotone in time, puts any entries belonging
+        # to the active slot or earlier in a prefix).  Within a bucket
+        # insertion order is irrelevant — materialization sorts by
+        # (time, seq) — so permuted views are fine.
+        order = np.argsort(slots, kind="stable")
+        ss = slots[order]
+        ts = times[order]
+        qs = base + order
+        picked = order.tolist()
+        ags = [args[i] for i in picked]
+        start = 0
+        if run_slot is not None and int(ss[0]) <= run_slot:
+            # The prefix landing in (or before) the slot currently being
+            # drained goes to the overflow heap, entry by entry.
+            start = int(np.searchsorted(ss, run_slot, side="right"))
+            overflow = self._overflow
+            prefix_times = ts[:start].tolist()
+            prefix_seqs = qs[:start].tolist()
+            for i in range(start):
+                heappush(
+                    overflow, (prefix_times[i], prefix_seqs[i], method, ags[i])
+                )
+            if start == k:
+                return k
+        mid = self._intern_method(method, k - start)
+        slot_list = ss[start:].tolist()
+        bounds = np.flatnonzero(ss[start + 1 :] != ss[start:-1]).tolist()
+        prev = start
+        for b in bounds:
+            nxt = start + b + 1
+            self._append_block(
+                slot_list[prev - start], ts[prev:nxt], qs[prev:nxt], mid, ags[prev:nxt]
+            )
+            prev = nxt
+        self._append_block(slot_list[prev - start], ts[prev:], qs[prev:], mid, ags[prev:])
+        return k
+
+    def _append_block(self, slot, times, seqs, mid, args) -> None:
+        """O(1) deferred insert of one shared-method column block."""
+        bucket = self._buckets.get(slot)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[slot] = bucket
+            heappush(self._bucket_heap, slot)
+        bucket.blocks.append((times, seqs, mid, args))
+
+    def extend(self, now: float, entries: List[Tuple[float, Callable, Any]]) -> int:
+        """Bulk insert ``(time, method, arg)`` entries; returns the count.
+
+        The generic :meth:`Simulator.schedule_many` backend: per-entry
+        methods, so each is interned individually.  The whole batch is
+        validated against ``now`` before any entry is inserted (the heap
+        core raises at the first offending entry, having already pushed
+        the earlier ones — an error-path-only difference).  Sequence
+        numbers follow list order, matching what the same entries pushed
+        one by one would receive.
+        """
+        k = len(entries)
+        if k == 0:
+            return 0
+        times = np.fromiter((entry[0] for entry in entries), dtype=np.float64, count=k)
+        if float(times.min()) < now:
+            raise ValueError("cannot schedule into the past")
+        base = self._seq
+        self._seq = base + k
+        self._inserted += k
+        slots = (times * self._inv_width).astype(np.int64)
+        run_slot = self._run_slot
+        if run_slot is not None and int(slots.min()) <= run_slot:
+            self._extend_mixed(run_slot, entries, times, slots, base)
+            return k
+        seqs = np.arange(base, base + k, dtype=np.int64)
+        intern = self._intern_method
+        slot_list = slots.tolist()
+        first = slot_list[0]
+        if all(slot == first for slot in slot_list):
+            mids = np.fromiter(
+                (intern(entry[1], 1) for entry in entries), dtype=np.int16, count=k
+            )
+            self._bulk_into(first, times, seqs, mids, [entry[2] for entry in entries])
+            return k
+        order = np.argsort(slots, kind="stable")
+        picked = order.tolist()
+        ts = times[order]
+        qs = seqs[order]
+        mids = np.fromiter(
+            (intern(entries[i][1], 1) for i in picked), dtype=np.int16, count=k
+        )
+        ags = [entries[i][2] for i in picked]
+        ss = slots[order]
+        slot_sorted = ss.tolist()
+        bounds = np.flatnonzero(ss[1:] != ss[:-1]) + 1
+        prev = 0
+        for b in bounds.tolist():
+            self._bulk_into(
+                slot_sorted[prev], ts[prev:b], qs[prev:b], mids[prev:b], ags[prev:b]
+            )
+            prev = b
+        self._bulk_into(slot_sorted[prev], ts[prev:], qs[prev:], mids[prev:], ags[prev:])
+        return k
+
+    def _extend_mixed(self, run_slot, entries, times, slots, base) -> None:
+        """Entry-by-entry routing for batches straddling the active slot."""
+        overflow = self._overflow
+        time_list = times.tolist()
+        slot_list = slots.tolist()
+        buckets = self._buckets
+        for i in range(len(entries)):
+            slot = slot_list[i]
+            time = time_list[i]
+            _, method, arg = entries[i]
+            seq = base + i
+            if slot <= run_slot:
+                heappush(overflow, (time, seq, method, arg))
+                continue
+            bucket = buckets.get(slot)
+            if bucket is None:
+                bucket = _Bucket()
+                buckets[slot] = bucket
+                heappush(self._bucket_heap, slot)
+            mid = self._intern_method(method, 1)
+            args = bucket.args
+            bucket.stage.append((time, seq, mid, len(args)))
+            args.append(arg)
+
+    def _bulk_into(self, slot, times, seqs, mids, args) -> None:
+        """Append one column block to ``slot``'s bucket (``mids`` may be
+        a scalar id, broadcast over the block)."""
+        bucket = self._buckets.get(slot)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[slot] = bucket
+            heappush(self._bucket_heap, slot)
+        m = len(times)
+        bucket.reserve(m)
+        n0 = bucket.count
+        n1 = n0 + m
+        start = len(bucket.args)
+        bucket.t[n0:n1] = times
+        bucket.s[n0:n1] = seqs
+        bucket.m[n0:n1] = mids
+        bucket.a[n0:n1] = np.arange(start, start + m, dtype=np.int64)
+        bucket.args.extend(args)
+        bucket.count = n1
+
+    # -- method interning ------------------------------------------------------
+
+    def _intern_method(self, method: Callable, count: int) -> int:
+        ids = self._method_ids
+        mid = ids.get(method)
+        if mid is not None:
+            self._method_refs[mid] += count
+            return mid
+        free = self._method_free
+        if free:
+            mid = free.pop()
+            self._methods[mid] = method
+            self._method_refs[mid] = count
+        else:
+            mid = len(self._methods)
+            if mid > _METHOD_TABLE_LIMIT:
+                raise RuntimeError(
+                    "method-dispatch table exhausted: more than "
+                    f"{_METHOD_TABLE_LIMIT} distinct callbacks are live at once"
+                )
+            self._methods.append(method)
+            self._method_refs.append(count)
+        ids[method] = mid
+        return mid
+
+    def _release_method(self, mid: int, count: int) -> None:
+        refs = self._method_refs
+        remaining = refs[mid] - count
+        refs[mid] = remaining
+        if remaining == 0:
+            method = self._methods[mid]
+            del self._method_ids[method]
+            self._methods[mid] = None
+            self._method_free.append(mid)
+
+    # -- drain -----------------------------------------------------------------
+
+    def drain(self, sim, until: Optional[float], max_events: int) -> int:
+        return _drain.drain_events(self, sim, until, max_events)
+
+    def _start_next_run(self) -> bool:
+        """Materialize the lowest-slot bucket as the active run.
+
+        Returns False (and clears the run marker) when no bucket is left.
+        Invariants relied on: every heap entry corresponds to a live
+        bucket (buckets are only removed here, together with their heap
+        entry), and while a run is active every live bucket's slot is
+        strictly greater than ``_run_slot`` (same-or-earlier pushes were
+        diverted to the overflow heap).
+        """
+        heap = self._bucket_heap
+        if not heap:
+            self._run_slot = None
+            self._run_times = []
+            self._run_seqs = []
+            self._run_methods = []
+            self._run_args = []
+            self._run_pos = 0
+            self._run_len = 0
+            return False
+        slot = heappop(heap)
+        bucket = self._buckets.pop(slot)
+        table = self._methods
+        pool = bucket.args
+        stage = bucket.stage
+        blocks = bucket.blocks
+        count = bucket.count
+        release = self._release_method
+        if not blocks and count == 0:
+            # Scalar pushes only (timers, small protocol steps): a plain
+            # tuple sort beats numpy at these sizes.
+            stage.sort()  # seqs are unique, so (time, seq) decides every tie
+            times = [row[0] for row in stage]
+            seqs = [row[1] for row in stage]
+            methods = []
+            args = []
+            for row in stage:
+                mid = row[2]
+                methods.append(table[mid])
+                args.append(pool[row[3]])
+                release(mid, 1)
+        else:
+            # Merge the structured rows, the staged scalars and the
+            # deferred fan-out blocks into one column set, then sort once.
+            t_parts = []
+            s_parts = []
+            m_parts = []
+            a_parts = []
+            if count:
+                t_parts.append(bucket.t[:count])
+                s_parts.append(bucket.s[:count])
+                m_parts.append(bucket.m[:count].astype(np.int64))
+                a_parts.append(bucket.a[:count])
+            if stage:
+                t_col, s_col, m_col, a_col = zip(*stage)
+                t_parts.append(np.array(t_col, dtype=np.float64))
+                s_parts.append(np.array(s_col, dtype=np.int64))
+                m_parts.append(np.array(m_col, dtype=np.int64))
+                a_parts.append(np.array(a_col, dtype=np.int64))
+            if blocks:
+                offset = len(pool)
+                mid_vals = []
+                lens = []
+                for bt, bs, bmid, bargs in blocks:
+                    t_parts.append(bt)
+                    s_parts.append(bs)
+                    mid_vals.append(bmid)
+                    lens.append(len(bargs))
+                    pool.extend(bargs)
+                total = len(pool) - offset
+                m_parts.append(
+                    np.repeat(np.array(mid_vals, dtype=np.int64), np.array(lens))
+                )
+                a_parts.append(np.arange(offset, offset + total, dtype=np.int64))
+            if len(t_parts) == 1:
+                t_all = t_parts[0]
+                s_all = s_parts[0]
+                m_all = m_parts[0]
+                a_all = a_parts[0]
+            else:
+                t_all = np.concatenate(t_parts)
+                s_all = np.concatenate(s_parts)
+                m_all = np.concatenate(m_parts)
+                a_all = np.concatenate(a_parts)
+            order = np.lexsort((s_all, t_all))
+            times = t_all[order].tolist()
+            seqs = s_all[order].tolist()
+            aids = a_all[order].tolist()
+            args = [pool[i] for i in aids]
+            counts = np.bincount(m_all)  # order-independent refcounts
+            live = np.flatnonzero(counts)
+            if live.size == 1:
+                # One shared callback (the common multicast bucket).
+                mid = int(live[0])
+                methods = [table[mid]] * len(times)
+                release(mid, len(times))
+            else:
+                methods = [table[i] for i in m_all[order].tolist()]
+                for mid, c in enumerate(counts.tolist()):
+                    if c:
+                        release(mid, c)
+        self._run_times = times
+        self._run_seqs = seqs
+        self._run_methods = methods
+        self._run_args = args
+        self._run_pos = 0
+        self._run_len = len(times)
+        self._run_slot = slot
+        return True

@@ -37,6 +37,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+
+import numpy as np
 from typing import (
     Any,
     Callable,
@@ -49,8 +51,10 @@ from typing import (
     TYPE_CHECKING,
 )
 
+from repro.core.errors import UnknownVocabularyError
 from repro.core.history import HistoryRecorder
 from repro.network.channels import batched_delays
+from repro.network.event_core import NO_ARG, ArrayEventCore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.network.channels import ChannelModel
@@ -67,8 +71,9 @@ MULTICAST = "*"
 #: Queue-entry marker for a no-argument callback (the ``schedule``/
 #: ``schedule_at`` API).  A private sentinel rather than ``None`` so that
 #: ``call_at(t, fn, None)`` / ``schedule_many`` entries carrying a
-#: legitimate ``None`` argument still invoke ``fn(None)``.
-_NO_ARG = object()
+#: legitimate ``None`` argument still invoke ``fn(None)``.  Owned by the
+#: array core module (both cores dispatch on the same identity check).
+_NO_ARG = NO_ARG
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,16 +96,32 @@ class Message:
 
 
 class Simulator:
-    """Priority-queue discrete-event engine with a virtual clock.
+    """Discrete-event engine with a virtual clock and two storage cores.
 
-    Queue entries are ``(time, seq, method, arg)`` tuples; ``seq`` is a
-    global insertion counter, so ties on ``time`` resolve in insertion
-    order and the comparison never reaches the (uncomparable) callables.
+    ``core="array"`` (the default) keeps pending events in the
+    calendar-queue of numpy buckets provided by
+    :class:`~repro.network.event_core.ArrayEventCore` — vectorized bulk
+    inserts, one sort per time-slot bucket, interned method dispatch.
+    ``core="heap"`` keeps the classical ``heapq`` of
+    ``(time, seq, method, arg)`` tuples verbatim; it is retained as the
+    equivalence oracle, and the two cores produce identical event
+    orderings (``seq`` is a global insertion counter under both, so ties
+    on ``time`` resolve in insertion order and comparisons never reach
+    the uncomparable callables).
+
     ``arg is _NO_ARG`` marks a no-argument callback (the public
     :meth:`schedule` API); otherwise the run loop calls ``method(arg)``.
     """
 
-    def __init__(self) -> None:
+    CORES = ("array", "heap")
+
+    def __init__(self, core: str = "array", slot_width: float = 0.25) -> None:
+        if core not in self.CORES:
+            raise UnknownVocabularyError("simulator core", core, self.CORES)
+        self.core = core
+        self._array_core: Optional[ArrayEventCore] = (
+            ArrayEventCore(slot_width=slot_width) if core == "array" else None
+        )
         self._queue: List[Tuple[float, int, Callable[..., None], Any]] = []
         self._sequence = itertools.count()
         self.now: float = 0.0
@@ -110,6 +131,10 @@ class Simulator:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
+        core = self._array_core
+        if core is not None:
+            core.push(self.now + delay, action, _NO_ARG)
+            return
         heapq.heappush(
             self._queue, (self.now + delay, next(self._sequence), action, _NO_ARG)
         )
@@ -118,6 +143,10 @@ class Simulator:
         """Schedule ``action`` at an absolute virtual time."""
         if time < self.now:
             raise ValueError("cannot schedule into the past")
+        core = self._array_core
+        if core is not None:
+            core.push(time, action, _NO_ARG)
+            return
         heapq.heappush(self._queue, (time, next(self._sequence), action, _NO_ARG))
 
     def call_at(self, time: float, method: Callable[[Any], None], arg: Any) -> None:
@@ -128,6 +157,10 @@ class Simulator:
         """
         if time < self.now:
             raise ValueError("cannot schedule into the past")
+        core = self._array_core
+        if core is not None:
+            core.push(time, method, arg)
+            return
         heapq.heappush(self._queue, (time, next(self._sequence), method, arg))
 
     def schedule_many(
@@ -135,10 +168,23 @@ class Simulator:
     ) -> int:
         """Bulk insert ``(time, method, arg)`` entries; returns the count.
 
-        Sequence numbers are assigned in iteration order, so a batched
-        fan-out ties-breaks exactly like the equivalent sequence of
-        :meth:`call_at` calls.
+        ``entries`` may be any iterable — including a one-shot generator —
+        and is materialized exactly once before insertion, so lazily built
+        fan-outs are safe.  Sequence numbers are assigned in iteration
+        order, so a batched fan-out tie-breaks exactly like the equivalent
+        sequence of :meth:`call_at` calls (a property the seq-parity
+        regression test pins down).
+
+        An entry timestamped before ``now`` raises :class:`ValueError`
+        under both cores; the array core validates the whole batch before
+        inserting anything, while the heap core raises at the first
+        offending entry (an error-path-only difference).
         """
+        if not isinstance(entries, list):
+            entries = list(entries)
+        core = self._array_core
+        if core is not None:
+            return core.extend(self.now, entries)
         queue = self._queue
         push = heapq.heappush
         sequence = self._sequence
@@ -151,9 +197,80 @@ class Simulator:
             count += 1
         return count
 
+    def schedule_fanout(
+        self,
+        delays: Sequence[Optional[float]],
+        method: Callable[[Any], None],
+        args: Sequence[Any],
+    ) -> int:
+        """Bulk insert one shared ``method`` from a channel delay vector.
+
+        ``delays[i] is None`` marks a dropped recipient: its entry is
+        skipped and consumes no sequence number, exactly as if the caller
+        had filtered it out of a :meth:`schedule_many` batch.  Everything
+        else is scheduled at ``now + delays[i]`` with argument
+        ``args[i]``, sequence numbers in vector order.  Under the array
+        core the shared method is interned once and each touched bucket
+        receives one vectorized fill — the multicast hot path.
+        """
+        now = self.now
+        if None in delays:
+            kept = [
+                (delay, arg) for delay, arg in zip(delays, args) if delay is not None
+            ]
+            if not kept:
+                return 0
+            delays = [delay for delay, _ in kept]
+            args = [arg for _, arg in kept]
+        core = self._array_core
+        if core is not None:
+            times = np.asarray(delays, dtype=np.float64) + now
+            # Channel delays are non-negative by contract, so the block
+            # cannot land before ``now`` — skip the validation pass.
+            return core.schedule_block(now, times, method, list(args), validate=False)
+        queue = self._queue
+        push = heapq.heappush
+        sequence = self._sequence
+        for delay, arg in zip(delays, args):
+            push(queue, (now + delay, next(sequence), method, arg))
+        return len(delays)
+
+    def schedule_block(
+        self,
+        times: Sequence[float],
+        method: Callable[[Any], None],
+        args: Sequence[Any],
+    ) -> int:
+        """Bulk insert one shared ``method`` at absolute ``times``.
+
+        The workload-plane primitive: ``times`` may be a numpy float64
+        array (used as-is, no per-entry conversion) and ``args`` a
+        same-length sequence.  Sequence numbers follow array order, as
+        for :meth:`schedule_many`; a timestamp before ``now`` raises
+        :class:`ValueError`.
+        """
+        core = self._array_core
+        if core is not None:
+            arr = np.ascontiguousarray(times, dtype=np.float64)
+            return core.schedule_block(self.now, arr, method, list(args))
+        queue = self._queue
+        push = heapq.heappush
+        sequence = self._sequence
+        now = self.now
+        count = 0
+        for time, arg in zip(times, args):
+            if time < now:
+                raise ValueError("cannot schedule into the past")
+            push(queue, (time, next(sequence), method, arg))
+            count += 1
+        return count
+
     @property
     def pending(self) -> int:
         """Number of events still queued."""
+        core = self._array_core
+        if core is not None:
+            return core.pending
         return len(self._queue)
 
     def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
@@ -170,6 +287,24 @@ class Simulator:
 
         Returns the number of events processed by this call.
         """
+        core = self._array_core
+        if core is not None:
+            processed = core.drain(self, until, max_events)
+        else:
+            processed = self._run_heap(until, max_events)
+        if processed >= max_events and self.pending:
+            raise RuntimeError(
+                f"simulation did not quiesce within {max_events} events "
+                f"({self.pending} still pending at t={self.now:.2f})"
+            )
+        if until is not None and self.now < until:
+            # Whether the queue drained early or only later events remain,
+            # the clock still advances to the requested horizon.
+            self.now = until
+        return processed
+
+    def _run_heap(self, until: Optional[float], max_events: int) -> int:
+        """The pre-array run loop, verbatim: pop tuples off one heapq."""
         queue = self._queue
         pop = heapq.heappop
         processed = 0
@@ -187,15 +322,6 @@ class Simulator:
                 processed += 1
         finally:
             self.events_processed += processed
-        if processed >= max_events and queue:
-            raise RuntimeError(
-                f"simulation did not quiesce within {max_events} events "
-                f"({len(queue)} still pending at t={self.now:.2f})"
-            )
-        if until is not None and self.now < until:
-            # Whether the queue drained early or only later events remain,
-            # the clock still advances to the requested horizon.
-            self.now = until
         return processed
 
 
@@ -324,13 +450,11 @@ class Network:
         now = simulator.now
         envelope = Message(sender, MULTICAST, kind, payload, now)
         delays = batched_delays(self.channel, sender, receivers, now)
-        deliver = self._deliver_multicast
-        entries = [
-            (now + delay, deliver, (pid, envelope))
-            for pid, delay in zip(receivers, delays)
-            if delay is not None
-        ]
-        scheduled = simulator.schedule_many(entries)
+        scheduled = simulator.schedule_fanout(
+            delays,
+            self._deliver_multicast,
+            [(pid, envelope) for pid in receivers],
+        )
         self.messages_sent += len(receivers)
         self.messages_dropped += len(receivers) - scheduled
         return scheduled

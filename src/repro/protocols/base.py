@@ -43,6 +43,7 @@ from repro.network.process import Process
 from repro.network.simulator import Message, Network, Simulator
 from repro.network.topology import Topology
 from repro.oracle.theta import TokenOracle, ValidatedBlock
+from repro.workload.population import ClientPopulation
 
 __all__ = ["ReplicaConfig", "BlockchainReplica", "RunResult", "run_protocol"]
 
@@ -89,6 +90,10 @@ class BlockchainReplica(Process):
         self.tree = BlockTree()
         self.ids = BlockIdFactory(prefix=f"{pid}_b")
         self._orphans: Dict[str, List[Block]] = {}
+        #: Client operations (integer coin ids) awaiting inclusion in a
+        #: block, fed by :meth:`on_client_op` (the population workload's
+        #: bulk-scheduled arrival callback).
+        self.mempool: List[int] = []
         self.blocks_created = 0
         self.blocks_adopted = 0
         self.producing = True
@@ -200,6 +205,26 @@ class BlockchainReplica(Process):
         for orphan in pending:
             self.adopt_block(orphan)
 
+    # -- client workload ----------------------------------------------------------------
+
+    def on_client_op(self, op: int) -> None:
+        """Receive one client operation (called straight off the calendar).
+
+        Deliberately minimal — with population-scale workloads this is
+        among the hottest callbacks in a run.
+        """
+        self.mempool.append(op)
+
+    def drain_mempool(self, limit: int) -> Tuple[str, ...]:
+        """Pop up to ``limit`` pending operations as a block payload.
+
+        Coin ids are rendered in the ``coin<n>`` form the validity
+        predicates expect; operations are included first-come-first-served.
+        """
+        take = self.mempool[:limit]
+        del self.mempool[:limit]
+        return tuple(f"coin{op}" for op in take)
+
     # -- read workload ------------------------------------------------------------------
 
     def on_start(self) -> None:
@@ -242,6 +267,10 @@ class RunResult:
     #: was passed to :func:`run_protocol` (its verdicts then reflect the
     #: full recorded history).
     monitor: Optional[ConsistencyMonitor] = field(default=None, repr=False)
+    #: The vectorized client population that fed the run, when
+    #: :func:`run_protocol` scheduled one (``clients=...``); carries the
+    #: generation timings the workload benches record.
+    population: Optional[ClientPopulation] = field(default=None, repr=False)
 
     @property
     def correct_replicas(self) -> Tuple[str, ...]:
@@ -278,6 +307,10 @@ def run_protocol(
     monitor: Optional[ConsistencyMonitor] = None,
     batched: bool = True,
     topology: Optional[Topology] = None,
+    core: str = "array",
+    clients: Optional[int] = None,
+    client_rate: float = 0.5,
+    client_seed: int = 0,
 ) -> RunResult:
     """Run a protocol model and collect its history.
 
@@ -317,8 +350,19 @@ def run_protocol(
         :mod:`repro.network.topology`).  ``None`` keeps the historical
         full-mesh semantics byte-identically; gossip / committee /
         sharded topologies restrict each sender's fan-out.
+    core:
+        Event-calendar implementation: ``"array"`` (the array-native
+        calendar queue, the default) or ``"heap"`` (the original
+        heapq-of-tuples core, retained verbatim as the equivalence
+        oracle).  The two produce byte-identical histories.
+    clients, client_rate, client_seed:
+        When ``clients`` is set, a :class:`ClientPopulation` of that size
+        is generated column-wise (``client_rate`` operations per client
+        per time unit, seeded by ``client_seed``) and bulk-inserted into
+        the calendar before the run; replicas accumulate the arrivals in
+        their mempools and include them in block payloads.
     """
-    simulator = Simulator()
+    simulator = Simulator(core=core)
     recorder = HistoryRecorder()
     if monitor is not None:
         monitor.attach(recorder)
@@ -337,6 +381,16 @@ def run_protocol(
         replicas[pid] = replica
 
     network.start()
+    population: Optional[ClientPopulation] = None
+    if clients:
+        population = ClientPopulation(
+            clients=clients,
+            rate=client_rate,
+            duration=duration,
+            processes=tuple(replicas),
+            seed=client_seed,
+        )
+        population.schedule_on(network)
     network.run(until=duration, max_events=max_events)
     if drain:
         for replica in replicas.values():
@@ -355,4 +409,5 @@ def run_protocol(
         network=network,
         duration=duration,
         monitor=monitor,
+        population=population,
     )

@@ -155,9 +155,13 @@ class CommitteeReplica(BlockchainReplica):
     # -- proposal ------------------------------------------------------------------------
 
     def _propose(self) -> None:
-        payload = self.tx_generator.payload(
-            self.pid, self.committee_config.transactions_per_block
-        )
+        if self.mempool:
+            # Population workload attached: propose real client operations.
+            payload = self.drain_mempool(self.committee_config.transactions_per_block)
+        else:
+            payload = self.tx_generator.payload(
+                self.pid, self.committee_config.transactions_per_block
+            )
         candidate = self.make_candidate(payload=payload)
         parent = self.current_tip()
         validated: Optional[ValidatedBlock] = None
@@ -272,6 +276,9 @@ def run_committee_protocol(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    core: str = "array",
+    clients: Optional[int] = None,
+    client_rate: float = 0.5,
 ) -> RunResult:
     """Run a committee-based protocol and return its :class:`RunResult`.
 
@@ -333,4 +340,8 @@ def run_committee_protocol(
         channel=channel if channel is not None else SynchronousChannel(delta=0.5, seed=seed),
         monitor=monitor,
         topology=topology if topology is not None else Committee(members=committee_ids),
+        core=core,
+        clients=clients,
+        client_rate=client_rate,
+        client_seed=seed,
     )

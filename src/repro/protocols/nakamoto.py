@@ -87,6 +87,10 @@ class NakamotoReplica(BlockchainReplica):
         return self.commit_local_block(validated)
 
     def _next_payload(self) -> Tuple[str, ...]:
+        if self.mempool:
+            # Population workload attached: blocks carry real client
+            # operations (first-come-first-served from the mempool).
+            return self.drain_mempool(self.transactions_per_block)
         start = self._tx_counter
         self._tx_counter += self.transactions_per_block
         return tuple(
@@ -119,6 +123,9 @@ def run_bitcoin(
     replica_cls: type = NakamotoReplica,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    core: str = "array",
+    clients: Optional[int] = None,
+    client_rate: float = 0.5,
 ) -> RunResult:
     """Run the Bitcoin model and return its :class:`RunResult`.
 
@@ -156,4 +163,8 @@ def run_bitcoin(
         channel=channel,
         monitor=monitor,
         topology=topology,
+        core=core,
+        clients=clients,
+        client_rate=client_rate,
+        client_seed=seed,
     )

@@ -5,6 +5,9 @@
 * :mod:`repro.workload.transactions` — deterministic transaction streams
   and client workloads used by the permissioned-system models and the
   examples;
+* :mod:`repro.workload.population` — population-scale client workloads
+  generated column-wise (one rng fill per replica) and bulk-inserted
+  into the event calendar;
 * :mod:`repro.workload.scenarios` — hand-built concurrent histories
   reproducing Figures 2, 3, 4 and 13, plus parameterized random history
   generators used by the property-based tests and the hierarchy benches.
@@ -17,6 +20,7 @@ from repro.workload.merit import (
     proportional_merit,
     permissioned_merit,
 )
+from repro.workload.population import ClientPopulation
 from repro.workload.transactions import TransactionGenerator, ClientWorkload
 from repro.workload.scenarios import (
     figure2_history,
@@ -35,6 +39,7 @@ __all__ = [
     "permissioned_merit",
     "TransactionGenerator",
     "ClientWorkload",
+    "ClientPopulation",
     "figure2_history",
     "figure3_history",
     "figure4_history",

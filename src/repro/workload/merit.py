@@ -39,6 +39,11 @@ class MeritDistribution:
             raise ValueError("total merit must be positive")
         if any(m < 0 for _, m in self.merits):
             raise ValueError("merits must be non-negative")
+        # Lookup index for merit_of: with population-scale runs the linear
+        # scan over the tuple shows up in profiles.  (object.__setattr__
+        # because the dataclass is frozen; not a field, so equality and
+        # serialization are unchanged.)
+        object.__setattr__(self, "_index", dict(self.merits))
 
     # -- constructors --------------------------------------------------------------
 
@@ -56,10 +61,7 @@ class MeritDistribution:
 
     def merit_of(self, process: str) -> float:
         """Merit of ``process`` (0.0 for unknown processes, as for V \\ M)."""
-        for pid, merit in self.merits:
-            if pid == process:
-                return merit
-        return 0.0
+        return self._index.get(process, 0.0)
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self.merits)
@@ -103,6 +105,10 @@ def zipf_merit(n: int, exponent: float = 1.0, prefix: str = "p") -> MeritDistrib
     if exponent < 0:
         raise ValueError("exponent must be non-negative")
     pids = _pids(n, prefix)
+    # Deliberately a scalar loop: numpy's vectorized pow differs from
+    # Python's by ULPs for fractional exponents, and the stream-identity
+    # tests pin these weights byte-for-byte (n is the process count, so
+    # there is nothing to vectorize anyway).
     raw = np.array([1.0 / (i + 1) ** exponent for i in range(n)], dtype=float)
     weights = raw / raw.sum()
     return MeritDistribution(tuple(zip(pids, (float(w) for w in weights))))

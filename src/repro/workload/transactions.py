@@ -43,6 +43,12 @@ class TransactionGenerator:
         if not 0 <= conflict_rate <= 1:
             raise ValueError("conflict_rate must be in [0, 1]")
         self._rng = np.random.default_rng(seed)
+        # Hoisted bound methods (the channels.py idiom): every
+        # ``next_transaction`` call in a population-scale run would
+        # otherwise pay two attribute lookups on the Generator.  The
+        # bit stream is untouched — same methods, same call order.
+        self._random = self._rng.random
+        self._choice = self._rng.choice
         self._counter = 0
         self._spent_pool: List[str] = []
         self.conflict_rate = conflict_rate
@@ -56,8 +62,8 @@ class TransactionGenerator:
         """
         self._counter += 1
         tx_id = f"tx{self._counter}"
-        if self._spent_pool and self._rng.random() < self.conflict_rate:
-            spends = (str(self._rng.choice(self._spent_pool)),)
+        if self._spent_pool and self._random() < self.conflict_rate:
+            spends = (str(self._choice(self._spent_pool)),)
         else:
             coin = f"coin{self._counter}"
             self._spent_pool.append(coin)
@@ -93,6 +99,7 @@ class ClientWorkload:
         if self.rate_per_time_unit < 0:
             raise ValueError("rate must be non-negative")
         self._rng = np.random.default_rng(self.seed)
+        self._integers = self._rng.integers  # hoisted hot-loop binding
 
     def arrivals_between(self, t0: float, t1: float) -> int:
         if t1 < t0:
@@ -102,5 +109,5 @@ class ClientWorkload:
         self._carry = expected - count
         if count > 0:
             # Jitter ±1 to avoid a perfectly periodic stream while keeping determinism.
-            count = max(0, count + int(self._rng.integers(-1, 2)))
+            count = max(0, count + int(self._integers(-1, 2)))
         return count

@@ -143,6 +143,7 @@ class TestProfile:
             "consistency",
             "simulation",
             "topology",
+            "workload",
             "protocol_runs",
             "table1_sweep",
             "cache_sweep",
