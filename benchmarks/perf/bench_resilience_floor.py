@@ -1,0 +1,69 @@
+"""Resilience floor for the adversarial (fault-registry) scenarios.
+
+Mirrors the sibling floor modules: the resilience bench scenarios run
+the Bitcoin model under registered fault models and record what the
+:class:`~repro.core.degradation.DegradationMonitor` observed.  The CI
+bars are correctness floors, not speed floors:
+
+* the partition-heal run must actually *heal* — a finite, non-negative
+  time-to-heal and divergence depth back at 0 by the end of the run —
+  and must have genuinely diverged while split (otherwise the scenario
+  measures nothing);
+* the churn run must complete with the correct replicas eventually
+  consistent, and the network must have quarantined the in-flight
+  deliveries addressed to departed replicas rather than crashing.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_resilience_floor.py -q
+
+Like the siblings, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True, scenarios=["resilience"])
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_resilience_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    scenarios = report["scenarios"]
+
+    partition = scenarios["adversarial_partition_heal"]
+    assert partition["time_to_heal"] is not None, (
+        "partition-heal run never restored correct-replica prefix agreement "
+        "after the heal"
+    )
+    assert partition["time_to_heal"] >= 0.0
+    assert partition["final_divergence_depth"] == 0, (
+        f"divergence depth {partition['final_divergence_depth']} persisted "
+        "after the partition healed"
+    )
+    # The split must have produced a real fork; a scenario that never
+    # diverges would vacuously pass the heal bars above.
+    assert partition["max_divergence_depth"] > 0
+
+    churn = scenarios["churn_storm"]
+    assert churn["eventual_consistency"] is True, (
+        "correct replicas did not reach eventual consistency after churn"
+    )
+    # Departed replicas' in-flight deliveries are absorbed, not crashed on.
+    assert churn["messages_quarantined"] > 0
+    assert churn["degradation"]["final_divergence_depth"] == 0

@@ -44,6 +44,7 @@ from repro.engine import (
     DEFAULT_CACHE_DIR,
     ChannelSpec,
     ExperimentSpec,
+    FaultSpec,
     ResultCache,
     SweepRunner,
     TopologySpec,
@@ -54,6 +55,7 @@ from repro.engine import (
     results_payload,
 )
 from repro.engine.bench import available_scenarios, run_bench, write_report
+from repro.network.faults import available_faults
 from repro.network.topology import available_topologies
 from repro.protocols.classification import reproduce_table1
 from repro.workload.scenarios import figure2_history, figure3_history, figure4_history
@@ -98,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
             f"({', '.join(sorted(available_topologies()))}), "
             "'kind:key=value,...' for parameters "
             "(e.g. 'gossip:fanout=4'), or a JSON object"
+        ),
+    )
+    classify.add_argument(
+        "--fault",
+        default=None,
+        metavar="KIND",
+        help=(
+            "adversary to inject: a registered fault kind, "
+            "'kind:key=value,...' for parameters (e.g. "
+            "'partition:groups=[[\"p0\",\"p1\"],[\"p2\",\"p3\",\"p4\"]],heal_at=60'), "
+            "or a JSON object; degradation metrics land in the output"
         ),
     )
 
@@ -150,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
             "topology axis: comma-separated registered kinds, e.g. 'full,gossip,ring' "
             "(grid cells are labelled topology=<kind>)"
         ),
+    )
+    sweep.add_argument(
+        "--fault",
+        default=None,
+        metavar="KIND",
+        help="adversary for every cell (same forms as classify --fault)",
     )
     sweep.add_argument(
         "--fork-prone",
@@ -276,6 +295,61 @@ def _split_topology_params(rest: str) -> List[str]:
     return pairs
 
 
+def _fault_kinds() -> List[str]:
+    """Every kind ``--fault`` accepts: legacy runner kinds + the registry."""
+    return sorted({"crash", "byzantine", *available_faults()})
+
+
+def _parse_fault(text: str) -> FaultSpec:
+    """Parse ``--fault``: a kind, ``kind:key=value,...``, or a JSON object.
+
+    Values go through :func:`json.loads` when they parse (so
+    ``heal_at=60`` is a number, ``at={"p4": 30}`` a mapping,
+    ``members=["p5"]`` a list) and stay strings otherwise.  The keys
+    ``crash_at``, ``byzantine`` and ``seed`` address the spec fields of
+    the legacy runner faults; everything else is a constructor parameter
+    of the registered fault model.
+    """
+    text = text.strip()
+    if text.startswith("{"):
+        try:
+            spec = FaultSpec.from_dict(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise SystemExit(
+                f"repro: error: cannot parse fault JSON {text!r} ({error})"
+            ) from None
+    elif ":" in text:
+        kind, _, rest = text.partition(":")
+        fields: Dict[str, Any] = {}
+        params: Dict[str, Any] = {}
+        for pair in _split_topology_params(rest):
+            if not pair:
+                continue
+            key, eq, raw = pair.partition("=")
+            if not eq:
+                raise SystemExit(
+                    f"repro: error: fault parameter {pair!r} is not 'key=value'"
+                )
+            try:
+                value = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            key = key.strip()
+            if key in ("crash_at", "byzantine", "seed"):
+                fields[key] = value
+            else:
+                params[key] = value
+        spec = FaultSpec(kind=kind.strip(), params=params, **fields)
+    else:
+        spec = FaultSpec(kind=text)
+    if spec.kind not in _fault_kinds():
+        raise SystemExit(
+            f"repro: error: unknown fault {spec.kind!r} "
+            f"(registered: {', '.join(_fault_kinds())})"
+        )
+    return spec
+
+
 def _parse_topology(text: str) -> TopologySpec:
     """Parse ``--topology``: a kind, ``kind:key=value,...``, or a JSON object.
 
@@ -354,6 +428,8 @@ def _cmd_classify(args: argparse.Namespace) -> str:
         spec = spec.with_updates(monitor=True)
     if args.topology is not None:
         spec = spec.with_updates(topology=_parse_topology(args.topology))
+    if args.fault is not None:
+        spec = spec.with_updates(fault=_parse_fault(args.fault))
     record = spec.execute()
 
     lines = [
@@ -380,6 +456,24 @@ def _cmd_classify(args: argparse.Namespace) -> str:
                 f"  reads={record.consistency['reads']}"
                 f"  events={record.consistency['events']}"
                 f"  blocks indexed={record.consistency['blocks_indexed']}",
+            ]
+        )
+    if record.degradation is not None:
+        deg = record.degradation
+        heal = (
+            f"  heal_at={deg['heal_at']}  healed_at={deg['healed_at']}"
+            f"  time_to_heal={deg['time_to_heal']}"
+            if deg["heal_at"] is not None
+            else "  (no heal time announced)"
+        )
+        lines.extend(
+            [
+                "",
+                "degradation monitor (divergence among correct replicas):",
+                f"  max divergence depth: {deg['max_divergence_depth']}"
+                f"  final: {deg['final_divergence_depth']}"
+                f"  reads: {deg['reads']}",
+                heal,
             ]
         )
     return "\n".join(lines)
@@ -466,6 +560,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         base = base.with_updates(monitor=True)
     if args.topology is not None:
         base = base.with_updates(topology=_parse_topology(args.topology))
+    if args.fault is not None:
+        base = base.with_updates(fault=_parse_fault(args.fault))
 
     axes: Dict[str, Sequence[Any]] = {}
     if args.topologies is not None:

@@ -92,6 +92,7 @@ from repro.engine.registry import available_protocols
 from repro.engine.spec import (
     ChannelSpec,
     ExperimentSpec,
+    FaultSpec,
     TopologySpec,
     WorkloadSpec,
     table1_spec,
@@ -904,6 +905,86 @@ def _bench_workload(seed: int, quick: bool) -> Dict[str, Any]:
     }
 
 
+def _bench_resilience(seed: int, quick: bool) -> Dict[str, Any]:
+    """Adversarial runs through the fault registry: split-brain and churn.
+
+    * ``adversarial_partition_heal`` — a fork-prone proof-of-work run
+      split into two groups mid-run and healed later; the
+      :class:`~repro.core.degradation.DegradationMonitor` must observe
+      genuine divergence during the partition and a finite time-to-heal
+      with divergence depth back at 0 afterwards (the resilience floor).
+    * ``churn_storm`` — two replicas leave and later rejoin
+      (deregistered from the network, in-flight deliveries quarantined,
+      state re-synced on rejoin); the run must end with the correct
+      replicas eventually consistent.
+    """
+    scenarios: Dict[str, Any] = {}
+
+    n = 6
+    duration = 80.0 if quick else 150.0
+    base = ExperimentSpec(
+        protocol="bitcoin",
+        replicas=n,
+        duration=duration,
+        seed=seed,
+        channel=ChannelSpec(kind="synchronous", params={"delta": 1.0, "min_delay": 0.25}),
+        params={"token_rate": 0.4},
+        monitor=True,
+    )
+
+    groups = [[f"p{i}" for i in range(n // 2)], [f"p{i}" for i in range(n // 2, n)]]
+    heal_at = 40.0 if quick else 80.0
+    partition_seconds, partition_record = _timed_cell(
+        base.with_updates(
+            label="bench:adversarial-partition-heal",
+            fault=FaultSpec(
+                kind="partition",
+                params={"groups": groups, "at": 15.0, "heal_at": heal_at},
+            ),
+        )
+    )
+    degradation = partition_record.degradation
+    if degradation["time_to_heal"] is None:  # pragma: no cover
+        raise AssertionError("adversarial_partition_heal: partition never healed")
+    if degradation["final_divergence_depth"] != 0:  # pragma: no cover
+        raise AssertionError(
+            "adversarial_partition_heal: divergence persisted after the heal"
+        )
+    scenarios["adversarial_partition_heal"] = {
+        "seconds": partition_seconds,
+        "processes": n,
+        "heal_at": heal_at,
+        "time_to_heal": degradation["time_to_heal"],
+        "max_divergence_depth": degradation["max_divergence_depth"],
+        "final_divergence_depth": degradation["final_divergence_depth"],
+        "degradation": degradation,
+        "events": partition_record.network["events_processed"],
+        "messages_dropped": partition_record.network["messages_dropped"],
+    }
+
+    leave = {"p4": 20.0, "p5": 30.0}
+    join = {"p4": 0.6 * duration, "p5": 0.5 * duration}
+    churn_seconds, churn_record = _timed_cell(
+        base.with_updates(
+            label="bench:churn-storm",
+            fault=FaultSpec(kind="churn", params={"leave": leave, "join": join}),
+        )
+    )
+    eventual = churn_record.consistency["eventual"]
+    if not eventual:  # pragma: no cover
+        raise AssertionError("churn_storm: correct replicas did not converge")
+    scenarios["churn_storm"] = {
+        "seconds": churn_seconds,
+        "processes": n,
+        "leavers": len(leave),
+        "eventual_consistency": eventual,
+        "degradation": churn_record.degradation,
+        "messages_quarantined": churn_record.network.get("messages_quarantined", 0),
+        "events": churn_record.network["events_processed"],
+    }
+    return scenarios
+
+
 SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
     "selection": tuple(f"selection_{name}_fork_heavy" for name in _SELECTION_RULES),
     "consistency": (
@@ -914,6 +995,7 @@ SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
     "simulation": ("simulation_flood_heavy", "simulation_lrc_gossip"),
     "topology": ("simulation_gossip_fanout", "simulation_sharded_committee"),
     "workload": ("workload_population_scaling",),
+    "resilience": ("adversarial_partition_heal", "churn_storm"),
     "protocol_runs": ("run_longest_fork_heavy", "run_ghost_fork_heavy"),
     "table1_sweep": ("table1_sweep",),
     "cache_sweep": ("cache_sweep",),
@@ -976,6 +1058,7 @@ def run_bench(
         ("simulation", lambda: _bench_simulation(seed, quick)),
         ("topology", lambda: _bench_topology(seed, quick)),
         ("workload", lambda: _bench_workload(seed, quick)),
+        ("resilience", lambda: _bench_resilience(seed, quick)),
         ("protocol_runs", lambda: _bench_protocol_runs(seed, quick)),
         ("table1_sweep", lambda: _bench_table1_sweep(seed, quick, jobs)),
         ("cache_sweep", lambda: _bench_cache_sweep(seed, quick)),

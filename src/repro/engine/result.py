@@ -57,6 +57,10 @@ class RunResult:
     #: into ``monitor=True`` (kept out of the payload otherwise so existing
     #: artifacts and cache entries stay byte-identical).
     consistency: Optional[Dict[str, Any]] = None
+    #: Degradation-monitor summary (divergence depth over time, heal
+    #: metrics); only present when the spec injected a registered fault
+    #: model, same opt-in serialization rule as ``consistency``.
+    degradation: Optional[Dict[str, Any]] = None
     run: Optional[Any] = field(default=None, repr=False, compare=False)
     classification_result: Optional[Any] = field(default=None, repr=False, compare=False)
 
@@ -91,6 +95,8 @@ class RunResult:
         }
         if self.consistency is not None:
             data["consistency"] = dict(self.consistency)
+        if self.degradation is not None:
+            data["degradation"] = dict(self.degradation)
         return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -110,6 +116,9 @@ class RunResult:
             timings=dict(data["timings"]),
             consistency=(
                 dict(data["consistency"]) if data.get("consistency") is not None else None
+            ),
+            degradation=(
+                dict(data["degradation"]) if data.get("degradation") is not None else None
             ),
         )
 
@@ -202,6 +211,12 @@ def analyse_run(
     }
 
     monitor = getattr(run, "monitor", None)
+    degradation = getattr(run, "degradation", None)
+    quarantined = getattr(run.network, "messages_quarantined", 0)
+    if quarantined:
+        # Only emitted when churn actually absorbed traffic, so artifacts
+        # of fault-free runs are byte-identical to pre-fault ones.
+        network_dict["messages_quarantined"] = quarantined
 
     return RunResult(
         spec=spec,
@@ -214,6 +229,7 @@ def analyse_run(
         blocks=blocks_dict,
         timings=timings,
         consistency=monitor.summary() if monitor is not None else None,
+        degradation=degradation.summary() if degradation is not None else None,
         run=run,
         classification_result=classification,
     )

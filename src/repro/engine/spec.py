@@ -236,34 +236,107 @@ WORKLOAD_FIELDS: Tuple[str, ...] = tuple(
 )
 
 
+#: Fault kinds dispatched to dedicated ``@register_fault_runner`` runners
+#: (the retained legacy path); everything else resolves through the
+#: ``@register_fault`` model registry and rides the generic ``fault=``
+#: runner keyword.
+_LEGACY_FAULT_KINDS: Tuple[str, ...] = ("crash", "byzantine")
+
+
 @dataclass(frozen=True)
 class FaultSpec:
-    """Process-level fault model: crashes or silent Byzantine members."""
+    """Declarative adversary.
 
-    kind: str  # "crash" | "byzantine"
+    ``kind`` either names one of the two legacy runner faults
+    (``crash`` with ``crash_at``, ``byzantine`` with ``byzantine`` —
+    dispatched to their dedicated ``@register_fault_runner`` runners,
+    byte-compatible with every pre-existing spec) or a registered
+    :class:`~repro.network.faults.FaultModel` (``crash``/``silent``/
+    ``churn``/``partition``/``eclipse``); ``params`` are its constructor
+    arguments and ``seed`` defaults to the owning spec's seed, exactly
+    like :class:`TopologySpec`.  Setting ``params`` on a legacy kind
+    routes it through the model registry too (``crash`` is registered in
+    both vocabularies, event-for-event identical).
+
+    ``params`` and ``seed`` are serialized only when set, so digests of
+    pre-existing fault specs — and their cache entries — are unchanged.
+    """
+
+    kind: str
     crash_at: Mapping[str, float] = field(default_factory=dict)
     byzantine: Tuple[str, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    @property
+    def uses_runner(self) -> bool:
+        """``True`` iff this spec dispatches to a legacy fault runner."""
+        return self.kind in _LEGACY_FAULT_KINDS and not self.params
+
+    @property
+    def runner_kind(self) -> Optional[str]:
+        """The ``register_fault_runner`` key, or ``None`` for model faults."""
+        return self.kind if self.uses_runner else None
+
+    def build(self, default_seed: int) -> "FaultModel":
+        """Instantiate the registered fault model (non-runner kinds)."""
+        from repro.network.faults import build_fault
+
+        seed = self.seed if self.seed is not None else default_seed
+        return build_fault(self.kind, dict(self.params), seed=seed)
+
+    def runner_kwargs(self, default_seed: int) -> Dict[str, Any]:
+        """The keyword arguments this fault contributes to the runner."""
+        if self.uses_runner:
+            return self.to_kwargs()
+        return {"fault": self.build(default_seed)}
 
     def to_kwargs(self) -> Dict[str, Any]:
+        """Legacy runner keywords (``crash_at`` / ``byzantine``).
+
+        An unknown kind raises the uniform
+        :class:`~repro.core.errors.UnknownVocabularyError` listing the
+        registered fault vocabulary, like every other registry lookup; a
+        registered *model* kind is a usage error here (those build
+        through :meth:`runner_kwargs`).
+        """
         if self.kind == "crash":
             return {"crash_at": dict(self.crash_at)}
         if self.kind == "byzantine":
             return {"byzantine": tuple(self.byzantine)}
-        raise ValueError(f"unknown fault kind {self.kind!r}")
+        from repro.network.faults import FAULT_REGISTRY, get_fault
+
+        get_fault(self.kind)  # raises UnknownVocabularyError for unknown kinds
+        raise ValueError(
+            f"fault kind {self.kind!r} is a registered fault model "
+            f"({', '.join(FAULT_REGISTRY)}); build it with runner_kwargs()"
+        )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "kind": self.kind,
             "crash_at": dict(self.crash_at),
             "byzantine": list(self.byzantine),
         }
+        # Only serialized when set: digests (and therefore cache entries)
+        # of pre-existing fault specs are unchanged.
+        if self.params:
+            data["params"] = dict(self.params)
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "FaultSpec":
+        if isinstance(data, str):
+            # A bare kind name is the sweep-axis / CLI shorthand.
+            return cls(kind=data)
         return cls(
             kind=data["kind"],
             crash_at=dict(data.get("crash_at", {})),
             byzantine=tuple(data.get("byzantine", ())),
+            params=dict(data.get("params", {})),
+            seed=data.get("seed"),
         )
 
 
@@ -404,7 +477,7 @@ class ExperimentSpec:
         spec reproduces a bare ``run_*`` call exactly.
         """
         entry = get_protocol(self.protocol)
-        fault_kind = self.fault.kind if self.fault is not None else None
+        fault_kind = self.fault.runner_kind if self.fault is not None else None
 
         def put(key: str, value: Any) -> None:
             if not entry.accepts(key, fault_kind):
@@ -443,7 +516,7 @@ class ExperimentSpec:
                 value = self._build_selection(value)
             put(key, value)
         if self.fault is not None:
-            for key, value in self.fault.to_kwargs().items():
+            for key, value in self.fault.runner_kwargs(self.seed).items():
                 put(key, value)
         return kwargs
 
@@ -454,7 +527,7 @@ class ExperimentSpec:
         from repro.engine.result import RunResult, analyse_run
 
         entry = get_protocol(self.protocol)
-        fault_kind = self.fault.kind if self.fault is not None else None
+        fault_kind = self.fault.runner_kind if self.fault is not None else None
         runner = entry.runner_for(fault_kind)
         kwargs = self.build_kwargs()
         started = time.perf_counter()
@@ -515,3 +588,4 @@ from typing import TYPE_CHECKING  # noqa: E402
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.result import RunResult
+    from repro.network.faults import FaultModel

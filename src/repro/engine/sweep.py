@@ -10,6 +10,8 @@ loops).  Axis names address spec fields with dotted paths::
     channel.kind, channel.drop_probability      — channel spec fields
     topology (kind shorthand), topology.kind    — dissemination topology
     topology.fanout, topology.shards, ...       — topology constructor params
+    fault (kind shorthand), fault.kind          — adversary / fault model
+    fault.heal_at, fault.victim, fault.seed     — fault constructor params
     params.token_rate, params.selection, ...    — protocol-specific knobs
     workload.use_lrc, workload.read_interval    — workload fields
     workload.clients, workload.client_rate      — client population axis
@@ -32,7 +34,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.engine.cache import ResultCache
 from repro.engine.result import RunResult
-from repro.engine.spec import WORKLOAD_FIELDS, ChannelSpec, ExperimentSpec, TopologySpec
+from repro.engine.spec import (
+    WORKLOAD_FIELDS,
+    ChannelSpec,
+    ExperimentSpec,
+    FaultSpec,
+    TopologySpec,
+)
 
 __all__ = ["expand_grid", "derive_seed", "SweepRunner", "results_payload"]
 
@@ -51,6 +59,11 @@ def _apply_override(data: Dict[str, Any], path: str, value: Any) -> None:
             # Absent unless set (digest stability), so it cannot rely on
             # the key-exists check; a bare string value is a kind name.
             data["topology"] = TopologySpec.from_dict(value).to_dict()
+            return
+        if top == "fault":
+            # The serialized fault is ``None`` unless set; a bare string
+            # value is a kind name (``"partition"``), a dict the full spec.
+            data["fault"] = FaultSpec.from_dict(value).to_dict()
             return
         if top not in data:
             raise KeyError(f"unknown spec field {path!r}")
@@ -85,9 +98,12 @@ def _apply_override(data: Dict[str, Any], path: str, value: Any) -> None:
     elif top == "fault":
         if data.get("fault") is None:
             raise KeyError("cannot set a fault axis on a spec without a fault")
-        if key not in ("kind", "crash_at", "byzantine"):
-            raise KeyError(f"unknown fault field {key!r}")
-        data["fault"][key] = value
+        if key in ("kind", "seed", "crash_at", "byzantine"):
+            data["fault"][key] = value
+        else:
+            # Everything else is a constructor parameter of the registered
+            # fault model (``fault.heal_at``, ``fault.victim``, ...).
+            data["fault"].setdefault("params", {})[key] = value
     else:
         raise KeyError(f"unknown axis root {top!r} in {path!r}")
 

@@ -377,9 +377,19 @@ class Network:
         # topologies; validated against the process table once per entry
         # and invalidated on register, exactly like ``_others``.
         self._topology_receivers: Dict[Tuple[str, bool], Tuple[str, ...]] = {}
+        # Pids that left through ``deregister`` (dynamic membership /
+        # churn faults).  Traffic addressed to them is *quarantined* —
+        # counted, silently absorbed — rather than raising the unknown-
+        # receiver KeyError reserved for genuine addressing bugs.
+        self._departed: set = set()
+        # Active message filters (fault models: partitions, eclipses).
+        # Empty on the hot path; a fan-out blocked by a filter counts as
+        # sent + dropped and consumes no channel randomness.
+        self._message_filters: List[Callable[[str, str], bool]] = []
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_quarantined = 0
 
     # -- membership -------------------------------------------------------------
 
@@ -390,7 +400,32 @@ class Network:
         self._pids = self._pids + (process.pid,)
         self._others.clear()
         self._topology_receivers.clear()
-        process.attach(self)
+        self._departed.discard(process.pid)
+        if process.network is not self:
+            # A rejoining process (churn) keeps its existing transport
+            # wiring and merit registration; attaching again would reset
+            # both mid-run.
+            process.attach(self)
+
+    def deregister(self, pid: str) -> "Process":
+        """Remove ``pid`` from the membership (dynamic churn).
+
+        Invalidates the ``_others`` exclusion cache and the topology
+        receiver caches exactly like :meth:`register` does, and marks the
+        pid departed so in-flight deliveries addressed to it — and late
+        point-to-point sends from peers that have not noticed yet — are
+        quarantined gracefully instead of raising.  Returns the removed
+        process (callers decide whether it also crashes).
+        """
+        try:
+            process = self._processes.pop(pid)
+        except KeyError:
+            raise KeyError(f"unknown process {pid!r}") from None
+        self._pids = tuple(p for p in self._pids if p != pid)
+        self._others.clear()
+        self._topology_receivers.clear()
+        self._departed.add(pid)
+        return process
 
     def process(self, pid: str) -> "Process":
         return self._processes[pid]
@@ -405,10 +440,39 @@ class Network:
 
     # -- message plane ---------------------------------------------------------------
 
+    def add_message_filter(self, allows: Callable[[str, str], bool]) -> None:
+        """Install a ``(sender, receiver) -> bool`` edge filter.
+
+        Fault models (partitions, eclipses) install these through
+        scheduled simulator events; a fan-out blocked by any active
+        filter counts as sent + dropped and consumes no channel
+        randomness — exactly like a filtered receiver list.
+        """
+        self._message_filters.append(allows)
+
+    def remove_message_filter(self, allows: Callable[[str, str], bool]) -> None:
+        """Remove a previously installed edge filter (partition heal)."""
+        self._message_filters.remove(allows)
+
+    def _filter_allows(self, sender: str, receiver: str) -> bool:
+        return all(allows(sender, receiver) for allows in self._message_filters)
+
     def send(self, sender: str, receiver: str, kind: str, payload: Any) -> bool:
         """Send one message; returns ``False`` if the channel dropped it."""
+        if sender not in self._processes:
+            # A departed (deregistered) process can no longer reach the
+            # fabric; its late sends are silently absorbed.
+            return False
         if receiver not in self._processes:
+            if receiver in self._departed:
+                self.messages_sent += 1
+                self.messages_quarantined += 1
+                return False
             raise KeyError(f"unknown receiver {receiver!r}")
+        if self._message_filters and not self._filter_allows(sender, receiver):
+            self.messages_sent += 1
+            self.messages_dropped += 1
+            return False
         now = self.simulator.now
         message = Message(sender, receiver, kind, payload, now)
         self.messages_sent += 1
@@ -431,9 +495,19 @@ class Network:
         the module docstring).
         """
         processes = self._processes
-        for pid in receivers:
-            if pid not in processes:
-                raise KeyError(f"unknown receiver {pid!r}")
+        if sender not in processes:
+            return 0
+        if any(pid not in processes for pid in receivers):
+            kept = []
+            for pid in receivers:
+                if pid in processes:
+                    kept.append(pid)
+                elif pid in self._departed:
+                    self.messages_sent += 1
+                    self.messages_quarantined += 1
+                else:
+                    raise KeyError(f"unknown receiver {pid!r}")
+            receivers = kept
         if not self.batched:
             delivered = 0
             for pid in receivers:
@@ -446,6 +520,14 @@ class Network:
         self, sender: str, receivers: Sequence[str], kind: str, payload: Any
     ) -> int:
         """The multicast fast path: receivers already known to be registered."""
+        attempted = len(receivers)
+        if self._message_filters:
+            # Filtered pairs are dropped before the channel draw, so a
+            # partition consumes no randomness for severed edges — the
+            # batched path stays stream-identical to the scalar loop.
+            receivers = [
+                pid for pid in receivers if self._filter_allows(sender, pid)
+            ]
         simulator = self.simulator
         now = simulator.now
         envelope = Message(sender, MULTICAST, kind, payload, now)
@@ -455,8 +537,8 @@ class Network:
             self._deliver_multicast,
             [(pid, envelope) for pid in receivers],
         )
-        self.messages_sent += len(receivers)
-        self.messages_dropped += len(receivers) - scheduled
+        self.messages_sent += attempted
+        self.messages_dropped += attempted - scheduled
         return scheduled
 
     def broadcast(self, sender: str, kind: str, payload: Any, include_self: bool = True) -> int:
@@ -467,6 +549,9 @@ class Network:
         existed; other topologies restrict the receiver list (gossip
         samples, committee members, shard + gateways, ...).
         """
+        if sender not in self._processes:
+            # Departed (deregistered) senders cannot reach the fabric.
+            return 0
         if not self.batched and self._fullmesh:
             return self._reference_broadcast(sender, kind, payload, include_self)
         receivers = self._broadcast_receivers(sender, include_self)
@@ -531,7 +616,15 @@ class Network:
     def _reference_send(self, sender: str, receiver: str, kind: str, payload: Any) -> bool:
         """The pre-batching ``send``: scalar draw + per-message closure."""
         if receiver not in self._processes:
+            if receiver in self._departed:
+                self.messages_sent += 1
+                self.messages_quarantined += 1
+                return False
             raise KeyError(f"unknown receiver {receiver!r}")
+        if self._message_filters and not self._filter_allows(sender, receiver):
+            self.messages_sent += 1
+            self.messages_dropped += 1
+            return False
         message = Message(sender, receiver, kind, payload, self.simulator.now)
         self.messages_sent += 1
         delay = self.channel.delay_for(sender, receiver, self.simulator.now)
@@ -543,7 +636,9 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         process = self._processes.get(message.receiver)
-        if process is None:  # pragma: no cover - receivers cannot unregister
+        if process is None:
+            # In flight when the receiver deregistered (churn): quarantined.
+            self.messages_quarantined += 1
             return
         if not process.alive:
             # Crashed processes receive nothing.
@@ -554,7 +649,9 @@ class Network:
     def _deliver_multicast(self, entry: Tuple[str, Message]) -> None:
         """Deliver a shared multicast envelope to one recipient."""
         process = self._processes.get(entry[0])
-        if process is None:  # pragma: no cover - receivers cannot unregister
+        if process is None:
+            # In flight when the receiver deregistered (churn): quarantined.
+            self.messages_quarantined += 1
             return
         if not process.alive:
             # Crashed processes receive nothing.

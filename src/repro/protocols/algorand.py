@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.faults import FaultModel
 from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
@@ -54,6 +55,7 @@ def run_algorand(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the Algorand model (stake-weighted sortition + BA*-style commit)."""
     stake_distribution = stake if stake is not None else default_stake(n)
@@ -73,5 +75,6 @@ def run_algorand(
         seed=seed,
         monitor=monitor,
         topology=topology,
+        fault=fault,
     )
     return result

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 from repro.core.block import Block, BlockIdFactory, Blockchain
 from repro.core.blocktree import BlockTree
 from repro.core.consistency_index import ConsistencyMonitor
+from repro.core.degradation import DegradationMonitor
 from repro.core.history import History, HistoryRecorder
 from repro.core.score import LengthScore, ScoreFunction
 from repro.core.selection import LongestChain, SelectionFunction
@@ -39,6 +40,7 @@ from repro.network.broadcast import (
     LightReliableCommunication,
 )
 from repro.network.channels import ChannelModel, SynchronousChannel
+from repro.network.faults import FaultModel
 from repro.network.process import Process
 from repro.network.simulator import Message, Network, Simulator
 from repro.network.topology import Topology
@@ -271,6 +273,9 @@ class RunResult:
     #: :func:`run_protocol` scheduled one (``clients=...``); carries the
     #: generation timings the workload benches record.
     population: Optional[ClientPopulation] = field(default=None, repr=False)
+    #: The degradation monitor that tracked divergence depth online, when
+    #: the run injected a registered fault model (``fault=...``).
+    degradation: Optional[DegradationMonitor] = field(default=None, repr=False)
 
     @property
     def correct_replicas(self) -> Tuple[str, ...]:
@@ -311,6 +316,7 @@ def run_protocol(
     clients: Optional[int] = None,
     client_rate: float = 0.5,
     client_seed: int = 0,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run a protocol model and collect its history.
 
@@ -361,6 +367,15 @@ def run_protocol(
         per time unit, seeded by ``client_seed``) and bulk-inserted into
         the calendar before the run; replicas accumulate the arrivals in
         their mempools and include them in block payloads.
+    fault:
+        Optional registered :class:`~repro.network.faults.FaultModel`
+        injecting scheduled adversarial events (crashes, silent members,
+        churn, healing partitions, eclipse windows) through the
+        simulator.  A :class:`~repro.core.degradation.DegradationMonitor`
+        is subscribed to the recorder alongside it, tracking divergence
+        depth over time and time-to-heal; it is returned on the result
+        (``result.degradation``).  ``fault=None`` keeps the start-up
+        sequence byte-identical to the pre-fault harness.
     """
     simulator = Simulator(core=core)
     recorder = HistoryRecorder()
@@ -380,7 +395,26 @@ def run_protocol(
         network.register(replica)
         replicas[pid] = replica
 
-    network.start()
+    degradation: Optional[DegradationMonitor] = None
+    if fault is None:
+        network.start()
+    else:
+        # The degradation monitor subscribes before any event can be
+        # recorded, so its divergence trajectory covers the whole run.
+        degradation = DegradationMonitor(
+            heal_at=fault.heal_time(),
+            clock=lambda: simulator.now,
+            correct=lambda pid: replicas[pid].is_correct,
+        ).attach(recorder)
+        fault.install(network)
+        # Start processes one by one, giving the fault its per-process
+        # hook right after each ``on_start()`` — the exact queue-insertion
+        # point the legacy crash subclass used, which is what keeps the
+        # registry-based crash event-for-event identical to it.
+        for replica in replicas.values():
+            replica.on_start()
+            fault.after_process_start(replica)
+        fault.after_start(network)
     population: Optional[ClientPopulation] = None
     if clients:
         population = ClientPopulation(
@@ -410,4 +444,5 @@ def run_protocol(
         duration=duration,
         monitor=monitor,
         population=population,
+        degradation=degradation,
     )

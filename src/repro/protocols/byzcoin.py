@@ -25,6 +25,7 @@ from typing import Optional, Sequence, Tuple
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.faults import FaultModel
 from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
@@ -49,6 +50,7 @@ def run_byzcoin(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the ByzCoin model; hashing power defaults to a Zipf distribution."""
     hashing_power = merit if merit is not None else zipf_merit(n, exponent=1.0)
@@ -68,5 +70,6 @@ def run_byzcoin(
         seed=seed,
         monitor=monitor,
         topology=topology,
+        fault=fault,
     )
     return result

@@ -31,6 +31,7 @@ from repro.core.block import Block
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import FixedTipSelection, LongestChain
 from repro.network.channels import ChannelModel, SynchronousChannel
+from repro.network.faults import FaultModel
 from repro.network.simulator import Message, Network
 from repro.network.topology import Committee, Topology
 from repro.oracle.tape import TapeFamily
@@ -279,6 +280,7 @@ def run_committee_protocol(
     core: str = "array",
     clients: Optional[int] = None,
     client_rate: float = 0.5,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run a committee-based protocol and return its :class:`RunResult`.
 
@@ -344,4 +346,5 @@ def run_committee_protocol(
         clients=clients,
         client_rate=client_rate,
         client_seed=seed,
+        fault=fault,
     )

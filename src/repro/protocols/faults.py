@@ -30,6 +30,7 @@ from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import FixedTipSelection, HeaviestChain
 from repro.engine.registry import register_fault_runner, register_protocol
 from repro.network.channels import ChannelModel, SynchronousChannel
+from repro.network.faults import FaultModel
 from repro.network.simulator import Network
 from repro.network.topology import Committee, Topology
 from repro.oracle.tape import TapeFamily
@@ -98,6 +99,7 @@ def run_bitcoin_with_crashes(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Bitcoin model with the replicas named in ``crash_at`` crashing."""
     merit_distribution = merit if merit is not None else uniform_merit(n)
@@ -124,6 +126,7 @@ def run_bitcoin_with_crashes(
         channel=channel if channel is not None else SynchronousChannel(delta=1.0, seed=seed),
         monitor=monitor,
         topology=topology,
+        fault=fault,
     )
 
 
@@ -144,6 +147,7 @@ def run_committee_with_byzantine(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Round-robin committee protocol with silent Byzantine members.
 
@@ -191,4 +195,5 @@ def run_committee_with_byzantine(
         channel=channel if channel is not None else SynchronousChannel(delta=0.5, seed=seed),
         monitor=monitor,
         topology=topology if topology is not None else Committee(members=all_pids),
+        fault=fault,
     )

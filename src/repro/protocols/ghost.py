@@ -25,6 +25,7 @@ from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import GHOSTSelection
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.faults import FaultModel
 from repro.network.topology import Topology
 from repro.oracle.theta import TokenOracle
 from repro.protocols.base import RunResult
@@ -70,6 +71,7 @@ def run_ethereum(
     oracle: Optional[TokenOracle] = None,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the Ethereum model (GHOST selection over the prodigal oracle).
 
@@ -92,6 +94,7 @@ def run_ethereum(
         replica_cls=EthereumReplica,
         monitor=monitor,
         topology=topology,
+        fault=fault,
     )
     # Re-label: the harness was shared with the Bitcoin runner.
     result.name = "ethereum"

@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.faults import FaultModel
 from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import fixed_proposer, run_committee_protocol
@@ -51,6 +52,7 @@ def run_hyperledger(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the Hyperledger Fabric model (fixed orderer, permissioned writers)."""
     all_pids = [f"p{i}" for i in range(n)]
@@ -73,4 +75,5 @@ def run_hyperledger(
         seed=seed,
         monitor=monitor,
         topology=topology,
+        fault=fault,
     )

@@ -29,6 +29,7 @@ from repro.core.consistency_index import ConsistencyMonitor
 from repro.core.selection import HeaviestChain, LongestChain, SelectionFunction
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.faults import FaultModel
 from repro.network.simulator import Network
 from repro.network.topology import Topology
 from repro.oracle.tape import TapeFamily
@@ -126,6 +127,7 @@ def run_bitcoin(
     core: str = "array",
     clients: Optional[int] = None,
     client_rate: float = 0.5,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the Bitcoin model and return its :class:`RunResult`.
 
@@ -167,4 +169,5 @@ def run_bitcoin(
         clients=clients,
         client_rate=client_rate,
         client_seed=seed,
+        fault=fault,
     )

@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.faults import FaultModel
 from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, weighted_lottery_proposer
@@ -48,6 +49,7 @@ def run_peercensus(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the PeerCensus model (PoW proposer + BFT commit, k = 1)."""
     hashing_power = merit if merit is not None else zipf_merit(n, exponent=0.8)
@@ -67,4 +69,5 @@ def run_peercensus(
         seed=seed,
         monitor=monitor,
         topology=topology,
+        fault=fault,
     )

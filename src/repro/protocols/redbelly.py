@@ -26,6 +26,7 @@ from typing import Optional, Sequence
 from repro.core.consistency_index import ConsistencyMonitor
 from repro.engine.registry import register_protocol
 from repro.network.channels import ChannelModel
+from repro.network.faults import FaultModel
 from repro.network.topology import Topology
 from repro.protocols.base import RunResult
 from repro.protocols.committee import run_committee_protocol, round_robin_proposer
@@ -49,6 +50,7 @@ def run_redbelly(
     seed: int = 0,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the Red Belly model: consortium writers, consensus-decided chain."""
     all_pids = [f"p{i}" for i in range(n)]
@@ -68,4 +70,5 @@ def run_redbelly(
         seed=seed,
         monitor=monitor,
         topology=topology,
+        fault=fault,
     )

@@ -144,6 +144,7 @@ class TestProfile:
             "simulation",
             "topology",
             "workload",
+            "resilience",
             "protocol_runs",
             "table1_sweep",
             "cache_sweep",

@@ -115,6 +115,72 @@ class TestBuildKwargs:
         ).build_kwargs()
         assert kwargs["crash_at"] == {"p0": 10.0}
 
+    def test_model_fault_spec_builds_fault_model(self):
+        from repro.network.faults import PartitionFault
+
+        kwargs = ExperimentSpec(
+            protocol="bitcoin",
+            fault=FaultSpec(
+                kind="partition",
+                params={"groups": [["p0"], ["p1"]], "at": 5.0, "heal_at": 20.0},
+            ),
+        ).build_kwargs()
+        assert isinstance(kwargs["fault"], PartitionFault)
+        assert kwargs["fault"].heal_at == 20.0
+        assert "crash_at" not in kwargs and "byzantine" not in kwargs
+
+
+class TestFaultSpec:
+    def test_legacy_kinds_use_their_runners(self):
+        assert FaultSpec(kind="crash", crash_at={"p0": 5.0}).uses_runner
+        assert FaultSpec(kind="byzantine", byzantine=("p1",)).uses_runner
+        assert FaultSpec(kind="crash", crash_at={"p0": 5.0}).runner_kind == "crash"
+
+    def test_params_route_legacy_kind_through_the_registry(self):
+        from repro.network.faults import CrashFault
+
+        spec = FaultSpec(kind="crash", params={"at": {"p0": 5.0}})
+        assert not spec.uses_runner
+        assert spec.runner_kind is None
+        kwargs = spec.runner_kwargs(default_seed=3)
+        assert isinstance(kwargs["fault"], CrashFault)
+
+    def test_model_kind_builds_with_spec_seed_default(self):
+        spec = FaultSpec(kind="eclipse", params={"victim": "p0", "until": 9.0})
+        fault = spec.build(default_seed=42)
+        assert fault.victim == "p0"
+
+    def test_unknown_kind_raises_uniform_vocabulary_error(self):
+        from repro.core.errors import UnknownVocabularyError
+
+        spec = FaultSpec(kind="gremlins")
+        with pytest.raises(UnknownVocabularyError) as excinfo:
+            spec.to_kwargs()
+        message = str(excinfo.value)
+        assert message.startswith("unknown fault 'gremlins'; registered:")
+        assert "'churn'" in message and "'partition'" in message
+        # The uniform error still matches historic except clauses.
+        assert isinstance(excinfo.value, (KeyError, ValueError))
+
+    def test_legacy_serialization_shape_unchanged(self):
+        # Digest stability: a pre-existing fault spec must serialize to
+        # exactly the pre-registry three-key shape (cache keys depend on it).
+        spec = FaultSpec(kind="crash", crash_at={"p1": 30.0})
+        assert spec.to_dict() == {
+            "kind": "crash",
+            "crash_at": {"p1": 30.0},
+            "byzantine": [],
+        }
+
+    def test_params_and_seed_round_trip(self):
+        spec = FaultSpec(kind="churn", params={"leave": {"p2": 10.0}}, seed=5)
+        data = spec.to_dict()
+        assert data["params"] == {"leave": {"p2": 10.0}} and data["seed"] == 5
+        assert FaultSpec.from_dict(data) == spec
+
+    def test_bare_string_is_kind_shorthand(self):
+        assert FaultSpec.from_dict("partition") == FaultSpec(kind="partition")
+
     def test_unknown_score_rejected(self):
         with pytest.raises(ValueError, match="unknown score"):
             ExperimentSpec(protocol="bitcoin", score="entropy").build_score()
@@ -148,6 +214,29 @@ class TestExecution:
         assert net["messages_sent"] == net["messages_delivered"] + net["messages_dropped"]
         assert net["events_processed"] > 0
         assert record.timings["run_seconds"] > 0
+        # Fault-free artifacts never grow the churn-only keys.
+        assert "messages_quarantined" not in net
+        assert "degradation" not in record.to_dict()
+
+    def test_model_fault_records_degradation_summary(self):
+        import json
+
+        record = ExperimentSpec(
+            protocol="bitcoin",
+            replicas=4,
+            duration=60.0,
+            seed=5,
+            params={"token_rate": 0.4},
+            fault=FaultSpec(
+                kind="partition",
+                params={"groups": [["p0", "p1"], ["p2", "p3"]], "at": 10.0, "heal_at": 40.0},
+            ),
+        ).execute()
+        assert record.degradation is not None
+        assert record.degradation["heal_at"] == 40.0
+        assert record.degradation["final_divergence_depth"] == 0
+        restored = RunResult.from_dict(json.loads(record.to_json()))
+        assert restored.degradation == record.degradation
 
 
 class TestTable1Spec:

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import ExperimentSpec, SweepRunner, derive_seed, expand_grid, results_payload
+from repro.engine import (
+    ExperimentSpec,
+    FaultSpec,
+    SweepRunner,
+    derive_seed,
+    expand_grid,
+    results_payload,
+)
 from repro.engine.sweep import _apply_override
 
 
@@ -66,6 +73,40 @@ class TestApplyOverride:
     def test_fault_axis_requires_a_fault(self):
         with pytest.raises(KeyError, match="without a fault"):
             _apply_override(ExperimentSpec(protocol="x").to_dict(), "fault.kind", "crash")
+
+
+class TestFaultAxes:
+    def test_top_level_fault_axis_accepts_dicts_and_kind_shorthand(self):
+        base = ExperimentSpec(protocol="bitcoin")
+        specs = expand_grid(
+            base,
+            {
+                "fault": [
+                    "crash",
+                    {"kind": "eclipse", "params": {"victim": "p0", "until": 30.0}},
+                ]
+            },
+        )
+        assert [s.fault.kind for s in specs] == ["crash", "eclipse"]
+        assert specs[1].fault.params == {"victim": "p0", "until": 30.0}
+
+    def test_nested_param_axis_lands_in_fault_params(self):
+        base = ExperimentSpec(
+            protocol="bitcoin",
+            fault=FaultSpec(kind="eclipse", params={"victim": "p1", "until": 20.0}),
+        )
+        specs = expand_grid(base, {"fault.until": [20.0, 40.0]})
+        assert [s.fault.params["until"] for s in specs] == [20.0, 40.0]
+        assert all(s.fault.params["victim"] == "p1" for s in specs)
+
+    def test_legacy_fault_fields_stay_addressable(self):
+        base = ExperimentSpec(
+            protocol="bitcoin", fault=FaultSpec(kind="crash", crash_at={"p0": 10.0})
+        )
+        (spec,) = expand_grid(base, {"fault.crash_at": [{"p1": 25.0}]})
+        assert spec.fault.crash_at == {"p1": 25.0}
+        (seeded,) = expand_grid(base, {"fault.seed": [9]})
+        assert seeded.fault.seed == 9
 
 
 class TestSweepRunner:

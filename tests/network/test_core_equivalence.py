@@ -23,6 +23,7 @@ from repro.network.channels import (
     SynchronousChannel,
     TargetedLossChannel,
 )
+from repro.network.faults import available_faults, build_fault
 from repro.network.topology import GossipFanout, Sharded
 from repro.oracle.tape import TapeFamily
 from repro.oracle.theta import ProdigalOracle
@@ -72,7 +73,19 @@ def _topology(kind: str, seed: int):
     raise AssertionError(kind)
 
 
-def _run(kind: str, seed: int, core: str, faulty: bool, topology: str = "full"):
+def _fault(kind: str):
+    """One representative instance per registered fault kind."""
+    params = {
+        "crash": {"at": {"p1": 20.0}},
+        "silent": {"members": ("p3",)},
+        "churn": {"leave": {"p4": 15.0}, "join": {"p4": 35.0}},
+        "partition": {"groups": [["p0", "p1"], ["p2", "p3", "p4"]], "at": 10.0, "heal_at": 35.0},
+        "eclipse": {"victim": "p2", "at": 5.0, "until": 30.0},
+    }
+    return build_fault(kind, params[kind])
+
+
+def _run(kind: str, seed: int, core: str, faulty: bool, topology: str = "full", fault=None):
     tapes = TapeFamily(seed=seed, probability_scale=0.5)
     oracle = ProdigalOracle(tapes=tapes)
 
@@ -93,6 +106,7 @@ def _run(kind: str, seed: int, core: str, faulty: bool, topology: str = "full"):
         channel=_channel(kind, seed),
         topology=_topology(topology, seed),
         core=core,
+        fault=fault,
     )
 
 
@@ -129,6 +143,20 @@ def test_histories_identical_with_crash_faults_and_drops(kind: str):
     assert array.history.events == heap.history.events
     assert not array.replicas["p1"].alive
     assert array.network.messages_dropped == heap.network.messages_dropped
+
+
+@pytest.mark.parametrize("kind", ("synchronous", "asynchronous", "partial", "lossy", "targeted"))
+@pytest.mark.parametrize("fault_kind", sorted(available_faults()))
+def test_histories_identical_for_every_fault_kind(fault_kind: str, kind: str):
+    """Every registered adversary × every channel model × both cores."""
+    array = _run(kind, seed=13, core="array", faulty=False, fault=_fault(fault_kind))
+    heap = _run(kind, seed=13, core="heap", faulty=False, fault=_fault(fault_kind))
+    assert array.history.events == heap.history.events
+    assert array.network.messages_sent == heap.network.messages_sent
+    assert array.network.messages_delivered == heap.network.messages_delivered
+    assert array.network.messages_dropped == heap.network.messages_dropped
+    assert array.network.messages_quarantined == heap.network.messages_quarantined
+    assert array.network.simulator.events_processed == heap.network.simulator.events_processed
 
 
 def test_fork_heavy_run_actually_forks():

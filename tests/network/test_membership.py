@@ -1,0 +1,130 @@
+"""Dynamic membership: ``Network.deregister`` and cache invalidation.
+
+The churn fault removes processes mid-run, which is the first time the
+network's lazily built receiver caches — the full-mesh ``_others``
+exclusion cache and the static-topology receiver cache — can shrink
+rather than grow.  These are the regression tests that membership
+*removal* invalidates both caches (a stale entry would keep fanning out
+to the departed process), that in-flight deliveries addressed to a
+departed process are quarantined instead of crashing the run, and that
+re-registration (a churn rejoin) restores delivery without resetting the
+process's transport wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.channels import SynchronousChannel
+from repro.network.process import Process
+from repro.network.simulator import Message, Network, Simulator
+from repro.network.topology import Committee
+
+
+class Echo(Process):
+    """Test process that logs every delivery."""
+
+    def __init__(self, pid: str) -> None:
+        super().__init__(pid)
+        self.received: list[Message] = []
+
+    def on_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def _network(n: int = 4, topology=None, delta: float = 1.0):
+    simulator = Simulator()
+    network = Network(simulator, SynchronousChannel(delta=delta, seed=1), topology=topology)
+    processes = [Echo(f"p{i}") for i in range(n)]
+    for process in processes:
+        network.register(process)
+    return simulator, network, processes
+
+
+class TestDeregister:
+    def test_unknown_pid_rejected(self):
+        _, network, _ = _network()
+        with pytest.raises(KeyError, match="unknown process"):
+            network.deregister("p9")
+
+    def test_membership_and_departed_bookkeeping(self):
+        _, network, processes = _network()
+        removed = network.deregister("p2")
+        assert removed is processes[2]
+        assert network.process_ids == ("p0", "p1", "p3")
+        # Re-registering clears the departed mark and restores membership.
+        network.register(removed)
+        assert network.process_ids == ("p0", "p1", "p3", "p2")
+
+    def test_fullmesh_others_cache_invalidated_on_removal(self):
+        simulator, network, processes = _network()
+        # Populate the ``_others`` exclusion cache via a relay-style
+        # broadcast, then remove a member: a stale cache entry would keep
+        # fanning out to the departed process.
+        processes[0].broadcast("ping", None, include_self=False)
+        assert network._others  # cache is populated
+        network.deregister("p3")
+        assert not network._others  # invalidated by removal
+        processes[0].broadcast("ping", None, include_self=False)
+        simulator.run()
+        assert [m.receiver for m in sum((p.received for p in processes[:3]), [])].count("p3") == 0
+        assert processes[3].received == []
+        # Two broadcasts: 3 receivers before the removal, 2 after.
+        assert network.messages_sent == 5
+
+    def test_topology_receiver_cache_invalidated_on_removal(self):
+        topology = Committee(members=("p0", "p1"))
+        simulator, network, processes = _network(topology=topology)
+        processes[0].broadcast("decide", None, include_self=False)
+        assert network._topology_receivers  # static topology cache populated
+        network.deregister("p2")
+        assert not network._topology_receivers
+        processes[0].broadcast("decide", None, include_self=False)
+        simulator.run()
+        # A committee member fans out to everyone *currently* registered:
+        # 3 peers in the first broadcast, 2 after p2 left.  p2's pre-removal
+        # delivery was still in flight when it left, so it is quarantined.
+        assert len(processes[1].received) == 2
+        assert len(processes[2].received) == 0
+        assert len(processes[3].received) == 2
+        assert network.messages_quarantined == 1
+
+    def test_in_flight_deliveries_are_quarantined(self):
+        simulator, network, processes = _network()
+        processes[0].broadcast("ping", None, include_self=False)
+        # Deliveries are in flight (scheduled, not yet executed); the
+        # receiver leaving must absorb them rather than raise.
+        network.deregister("p1")
+        simulator.run()
+        assert processes[1].received == []
+        assert network.messages_quarantined == 1
+        assert network.messages_sent == (
+            network.messages_delivered + network.messages_dropped + network.messages_quarantined
+        )
+
+    def test_late_sends_to_departed_are_quarantined_not_fatal(self):
+        simulator, network, processes = _network()
+        network.deregister("p1")
+        assert processes[0].send("p1", "ping", None) is False
+        assert network.messages_quarantined == 1
+        with pytest.raises(KeyError, match="unknown receiver"):
+            processes[0].send("p9", "ping", None)
+
+    def test_departed_sender_is_silently_absorbed(self):
+        simulator, network, processes = _network()
+        network.deregister("p1")
+        sent_before = network.messages_sent
+        assert processes[1].send("p0", "ping", None) is False
+        assert processes[1].broadcast("ping", None) == 0
+        assert processes[1].multicast(("p0",), "ping", None) == 0
+        assert network.messages_sent == sent_before
+
+    def test_rejoin_restores_delivery_and_keeps_transport(self):
+        simulator, network, processes = _network()
+        departed = network.deregister("p1")
+        network.register(departed)
+        assert departed.network is network
+        processes[0].broadcast("ping", None, include_self=False)
+        simulator.run()
+        assert len(processes[1].received) == 1
+        assert network.messages_quarantined == 0

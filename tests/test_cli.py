@@ -271,6 +271,61 @@ class TestTopologyFlags:
         )
 
 
+class TestFaultFlags:
+    def test_classify_fault_flag_prints_degradation(self, capsys):
+        assert main([
+            "classify", "bitcoin", "--replicas", "4", "--duration", "60",
+            "--seed", "3",
+            "--fault", 'eclipse:victim="p2",at=10,until=30',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degradation monitor" in out
+        assert "time_to_heal=" in out
+
+    def test_classify_fault_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit, match="unknown fault 'gremlins'"):
+            main([
+                "classify", "bitcoin", "--replicas", "3", "--duration", "10",
+                "--fault", "gremlins",
+            ])
+
+    def test_fault_parse_forms(self):
+        from repro.cli import _parse_fault
+
+        spec = _parse_fault("partition")
+        assert spec.kind == "partition" and spec.params == {}
+        spec = _parse_fault('crash:crash_at={"p1": 30.0}')
+        assert spec.crash_at == {"p1": 30.0} and spec.params == {}
+        spec = _parse_fault(
+            'partition:groups=[["p0","p1"],["p2","p3"]],at=10,heal_at=40'
+        )
+        assert spec.params == {
+            "groups": [["p0", "p1"], ["p2", "p3"]], "at": 10, "heal_at": 40,
+        }
+        spec = _parse_fault(
+            '{"kind": "churn", "params": {"leave": {"p4": 20.0}}}'
+        )
+        assert spec.kind == "churn" and spec.params == {"leave": {"p4": 20.0}}
+        with pytest.raises(SystemExit, match="not 'key=value'"):
+            _parse_fault("eclipse:victim")
+
+    def test_sweep_base_fault_applies_to_every_cell(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        assert main([
+            "sweep", "--protocol", "bitcoin", "--replicas", "4",
+            "--duration", "30", "--seeds", "0:2",
+            "--fault", 'crash:crash_at={"p3": 10.0}', "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert all(
+            cell["spec"]["fault"] == {
+                "kind": "crash", "crash_at": {"p3": 10.0}, "byzantine": [],
+            }
+            for cell in payload["cells"]
+        )
+
+
 class TestBenchScenarioFilter:
     def test_parser_default_is_full_suite(self):
         args = build_parser().parse_args(["bench"])
