@@ -1,0 +1,99 @@
+"""Correctness floor for the resilient sweep execution plane.
+
+The ``sweeps`` bench section drives the executor subsystem through its
+two scenarios and records the invariants the execution plane promises;
+this floor turns them into CI bars.  They are correctness floors, not
+speed floors:
+
+* ``sweep_resilience`` — under the seeded ``flaky`` chaos executor
+  (exception, hang and worker-kill injections over the process-pool
+  backend) every cell must finish as either a success or a structured
+  ``CellFailure``: no unfinished cells, all three injection kinds
+  actually exercised, recovered cells bit-identical (up to timings) to a
+  never-failed serial run, exactly the scripted permanent failure in the
+  payload, and a journal-driven resume that executes zero cells while
+  reproducing the same results;
+* ``sweep_shard_scaling`` — the union of the four ``--shard-index i/4``
+  invocations must be bit-identical (up to timings) to the serial run of
+  the same grid, every pool-worker leg must match the serial results,
+  and the final cache-merge invocation must serve every cell from the
+  shared cache without executing anything.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_sweep_resilience_floor.py -q
+
+Like the siblings, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True, scenarios=["sweeps"])
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_sweep_resilience_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    scenarios = report["scenarios"]
+
+    chaos = scenarios["sweep_resilience"]
+    assert chaos["unfinished"] == 0, (
+        f"{chaos['unfinished']} cells neither succeeded nor degraded to a "
+        "CellFailure artifact"
+    )
+    # A chaos run that never injected anything (or skipped a kind) would
+    # vacuously pass the recovery bars below.
+    assert chaos["injected_kinds"] == ["exception", "hang", "kill"]
+    assert chaos["injections"] >= 4
+    assert chaos["attempts"] > chaos["cells"], (
+        "no retries happened — the injected faults were not exercised"
+    )
+    # Exactly the scripted permanent failure degrades; everything else
+    # recovers on retry, bit-identical to a run that never failed.
+    assert chaos["failures"] == 1
+    assert chaos["retried_identical"] is True, (
+        "cells recovered by retry are not bit-identical to a clean serial run"
+    )
+    # Resume after the driver "crash": the journal marks every cell
+    # terminal, so nothing re-executes and the results reproduce.
+    assert chaos["resume_executed"] == 0, (
+        f"resume re-executed {chaos['resume_executed']} already-completed cells"
+    )
+    assert chaos["resume_restored"] == chaos["cells"]
+    assert chaos["resume_identical"] is True
+
+
+def test_sweep_shard_scaling_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    scaling = report["scenarios"]["sweep_shard_scaling"]
+
+    # Deterministic sharding: the k=4 shard union reproduces the serial
+    # sweep exactly (up to wall-clock timings).
+    assert scaling["shard_count"] == 4
+    assert scaling["shard_union_identical"] is True, (
+        "union of the four shard invocations differs from the serial run"
+    )
+    # Worker count must never change results, only wall-clock.
+    for workers, leg in scaling["workers"].items():
+        assert leg["identical"] is True, (
+            f"pool backend at {workers} workers diverged from the serial run"
+        )
+    # The merge leg is pure cache service: every cell a hit, zero executed.
+    assert scaling["merge_cache_hits"] == scaling["cells"]
+    assert scaling["merge_executed"] == 0

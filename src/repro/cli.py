@@ -13,9 +13,11 @@ writing any Python:
   consistency criteria and print the verdicts;
 * ``fork-sweep`` — the fork-rate ablation (oracle bound × delay);
 * ``sweep`` — expand a parameter grid into :class:`ExperimentSpec` cells,
-  fan them out across a process pool, and dump the results as JSON
-  (``--cache DIR`` memoizes cells on their spec digest, so re-runs are
-  served from disk without simulating anything);
+  fan them out through a pluggable executor backend (``--backend``,
+  ``--shard-index I/K``) with per-cell retries, timeouts and journaled
+  resume (``--retries``, ``--timeout``, ``--journal``/``--resume``), and
+  dump the results as JSON (``--cache DIR`` memoizes cells on their spec
+  digest, so re-runs are served from disk without simulating anything);
 * ``bench`` — the perf benchmark harness: times the selection and
   consistency-checking hot paths against their pre-index baselines,
   the streaming consistency monitor, fork-heavy protocol runs, a Table-1
@@ -42,18 +44,23 @@ from repro.core.consistency import check_eventual_consistency, check_strong_cons
 from repro.core.hierarchy import message_passing_hierarchy, refinement_hierarchy
 from repro.engine import (
     DEFAULT_CACHE_DIR,
+    CellFailure,
     ChannelSpec,
     ExperimentSpec,
     FaultSpec,
+    FlakyExecutor,
     ResultCache,
     SweepRunner,
     TopologySpec,
+    available_executors,
     available_protocols,
     expand_grid,
     get_protocol,
+    make_executor,
     regime_spec,
     results_payload,
 )
+from repro.engine.executors import INJECTION_KINDS
 from repro.engine.bench import available_scenarios, run_bench, write_report
 from repro.network.faults import available_faults
 from repro.network.topology import available_topologies
@@ -176,6 +183,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="start from the protocol's fork-prone regime before applying axes",
     )
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "execution backend: a registered executor "
+            f"({', '.join(available_executors())}); default derives from "
+            "--jobs (serial for 1, pool otherwise)"
+        ),
+    )
+    sweep.add_argument(
+        "--shard-index",
+        default=None,
+        metavar="I/K",
+        help=(
+            "run only shard I of K (cells I, I+K, I+2K, ... of the grid); "
+            "implies --backend shard; shards sharing --cache DIR merge into "
+            "the full sweep byte-identically"
+        ),
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget; an over-budget worker is killed and "
+            "the cell retried (enforced by process backends)"
+        ),
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-attempt failed cells up to N times (exponential backoff + seeded jitter)",
+    )
+    sweep.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base delay before the first retry (doubles per retry; 0 disables sleeping)",
+    )
+    sweep.add_argument(
+        "--max-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "abort once more than N cells fail every attempt; failed cells up "
+            "to the threshold degrade to CellFailure artifacts in the payload "
+            "(-1 = never abort; default 0 preserves fail-fast)"
+        ),
+    )
+    sweep.add_argument(
+        "--journal",
+        nargs="?",
+        const="sweep.journal.jsonl",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append per-cell progress (digest, attempts, status, error) to "
+            "PATH (default 'sweep.journal.jsonl'); enables --resume"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip cells the journal marks complete (successes served from "
+            "--cache, failures reconstructed); requires --journal and --cache"
+        ),
+    )
+    sweep.add_argument(
+        "--flaky-rates",
+        default=None,
+        metavar="KIND=P,...",
+        help=(
+            "chaos testing: wrap the backend in the flaky executor injecting "
+            "faults at the given seeded per-attempt rates, e.g. "
+            "'exception=0.2,hang=0.1,kill=0.05'"
+        ),
+    )
+    sweep.add_argument(
+        "--flaky-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for --flaky-rates injection decisions (per cell digest and attempt)",
+    )
     sweep.add_argument(
         "--monitor",
         action="store_true",
@@ -548,6 +646,85 @@ def _cmd_fork_sweep(args: argparse.Namespace) -> str:
     )
 
 
+def _parse_shard(text: str) -> tuple:
+    """``'I/K'`` → ``(I, K)`` with range validation (0-based index)."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise SystemExit(
+            f"repro sweep: error: cannot parse --shard-index {text!r} (expected I/K, e.g. 0/4)"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise SystemExit(
+            f"repro sweep: error: --shard-index {text!r} out of range (need 0 <= I < K)"
+        )
+    return index, count
+
+
+def _parse_flaky_rates(text: str) -> Dict[str, float]:
+    """``'exception=0.2,hang=0.1'`` → rate mapping, kinds validated."""
+    rates: Dict[str, float] = {}
+    for item in text.split(","):
+        if not item:
+            continue
+        try:
+            kind, value = item.split("=", 1)
+            rates[kind.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"repro sweep: error: cannot parse --flaky-rates item {item!r} "
+                "(expected KIND=PROBABILITY)"
+            ) from None
+    unknown = sorted(set(rates) - set(INJECTION_KINDS))
+    if unknown:
+        raise SystemExit(
+            f"repro sweep: error: unknown injection kind(s) {', '.join(map(repr, unknown))}; "
+            f"registered: {', '.join(INJECTION_KINDS)}"
+        )
+    return rates
+
+
+def _build_sweep_executor(args: argparse.Namespace, shard: Optional[tuple]):
+    """Resolve --backend / --shard-index / --flaky-rates into an executor.
+
+    ``None`` means "let the runner derive the default from --jobs".
+    """
+    backend = args.backend
+    if shard is not None:
+        if backend not in (None, "shard"):
+            raise SystemExit(
+                f"repro sweep: error: --shard-index requires --backend shard, not {backend!r}"
+            )
+        backend = "shard"
+    elif backend == "shard":
+        raise SystemExit(
+            "repro sweep: error: --backend shard requires --shard-index I/K"
+        )
+    rates = _parse_flaky_rates(args.flaky_rates) if args.flaky_rates is not None else None
+    executor = None
+    if backend is not None:
+        try:
+            executor = make_executor(
+                backend,
+                jobs=args.jobs,
+                shard_index=shard[0] if shard is not None else None,
+                shard_count=shard[1] if shard is not None else None,
+                rates=rates,
+                seed=args.flaky_seed,
+            )
+        except UnknownVocabularyError as error:
+            raise SystemExit(f"repro sweep: error: {error}") from None
+    if rates is not None and not isinstance(executor, FlakyExecutor):
+        # --flaky-rates composes with any backend: wrap whatever was chosen
+        # (or the jobs-derived default) in the chaos executor.
+        inner = executor
+        executor = make_executor(
+            "flaky", jobs=args.jobs, rates=rates, seed=args.flaky_seed, inner=inner
+        )
+    return executor
+
+
 def _cmd_sweep(args: argparse.Namespace) -> str:
     base = _regime_spec(
         args.protocol,
@@ -605,34 +782,71 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         axes["oracle_k"] = bounds
 
     specs = expand_grid(base, axes)
+    shard = _parse_shard(args.shard_index) if args.shard_index is not None else None
+    executor = _build_sweep_executor(args, shard)
     cache = ResultCache(args.cache) if args.cache is not None else None
-    runner = SweepRunner(jobs=args.jobs, cache=cache)
+    if args.resume and args.journal is None:
+        raise SystemExit("repro sweep: error: --resume requires --journal")
+    if args.resume and cache is None:
+        raise SystemExit(
+            "repro sweep: error: --resume requires --cache "
+            "(completed cells are restored from the result cache)"
+        )
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        executor=executor,
+        retries=args.retries,
+        timeout=args.timeout,
+        backoff=args.retry_backoff,
+        max_failures=None if args.max_failures < 0 else args.max_failures,
+        journal=args.journal,
+        resume=args.resume,
+    )
     records = runner.run(specs)
 
     with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(results_payload(records), handle, sort_keys=True, indent=2)
+        json.dump(results_payload(records, shard=shard), handle, sort_keys=True, indent=2)
         handle.write("\n")
 
-    rows = [
-        [
-            record.label,
-            record.spec.seed,
-            record.classification["label"],
-            round(record.forks["mean_forks"], 2),
-            round(record.convergence["agreement_ratio"], 2),
-        ]
-        for record in records
-    ]
+    rows = []
+    for record in records:
+        if isinstance(record, CellFailure):
+            rows.append(
+                [
+                    record.label,
+                    record.spec.seed,
+                    f"FAILED after {record.attempts} attempt(s)",
+                    record.error.get("type") or "-",
+                    "-",
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    record.label,
+                    record.spec.seed,
+                    record.classification["label"],
+                    round(record.forks["mean_forks"], 2),
+                    round(record.convergence["agreement_ratio"], 2),
+                ]
+            )
     table = render_table(
         ["cell", "seed", "classification", "fork points/replica", "agreement"],
         rows,
         title=f"Sweep — {args.protocol} ({len(records)} cells, jobs={args.jobs})",
     )
     summary = f"wrote {len(records)} cells to {args.out}"
+    if shard is not None:
+        summary += f" [shard {shard[0]}/{shard[1]}: {len(records)}/{len(specs)} grid cells]"
     if cache is not None:
         summary += (
             f" ({runner.last_cache_hits}/{len(records)} cells from cache {args.cache})"
         )
+    if runner.last_resumed:
+        summary += f", {runner.last_resumed} resumed from journal"
+    if runner.last_failures:
+        summary += f", {runner.last_failures} FAILED (see payload)"
     return f"{table}\n\n{summary}"
 
 

@@ -12,8 +12,11 @@ models goes through:
   artifact (classification verdict + fork/convergence/fairness statistics
   + timings);
 * :mod:`repro.engine.sweep` — grid expansion and the
-  :class:`SweepRunner` process-pool fan-out with a deterministic serial
-  fallback;
+  :class:`SweepRunner` resilience loop (retries, timeouts, failure
+  degradation, journaled resume) over a pluggable executor backend;
+* :mod:`repro.engine.executors` — the ``@register_executor`` vocabulary
+  of execution backends (``serial`` / ``pool`` / ``shard`` / ``flaky``)
+  plus the :class:`CellFailure` artifact and chaos-injection machinery;
 * :mod:`repro.engine.cache` — :class:`ResultCache`, the content-addressed
   memoization store keyed on ``ExperimentSpec.to_json()`` (wired into
   :class:`SweepRunner` and the CLI's ``--cache`` flag);
@@ -50,8 +53,29 @@ from repro.engine.spec import (
     table1_spec,
 )
 from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache, spec_digest
+from repro.engine.executors import (
+    CellFailure,
+    CellTask,
+    Executor,
+    FlakyExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    SweepAbortedError,
+    available_executors,
+    get_executor,
+    make_executor,
+    register_executor,
+    retry_delay,
+)
 from repro.engine.result import RunResult, analyse_run
-from repro.engine.sweep import SweepRunner, derive_seed, expand_grid, results_payload
+from repro.engine.sweep import (
+    SweepJournal,
+    SweepRunner,
+    derive_seed,
+    expand_grid,
+    results_payload,
+)
 
 __all__ = [
     "REGISTRY",
@@ -75,7 +99,21 @@ __all__ = [
     "ResultCache",
     "spec_digest",
     "SweepRunner",
+    "SweepJournal",
     "derive_seed",
     "expand_grid",
     "results_payload",
+    "CellFailure",
+    "CellTask",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "ShardExecutor",
+    "FlakyExecutor",
+    "SweepAbortedError",
+    "register_executor",
+    "available_executors",
+    "get_executor",
+    "make_executor",
+    "retry_delay",
 ]

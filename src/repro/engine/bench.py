@@ -97,7 +97,13 @@ from repro.engine.spec import (
     WorkloadSpec,
     table1_spec,
 )
-from repro.engine.sweep import SweepRunner
+from repro.engine.executors import (
+    CellFailure,
+    FlakyExecutor,
+    PoolExecutor,
+    make_executor,
+)
+from repro.engine.sweep import SweepJournal, SweepRunner
 
 __all__ = [
     "run_bench",
@@ -829,6 +835,189 @@ def _bench_cache_sweep(seed: int, quick: bool) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# resilient execution plane
+# ---------------------------------------------------------------------------
+
+
+def _sweep_grid_specs(seed: int, cells: int, duration: float) -> List[ExperimentSpec]:
+    """A small deterministic seed-axis grid for the execution-plane benches."""
+    return [
+        ExperimentSpec(
+            protocol="hyperledger",
+            replicas=3,
+            duration=duration,
+            seed=seed + index,
+            label=f"bench:sweep-cell-{index}",
+        )
+        for index in range(cells)
+    ]
+
+
+def _stable_cells(records: Sequence[Any]) -> List[str]:
+    """Per-cell deterministic JSON (timings stripped) for identity checks."""
+    return [record.stable_json() for record in records]
+
+
+def _bench_sweep_resilience(seed: int, quick: bool) -> Dict[str, Any]:
+    """Chaos sweep through the flaky executor: retries, degradation, resume.
+
+    A seed-axis grid runs over the process-pool backend wrapped in the
+    ``flaky`` chaos executor with a scripted plan: three cells take one
+    injected fault each (``exception`` / ``hang`` / ``kill``) and recover
+    on retry, one cell fails *every* attempt and must degrade to a
+    structured :class:`CellFailure`.  The scenario then resumes the sweep
+    from its journal and requires zero re-executions.  The floor bench
+    asserts the recorded invariants: no unfinished cells, recovered cells
+    bit-identical to a never-failed serial run, exactly one failure, and
+    a zero-cost resume.
+    """
+    cells = 6 if quick else 8
+    duration = 20.0 if quick else 40.0
+    timeout = 3.0 if quick else 5.0
+    retries = 2
+    specs = _sweep_grid_specs(seed, cells, duration)
+    plan = {
+        0: {1: "exception"},
+        1: {1: "hang"},
+        2: {1: "kill"},
+        # Cell 3 fails every allowed attempt (1..retries+1) and must land
+        # in the payload as a structured CellFailure artifact.
+        3: {attempt: "exception" for attempt in range(1, retries + 2)},
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        journal = Path(tmp) / "sweep.journal.jsonl"
+        flaky = FlakyExecutor(PoolExecutor(jobs=2), plan=plan, seed=seed)
+        runner = SweepRunner(
+            jobs=2,
+            cache=cache,
+            executor=flaky,
+            retries=retries,
+            timeout=timeout,
+            backoff=0.0,
+            max_failures=None,
+            journal=journal,
+        )
+        started = time.perf_counter()
+        records = runner.run(specs)
+        seconds = time.perf_counter() - started
+
+        resumed_runner = SweepRunner(
+            cache=cache, journal=journal, resume=True, max_failures=None
+        )
+        started = time.perf_counter()
+        resumed = resumed_runner.run(specs)
+        resume_seconds = time.perf_counter() - started
+
+    failures = [r for r in records if isinstance(r, CellFailure)]
+    successes = [r for r in records if not isinstance(r, CellFailure)]
+    clean = SweepRunner(jobs=1).run(specs)
+    clean_ok = [r for i, r in enumerate(clean) if i != 3]
+    injected_kinds = sorted({kind for _, _, kind in flaky.injections})
+    return {
+        "sweep_resilience": {
+            "seconds": seconds,
+            "cells": cells,
+            "retries": retries,
+            "timeout": timeout,
+            "attempts": runner.last_attempts,
+            "injections": len(flaky.injections),
+            "injected_kinds": injected_kinds,
+            "unfinished": cells - len(records),
+            "failures": len(failures),
+            "failure_errors": sorted(f.error.get("status") or "" for f in failures),
+            "retried_identical": _stable_cells(successes) == _stable_cells(clean_ok),
+            "resume_seconds": resume_seconds,
+            "resume_executed": resumed_runner.last_executed,
+            "resume_restored": resumed_runner.last_resumed,
+            "resume_identical": _stable_cells(
+                [r for r in resumed if not isinstance(r, CellFailure)]
+            )
+            == _stable_cells(successes),
+        }
+    }
+
+
+def _bench_sweep_shard_scaling(seed: int, quick: bool) -> Dict[str, Any]:
+    """Execution-plane scaling: pool workers at 1/2/4/8 and a k=4 shard merge.
+
+    The worker legs time the same grid over the per-cell process backend
+    at 1, 2, 4 and 8 workers, recording speedup and scaling efficiency
+    (``serial / (workers × t)``) against the in-process serial leg.  The
+    shard leg runs the grid as four ``--shard-index i/4`` invocations
+    sharing one result cache, requires the union of the shard outputs to
+    be bit-identical (up to timings) to the serial run, and merges them
+    through a final cache-only invocation that must execute nothing.
+    """
+    cells = 8 if quick else 12
+    duration = 20.0 if quick else 40.0
+    specs = _sweep_grid_specs(seed, cells, duration)
+
+    started = time.perf_counter()
+    serial_records = SweepRunner(jobs=1).run(specs)
+    serial_seconds = time.perf_counter() - started
+    serial_stable = _stable_cells(serial_records)
+
+    workers: Dict[str, Any] = {}
+    for jobs in (1, 2, 4, 8):
+        runner = SweepRunner(jobs=jobs, executor=PoolExecutor(jobs=jobs))
+        started = time.perf_counter()
+        records = runner.run(specs)
+        seconds = time.perf_counter() - started
+        workers[str(jobs)] = {
+            "workers": jobs,
+            "seconds": seconds,
+            "speedup_vs_serial": serial_seconds / seconds if seconds else None,
+            "efficiency": (
+                serial_seconds / (jobs * seconds) if seconds else None
+            ),
+            "identical": _stable_cells(records) == serial_stable,
+        }
+
+    shard_count = 4
+    with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+        union: Dict[int, Any] = {}
+        shard_seconds: List[float] = []
+        for index in range(shard_count):
+            executor = make_executor(
+                "shard", shard_index=index, shard_count=shard_count
+            )
+            runner = SweepRunner(cache=ResultCache(cache_dir), executor=executor)
+            started = time.perf_counter()
+            records = runner.run(specs)
+            shard_seconds.append(time.perf_counter() - started)
+            for grid_index, record in zip(runner.last_indices, records):
+                union[grid_index] = record
+        merge_runner = SweepRunner(cache=ResultCache(cache_dir))
+        started = time.perf_counter()
+        merge_runner.run(specs)
+        merge_seconds = time.perf_counter() - started
+    union_stable = _stable_cells([union[i] for i in sorted(union)])
+    return {
+        "sweep_shard_scaling": {
+            "seconds": serial_seconds + sum(w["seconds"] for w in workers.values()),
+            "cells": cells,
+            "serial_seconds": serial_seconds,
+            "workers": workers,
+            "shard_count": shard_count,
+            "shard_seconds": shard_seconds,
+            "shard_union_identical": union_stable == serial_stable,
+            "merge_seconds": merge_seconds,
+            "merge_cache_hits": merge_runner.last_cache_hits,
+            "merge_executed": merge_runner.last_executed,
+        }
+    }
+
+
+def _bench_sweeps(seed: int, quick: bool) -> Dict[str, Any]:
+    scenarios: Dict[str, Any] = {}
+    scenarios.update(_bench_sweep_resilience(seed, quick))
+    scenarios.update(_bench_sweep_shard_scaling(seed, quick))
+    return scenarios
+
+
+# ---------------------------------------------------------------------------
 # harness entry points
 # ---------------------------------------------------------------------------
 
@@ -999,6 +1188,7 @@ SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
     "protocol_runs": ("run_longest_fork_heavy", "run_ghost_fork_heavy"),
     "table1_sweep": ("table1_sweep",),
     "cache_sweep": ("cache_sweep",),
+    "sweeps": ("sweep_resilience", "sweep_shard_scaling"),
 }
 
 
@@ -1062,6 +1252,7 @@ def run_bench(
         ("protocol_runs", lambda: _bench_protocol_runs(seed, quick)),
         ("table1_sweep", lambda: _bench_table1_sweep(seed, quick, jobs)),
         ("cache_sweep", lambda: _bench_cache_sweep(seed, quick)),
+        ("sweeps", lambda: _bench_sweeps(seed, quick)),
     ]
     results: Dict[str, Any] = {}
     profiles: Dict[str, Any] = {}

@@ -1,0 +1,721 @@
+"""Pluggable, resilient sweep execution backends.
+
+Until this module existed the :class:`~repro.engine.sweep.SweepRunner`
+fanned a sweep out over one ``multiprocessing.Pool.map`` call: a single
+worker exception or hang aborted the entire sweep and every
+computed-but-unreturned cell was lost.  The execution plane the
+"millions of users" north star needs is the opposite shape — per-cell
+submission, per-cell failure domains, and deterministic sharding across
+driver invocations (the Bobpp deterministic-partitioning model: results
+reproducible regardless of worker count, fault tolerance layered on
+top).
+
+Executors are *registered vocabulary* (``@register_executor``, mirroring
+``@register_topology`` / ``@register_fault``; unknown names raise the
+uniform :class:`~repro.core.errors.UnknownVocabularyError`):
+
+* ``serial`` — in-process execution, one cell at a time.  Results keep
+  their live ``run`` objects, exactly like the historical ``jobs=1``
+  path.  A serial backend cannot preempt a genuinely hung cell, so
+  injected ``hang``/``kill`` faults are reported *synthetically* (as
+  timeout / worker-death outcomes, without sleeping or dying) — which is
+  precisely what makes every retry path unit-testable in milliseconds.
+* ``pool`` — one OS process per cell, at most ``jobs`` in flight.
+  Failures are per-cell: a worker exception becomes an error outcome for
+  that cell alone, a worker that dies (killed, OOM, ``os._exit``)
+  becomes a worker-death outcome, and a worker that exceeds the per-cell
+  ``timeout`` is terminated and reported as a timeout outcome.  When the
+  platform cannot spawn processes at all (no ``/dev/shm``, no ``fork``)
+  the batch degrades to the serial backend with a ``RuntimeWarning`` —
+  loudly, unlike the historical silent fallback.
+* ``shard`` — deterministic partition of the ``expand_grid`` order
+  across ``--shard-index i/k`` driver invocations (cell ``c`` belongs to
+  shard ``c % k``), each shard executing through an inner backend.
+  Because every cell is seeded entirely by its spec, the union of the
+  ``k`` shard outputs is byte-identical (up to wall-clock ``timings``)
+  to one serial run of the same grid; shards share a content-addressed
+  :class:`~repro.engine.cache.ResultCache` directory, so a final cached
+  invocation merges the sweep with zero simulator events.
+* ``flaky`` — the chaos wrapper: decorates any backend with injected
+  faults (``exception`` / ``hang`` / ``kill``) on chosen cell attempts,
+  either from an explicit plan or from seeded per-``(digest, attempt)``
+  rates.  Injection happens *inside* the worker for process-based
+  backends, so a hang genuinely exercises the timeout-kill path and a
+  kill genuinely exercises the worker-death path.
+
+The retry / backoff / journal / failure-degradation loop that drives
+these backends lives in :class:`~repro.engine.sweep.SweepRunner`; this
+module supplies the building blocks (:class:`CellTask`,
+:class:`AttemptOutcome`, :class:`CellFailure`, :func:`retry_delay`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import random
+import time
+import warnings
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.core.errors import UnknownVocabularyError
+from repro.engine.result import RunResult
+from repro.engine.spec import ExperimentSpec
+
+__all__ = [
+    "CellTask",
+    "AttemptOutcome",
+    "CellFailure",
+    "SweepAbortedError",
+    "InjectedFault",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "ShardExecutor",
+    "FlakyExecutor",
+    "register_executor",
+    "available_executors",
+    "get_executor",
+    "make_executor",
+    "retry_delay",
+    "EXECUTOR_REGISTRY",
+    "INJECTION_KINDS",
+]
+
+#: Chaos injection kinds the flaky executor (and the backends) understand.
+INJECTION_KINDS: Tuple[str, ...] = ("exception", "hang", "kill")
+
+#: How long a hang-injected worker sleeps before failing loudly.  Long
+#: enough that any sane per-cell timeout fires first; finite so a
+#: misconfigured run (hang injection without a timeout on a process
+#: backend) eventually surfaces as an error instead of wedging forever.
+HANG_SECONDS = 3600.0
+
+#: Exit code a kill-injected worker dies with (``os._exit``), chosen to
+#: be recognizable in worker-death messages.
+KILL_EXIT_CODE = 23
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by chaos ``exception`` injections."""
+
+
+class SweepAbortedError(RuntimeError):
+    """Raised when final cell failures exceed the sweep's abort threshold.
+
+    Every success computed before the abort has already been stored in
+    the attached result cache and journal, so re-running the sweep only
+    re-executes the unfinished cells.
+    """
+
+    def __init__(self, failures: Sequence["CellFailure"], max_failures: int) -> None:
+        self.failures = list(failures)
+        self.max_failures = max_failures
+        first = self.failures[0] if self.failures else None
+        detail = (
+            f"; first: {first.label!r} failed after {first.attempts} attempt(s) "
+            f"({first.error.get('type')}: {first.error.get('message')})"
+            if first is not None
+            else ""
+        )
+        super().__init__(
+            f"sweep aborted: {len(self.failures)} cell failure(s) exceeded "
+            f"--max-failures {max_failures}{detail}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# work units and outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellTask:
+    """One attempt at one sweep cell, addressed by its grid position."""
+
+    index: int
+    spec: ExperimentSpec
+    attempt: int = 1
+    digest: str = ""
+    payload: str = ""
+    #: Chaos directive honoured by the backend (set by :class:`FlakyExecutor`).
+    inject: Optional[str] = None
+
+    @classmethod
+    def for_spec(
+        cls, index: int, spec: ExperimentSpec, *, attempt: int = 1, digest: str = ""
+    ) -> "CellTask":
+        from repro.engine.cache import spec_digest
+
+        return cls(
+            index=index,
+            spec=spec,
+            attempt=attempt,
+            digest=digest or spec_digest(spec),
+            payload=spec.to_json(),
+        )
+
+    @property
+    def label(self) -> str:
+        return self.spec.label or self.spec.protocol
+
+
+@dataclass
+class AttemptOutcome:
+    """What one attempt at one cell produced.
+
+    ``status`` is ``"ok"`` (``result`` is set), ``"error"`` (the cell
+    raised), ``"timeout"`` (the cell exceeded the per-cell deadline and
+    its worker was killed) or ``"died"`` (the worker vanished without
+    reporting — killed from outside, OOM, ``os._exit``).  ``exception``
+    carries the live exception object when the attempt ran in-process,
+    so an aborting sweep can re-raise the original error verbatim.
+    """
+
+    task: CellTask
+    status: str
+    result: Optional[RunResult] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    exception: Optional[BaseException] = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def error_dict(self) -> Dict[str, Any]:
+        """The structured error a :class:`CellFailure` artifact records."""
+        return {
+            "status": self.status,
+            "type": self.error_type,
+            "message": self.error_message,
+        }
+
+
+@dataclass
+class CellFailure:
+    """Structured artifact of a cell that failed every allowed attempt.
+
+    Failed cells degrade to these instead of aborting the sweep (subject
+    to ``max_failures``): the sweep payload (schema ``repro.sweep/2``)
+    carries them beside the successful cells, marked by the
+    ``"cell_failure": true`` key, so a single bad cell never discards
+    its siblings' results.
+    """
+
+    spec: ExperimentSpec
+    attempts: int
+    error: Dict[str, Any]
+
+    status: str = "failed"
+
+    @property
+    def label(self) -> str:
+        return self.spec.label or self.spec.protocol
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell_failure": True,
+            "status": self.status,
+            "spec": self.spec.to_dict(),
+            "attempts": self.attempts,
+            "error": dict(self.error),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellFailure":
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            attempts=int(data.get("attempts", 0)),
+            error=dict(data.get("error", {})),
+        )
+
+
+def retry_delay(backoff: float, attempt: int, digest: str, seed: int = 0) -> float:
+    """Exponential backoff with deterministically seeded jitter.
+
+    ``attempt`` is the attempt about to run (2 for the first retry); the
+    base delay doubles per retry and the jitter multiplier in
+    ``[1.0, 1.5)`` is a pure function of ``(seed, digest, attempt)``, so
+    identical sweeps sleep identically while distinct cells decorrelate.
+    """
+    if backoff <= 0:
+        return 0.0
+    jitter = random.Random(f"{seed}:{digest}:{attempt}").random()
+    return backoff * (2.0 ** max(0, attempt - 2)) * (1.0 + 0.5 * jitter)
+
+
+# ---------------------------------------------------------------------------
+# registry (mirrors @register_topology / @register_fault)
+# ---------------------------------------------------------------------------
+
+#: Name -> executor class, in registration order.
+EXECUTOR_REGISTRY: Dict[str, Type["Executor"]] = {}
+
+
+def register_executor(name: str):
+    """Class decorator: register an :class:`Executor` under ``name``.
+
+    The decorated class is returned unchanged; a name collision raises so
+    two modules cannot silently shadow each other's backends (the same
+    contract as every other registered vocabulary).
+    """
+
+    def decorate(cls: Type["Executor"]) -> Type["Executor"]:
+        if name in EXECUTOR_REGISTRY:
+            raise ValueError(f"executor {name!r} already registered")
+        EXECUTOR_REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def available_executors() -> Tuple[str, ...]:
+    """Names of every registered executor backend."""
+    return tuple(EXECUTOR_REGISTRY)
+
+
+def get_executor(name: str) -> Type["Executor"]:
+    """Resolve ``name`` to its executor class.
+
+    Raises the uniform :class:`~repro.core.errors.UnknownVocabularyError`
+    listing the registered names, like every other spec vocabulary.
+    """
+    try:
+        return EXECUTOR_REGISTRY[name]
+    except KeyError:
+        raise UnknownVocabularyError("executor", name, EXECUTOR_REGISTRY) from None
+
+
+class Executor(ABC):
+    """One way of running a batch of cell attempts.
+
+    The resilience loop in :class:`~repro.engine.sweep.SweepRunner`
+    drives an executor in *waves*: it submits every pending attempt of a
+    round through :meth:`run_batch`, classifies the outcomes, and
+    re-submits the retryable subset (with backoff) as the next wave.
+    """
+
+    def shard_of(self, n: int) -> Sequence[int]:
+        """The grid indices this executor is responsible for (default: all)."""
+        return range(n)
+
+    @abstractmethod
+    def run_batch(
+        self,
+        tasks: Sequence[CellTask],
+        timeout: Optional[float] = None,
+        stop_after_failures: Optional[int] = None,
+    ) -> List[AttemptOutcome]:
+        """Attempt every task once; outcomes in task order.
+
+        ``timeout`` is the per-cell wall-clock budget (enforced by
+        process-based backends).  ``stop_after_failures``, when set, lets
+        a sequential backend stop executing once more than that many
+        non-ok outcomes have accumulated (the runner passes it only on
+        final attempts, where an error is a final failure) — a truncated
+        outcome list is allowed and means the sweep is aborting anyway.
+        """
+
+
+# ---------------------------------------------------------------------------
+# serial backend
+# ---------------------------------------------------------------------------
+
+
+@register_executor("serial")
+class SerialExecutor(Executor):
+    """In-process, one-cell-at-a-time execution.
+
+    Successful outcomes keep their live ``run`` objects.  Injected
+    ``hang`` / ``kill`` faults are reported synthetically (a serial
+    backend cannot preempt or survive them for real) so chaos tests of
+    the retry machinery stay fast and deterministic.
+    """
+
+    def run_batch(
+        self,
+        tasks: Sequence[CellTask],
+        timeout: Optional[float] = None,
+        stop_after_failures: Optional[int] = None,
+    ) -> List[AttemptOutcome]:
+        outcomes: List[AttemptOutcome] = []
+        failures = 0
+        for task in tasks:
+            if stop_after_failures is not None and failures > stop_after_failures:
+                break
+            outcome = self._attempt(task, timeout)
+            if not outcome.ok:
+                failures += 1
+            outcomes.append(outcome)
+        return outcomes
+
+    def _attempt(self, task: CellTask, timeout: Optional[float]) -> AttemptOutcome:
+        if task.inject == "hang":
+            return AttemptOutcome(
+                task,
+                "timeout",
+                error_type="CellTimeout",
+                error_message=(
+                    f"cell exceeded the per-cell timeout of {timeout}s "
+                    "(injected hang, reported synthetically by the serial backend)"
+                ),
+            )
+        if task.inject == "kill":
+            return AttemptOutcome(
+                task,
+                "died",
+                error_type="WorkerDied",
+                error_message=(
+                    f"worker exited with code {KILL_EXIT_CODE} "
+                    "(injected kill, reported synthetically by the serial backend)"
+                ),
+            )
+        try:
+            if task.inject == "exception":
+                raise InjectedFault(
+                    f"injected exception (cell {task.index}, attempt {task.attempt})"
+                )
+            result = task.spec.execute()
+        except Exception as error:
+            return AttemptOutcome(
+                task,
+                "error",
+                error_type=type(error).__name__,
+                error_message=str(error),
+                exception=error,
+            )
+        return AttemptOutcome(task, "ok", result=result)
+
+
+# ---------------------------------------------------------------------------
+# process-pool backend (one process per cell)
+# ---------------------------------------------------------------------------
+
+
+def _cell_worker(conn, payload: str, inject: Optional[str]) -> None:
+    """Worker entry point: JSON spec in, ``(status, ...)`` tuple out.
+
+    Chaos directives are honoured *here*, inside the worker, so the
+    parent's timeout / worker-death handling is exercised for real: a
+    ``hang`` sleeps until the parent terminates the process, a ``kill``
+    exits without reporting, an ``exception`` raises through the normal
+    error path.
+    """
+    try:
+        if inject == "kill":
+            conn.close()
+            os._exit(KILL_EXIT_CODE)
+        if inject == "hang":
+            time.sleep(HANG_SECONDS)
+            raise InjectedFault("injected hang outlived HANG_SECONDS without a timeout")
+        if inject == "exception":
+            raise InjectedFault("injected exception (chaos)")
+        result = ExperimentSpec.from_json(payload).execute()
+        conn.send(("ok", result.to_json()))
+    except BaseException as error:  # noqa: BLE001 - must report, not crash silently
+        try:
+            conn.send(("error", type(error).__name__, str(error)))
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except (OSError, ValueError):
+            pass
+
+
+@register_executor("pool")
+class PoolExecutor(Executor):
+    """One OS process per cell, at most ``jobs`` in flight.
+
+    Submitting cells individually (instead of ``pool.map`` over the whole
+    batch) makes every failure domain a single cell: an exception, a
+    killed worker or a blown deadline costs one attempt of one cell, and
+    every other in-flight cell completes normally.  When the platform
+    cannot spawn processes at all, the remaining batch degrades to the
+    serial backend with a ``RuntimeWarning`` naming the reason.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.005,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.start_method = start_method
+        self.poll_interval = poll_interval
+
+    def run_batch(
+        self,
+        tasks: Sequence[CellTask],
+        timeout: Optional[float] = None,
+        stop_after_failures: Optional[int] = None,
+    ) -> List[AttemptOutcome]:
+        outcomes: Dict[int, AttemptOutcome] = {}
+        queue: List[Tuple[int, CellTask]] = list(enumerate(tasks))
+        inflight: List[List[Any]] = []  # [pos, task, proc, conn, deadline]
+        ctx = multiprocessing.get_context(self.start_method)
+        degraded = False
+        while queue or inflight:
+            while queue and len(inflight) < self.jobs and not degraded:
+                pos, task = queue[0]
+                try:
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_cell_worker,
+                        args=(child_conn, task.payload, task.inject),
+                        daemon=True,
+                    )
+                    proc.start()
+                except (OSError, ImportError) as error:
+                    # Restricted environments (no /dev/shm, no fork) cannot
+                    # spawn workers at all; degrade the rest of the batch to
+                    # the serial backend — loudly, so users learn the sweep
+                    # lost its parallelism (and its timeout enforcement).
+                    warnings.warn(
+                        f"worker process construction failed ({error}); "
+                        "executing the remaining cells serially in-process",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    degraded = True
+                    break
+                queue.pop(0)
+                child_conn.close()
+                deadline = time.monotonic() + timeout if timeout is not None else None
+                inflight.append([pos, task, proc, parent_conn, deadline])
+            if degraded and not inflight:
+                serial = SerialExecutor()
+                rest = [task for _, task in queue]
+                for (pos, _), outcome in zip(queue, serial.run_batch(rest, timeout)):
+                    outcomes[pos] = outcome
+                queue = []
+                continue
+            progressed = False
+            still: List[List[Any]] = []
+            for entry in inflight:
+                pos, task, proc, conn, deadline = entry
+                outcome = self._poll_one(task, proc, conn, deadline)
+                if outcome is None:
+                    still.append(entry)
+                else:
+                    outcomes[pos] = outcome
+                    progressed = True
+            inflight = still
+            if inflight and not progressed:
+                time.sleep(self.poll_interval)
+        return [outcomes[pos] for pos in sorted(outcomes)]
+
+    def _poll_one(self, task, proc, conn, deadline) -> Optional[AttemptOutcome]:
+        """One non-blocking look at an in-flight worker; ``None`` = still running."""
+        message = None
+        if conn.poll():
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                message = None
+        elif proc.is_alive():
+            if deadline is not None and time.monotonic() > deadline:
+                proc.terminate()
+                proc.join()
+                conn.close()
+                return AttemptOutcome(
+                    task,
+                    "timeout",
+                    error_type="CellTimeout",
+                    error_message=(
+                        f"cell exceeded the per-cell timeout; "
+                        f"worker pid {proc.pid} terminated"
+                    ),
+                )
+            return None
+        proc.join()
+        conn.close()
+        if message is None:
+            return AttemptOutcome(
+                task,
+                "died",
+                error_type="WorkerDied",
+                error_message=f"worker exited with code {proc.exitcode} without reporting",
+            )
+        if message[0] == "ok":
+            return AttemptOutcome(
+                task, "ok", result=RunResult.from_dict(json.loads(message[1]))
+            )
+        return AttemptOutcome(
+            task, "error", error_type=message[1], error_message=message[2]
+        )
+
+
+# ---------------------------------------------------------------------------
+# shard backend
+# ---------------------------------------------------------------------------
+
+
+@register_executor("shard")
+class ShardExecutor(Executor):
+    """Deterministic partition of the grid across driver invocations.
+
+    Cell ``c`` of the ``expand_grid`` order belongs to shard
+    ``c % shard_count`` — a pure function of the grid, independent of
+    timing, worker count and machine, so ``k`` invocations with
+    ``--shard-index 0/k .. (k-1)/k`` cover every cell exactly once.
+    Execution within the shard goes through ``inner`` (serial or pool);
+    results merge through the shared content-addressed result cache.
+    """
+
+    def __init__(
+        self, shard_index: int, shard_count: int, inner: Optional[Executor] = None
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {shard_count}), got {shard_index}"
+            )
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.inner = inner if inner is not None else SerialExecutor()
+
+    def shard_of(self, n: int) -> Sequence[int]:
+        return range(self.shard_index, n, self.shard_count)
+
+    def run_batch(
+        self,
+        tasks: Sequence[CellTask],
+        timeout: Optional[float] = None,
+        stop_after_failures: Optional[int] = None,
+    ) -> List[AttemptOutcome]:
+        return self.inner.run_batch(tasks, timeout, stop_after_failures)
+
+
+# ---------------------------------------------------------------------------
+# chaos wrapper
+# ---------------------------------------------------------------------------
+
+
+@register_executor("flaky")
+class FlakyExecutor(Executor):
+    """Seeded fault injection around any backend.
+
+    ``plan`` maps grid index → ``{attempt: kind}`` for exact scripted
+    faults (the unit-test mode); ``rates`` maps kind → probability for
+    seeded random injection decided per ``(seed, digest, attempt)`` — a
+    pure function, so the same sweep under the same seed injects the
+    same faults regardless of scheduling.  Kinds: ``exception`` (the
+    cell raises), ``hang`` (the cell stalls until the per-cell timeout
+    kills it), ``kill`` (the worker dies without reporting).
+
+    Injection directives ride the :class:`CellTask` into the backend, so
+    process-based backends exercise their *real* timeout and
+    worker-death machinery; the serial backend reports hang/kill
+    synthetically (see :class:`SerialExecutor`).
+    """
+
+    def __init__(
+        self,
+        inner: Optional[Executor] = None,
+        plan: Optional[Mapping[int, Mapping[int, str]]] = None,
+        rates: Optional[Mapping[str, float]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner if inner is not None else SerialExecutor()
+        self.plan = {
+            int(index): {int(attempt): kind for attempt, kind in attempts.items()}
+            for index, attempts in (plan or {}).items()
+        }
+        self.rates = dict(rates or {})
+        for kind in (*self.rates, *(k for a in self.plan.values() for k in a.values())):
+            if kind not in INJECTION_KINDS:
+                raise UnknownVocabularyError("injection kind", kind, INJECTION_KINDS)
+        self.seed = seed
+        #: Every injection performed: ``(index, attempt, kind)`` triples.
+        self.injections: List[Tuple[int, int, str]] = []
+
+    def shard_of(self, n: int) -> Sequence[int]:
+        return self.inner.shard_of(n)
+
+    def _injection_for(self, task: CellTask) -> Optional[str]:
+        planned = self.plan.get(task.index, {}).get(task.attempt)
+        if planned is not None:
+            return planned
+        if not self.rates:
+            return None
+        draw = random.Random(f"{self.seed}:{task.digest}:{task.attempt}").random()
+        cumulative = 0.0
+        for kind in INJECTION_KINDS:
+            cumulative += self.rates.get(kind, 0.0)
+            if draw < cumulative:
+                return kind
+        return None
+
+    def run_batch(
+        self,
+        tasks: Sequence[CellTask],
+        timeout: Optional[float] = None,
+        stop_after_failures: Optional[int] = None,
+    ) -> List[AttemptOutcome]:
+        decorated: List[CellTask] = []
+        for task in tasks:
+            inject = self._injection_for(task)
+            if inject is not None:
+                self.injections.append((task.index, task.attempt, inject))
+                task = dataclasses.replace(task, inject=inject)
+            decorated.append(task)
+        return self.inner.run_batch(decorated, timeout, stop_after_failures)
+
+
+# ---------------------------------------------------------------------------
+# construction helper (the CLI-facing factory)
+# ---------------------------------------------------------------------------
+
+
+def make_executor(
+    name: str,
+    *,
+    jobs: int = 1,
+    start_method: Optional[str] = None,
+    shard_index: Optional[int] = None,
+    shard_count: Optional[int] = None,
+    plan: Optional[Mapping[int, Mapping[int, str]]] = None,
+    rates: Optional[Mapping[str, float]] = None,
+    seed: int = 0,
+    inner: Optional[Executor] = None,
+) -> Executor:
+    """Build a registered executor from flat (CLI-shaped) parameters.
+
+    Wrapping backends (``shard``, ``flaky``) execute through ``inner``
+    when given, else through the jobs-derived default (serial for
+    ``jobs=1``, pool otherwise) — so ``--backend shard --jobs 4`` shards
+    the grid *and* fans each shard out over four workers.
+    """
+    cls = get_executor(name)  # raises the uniform error for unknown names
+    base = inner
+    if base is None:
+        base = (
+            SerialExecutor()
+            if jobs <= 1
+            else PoolExecutor(jobs=jobs, start_method=start_method)
+        )
+    if cls is SerialExecutor:
+        return SerialExecutor()
+    if cls is PoolExecutor:
+        return PoolExecutor(jobs=max(jobs, 1), start_method=start_method)
+    if cls is ShardExecutor:
+        if shard_index is None or shard_count is None:
+            raise ValueError(
+                "the shard executor requires shard_index and shard_count "
+                "(--shard-index I/K)"
+            )
+        return ShardExecutor(shard_index, shard_count, inner=base)
+    if cls is FlakyExecutor:
+        return FlakyExecutor(base, plan=plan, rates=rates, seed=seed)
+    return cls()  # third-party registration: nullary construction

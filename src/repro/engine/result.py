@@ -102,6 +102,21 @@ class RunResult:
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
+    def stable_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` minus ``timings`` — the deterministic payload.
+
+        Every key left is a pure function of the spec, so two executions
+        of the same cell (serial vs pooled, first attempt vs retried,
+        shard vs whole-grid) compare equal on this form.  The shard-merge
+        and chaos-retry invariants are asserted against it.
+        """
+        data = self.to_dict()
+        data.pop("timings", None)
+        return data
+
+    def stable_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.stable_dict(), sort_keys=True, indent=indent)
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
         return cls(

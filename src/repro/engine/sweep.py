@@ -16,23 +16,42 @@ loops).  Axis names address spec fields with dotted paths::
     workload.use_lrc, workload.read_interval    — workload fields
     workload.clients, workload.client_rate      — client population axis
 
-:class:`SweepRunner` executes a list of specs either serially (``jobs=1``,
-the deterministic fallback tests rely on) or across a ``multiprocessing``
-pool.  Every cell is an independent simulation seeded entirely by its
-spec, so the two modes produce identical per-cell artifacts (only the
-wall-clock ``timings`` differ); results always come back in spec order
-regardless of worker scheduling.
+:class:`SweepRunner` executes a list of specs through a pluggable
+:class:`~repro.engine.executors.Executor` backend (``serial`` / ``pool``
+/ ``shard`` / ``flaky``; see :mod:`repro.engine.executors`), wrapped in a
+resilience loop: per-cell timeouts, retries with seeded exponential
+backoff, failed cells degraded to structured
+:class:`~repro.engine.executors.CellFailure` artifacts (bounded by
+``max_failures``), and an append-only :class:`SweepJournal` manifest
+enabling ``resume=True`` to skip completed cells after a driver crash.
+Every cell is an independent simulation seeded entirely by its spec, so
+all backends produce identical per-cell artifacts (only the wall-clock
+``timings`` differ); results always come back in spec order regardless
+of worker scheduling.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
-import multiprocessing
+import os
+import time
 import warnings
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import ResultCache, spec_digest
+from repro.engine.executors import (
+    CellFailure,
+    CellTask,
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    SweepAbortedError,
+    make_executor,
+    retry_delay,
+)
 from repro.engine.result import RunResult
 from repro.engine.spec import (
     WORKLOAD_FIELDS,
@@ -42,7 +61,24 @@ from repro.engine.spec import (
     TopologySpec,
 )
 
-__all__ = ["expand_grid", "derive_seed", "SweepRunner", "results_payload"]
+__all__ = [
+    "expand_grid",
+    "derive_seed",
+    "SweepRunner",
+    "SweepJournal",
+    "results_payload",
+    "SWEEP_SCHEMA",
+    "JOURNAL_SCHEMA",
+]
+
+#: Schema tag of the sweep payload.  ``/2`` added failure degradation:
+#: ``cells`` may contain ``CellFailure`` artifacts (``"cell_failure":
+#: true``) beside successful cells, plus top-level ``failures`` and
+#: optional ``shard`` metadata.
+SWEEP_SCHEMA = "repro.sweep/2"
+
+#: Schema tag stamped on every journal line.
+JOURNAL_SCHEMA = "repro.sweep-journal/1"
 
 
 def derive_seed(base_seed: int, cell_index: int) -> int:
@@ -143,23 +179,99 @@ def expand_grid(
     return specs
 
 
-def _execute_payload(payload: str) -> str:
-    """Worker entry point: JSON spec in, JSON result out (picklable both ways)."""
-    spec = ExperimentSpec.from_json(payload)
-    return spec.execute().to_json()
+class SweepJournal:
+    """Append-only manifest of per-cell sweep progress.
+
+    One JSON line per terminal cell event — digest, grid index, label,
+    status (``ok`` / ``failed``), attempts used and (on failure) the
+    structured error.  Lines are appended with a flush after every cell,
+    so a crash of the *driver* loses at most the line being written;
+    :meth:`load` tolerates a torn tail line.  ``SweepRunner(resume=True,
+    journal=...)`` replays the journal to skip completed cells — serving
+    successes from the result cache and reconstructing failures — and
+    re-executes only unfinished ones.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Digest → most recent journal entry (corrupt lines skipped)."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        if not self.path.exists():
+            return entries
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail line from a mid-write crash
+            if isinstance(entry, dict) and entry.get("digest"):
+                entries[entry["digest"]] = entry
+        return entries
+
+    def record(
+        self,
+        *,
+        digest: str,
+        index: int,
+        label: str,
+        status: str,
+        attempts: int,
+        error: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        entry: Dict[str, Any] = {
+            "schema": JOURNAL_SCHEMA,
+            "digest": digest,
+            "index": index,
+            "label": label,
+            "status": status,
+            "attempts": attempts,
+        }
+        if error is not None:
+            entry["error"] = dict(error)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 class SweepRunner:
-    """Execute a batch of specs, serially or across a process pool.
+    """Execute a batch of specs through a resilient, pluggable backend.
 
     ``jobs=1`` runs in-process (results keep their live ``run`` objects);
-    ``jobs>1`` fans out over ``multiprocessing``.  Each cell is seeded by
-    its spec alone, so both modes are bit-identical up to timings.
+    ``jobs>1`` fans each cell out to its own worker process.  Each cell
+    is seeded by its spec alone, so every backend is bit-identical up to
+    timings.  ``executor`` overrides the jobs-derived default with a
+    registered backend name (``"serial"`` / ``"pool"`` / ``"shard"`` /
+    ``"flaky"``) or a live :class:`~repro.engine.executors.Executor`.
+
+    The resilience layer around the backend:
+
+    * ``timeout`` — per-cell wall-clock budget; a cell over budget has
+      its worker killed and counts as a failed attempt (process backends
+      enforce it for real, the serial backend only for injected hangs).
+    * ``retries`` — failed attempts are re-submitted up to ``retries``
+      times, with exponential backoff and seeded jitter
+      (:func:`~repro.engine.executors.retry_delay`) between waves.
+    * ``max_failures`` — cells that fail every attempt degrade to
+      :class:`~repro.engine.executors.CellFailure` artifacts in the
+      results; once their count *exceeds* this threshold the sweep
+      aborts (the default ``0`` preserves the historical fail-fast
+      behaviour; ``None`` never aborts).  Successes computed before an
+      abort are already cached and journaled.
+    * ``journal`` / ``resume`` — every terminal cell outcome is appended
+      to a :class:`SweepJournal`; ``resume=True`` replays it so a
+      re-launched driver executes only unfinished cells.
 
     With a :class:`~repro.engine.cache.ResultCache` attached, cells whose
     spec digest is already stored are served from disk — byte-identical
-    payload, zero simulator events — and only the missing cells execute
-    (and are stored back).  Results always come back in spec order.
+    payload, zero simulator events — and each success is stored back the
+    moment it completes, so a mid-sweep failure never discards finished
+    work.  Results always come back in spec order.
     """
 
     def __init__(
@@ -167,60 +279,229 @@ class SweepRunner:
         jobs: int = 1,
         start_method: Optional[str] = None,
         cache: Optional[ResultCache] = None,
+        *,
+        executor: Optional[Union[str, Executor]] = None,
+        retries: int = 0,
+        timeout: Optional[float] = None,
+        backoff: float = 0.05,
+        max_failures: Optional[int] = 0,
+        journal: Optional[Union[str, Path, SweepJournal]] = None,
+        resume: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.jobs = jobs
         self.start_method = start_method
         self.cache = cache
+        if isinstance(executor, str):
+            executor = make_executor(executor, jobs=jobs, start_method=start_method)
+        self.executor = executor
+        self.retries = retries
+        self.timeout = timeout
+        self.backoff = backoff
+        self.max_failures = max_failures
+        if journal is not None and not isinstance(journal, SweepJournal):
+            journal = SweepJournal(journal)
+        self.journal = journal
+        if resume and self.journal is None:
+            raise ValueError("resume=True requires a journal")
+        if resume and self.cache is None:
+            raise ValueError(
+                "resume=True requires a cache (completed cells are restored from it)"
+            )
+        self.resume = resume
         #: Cache hits of the most recent :meth:`run` call (0 without a cache).
         self.last_cache_hits = 0
+        #: Cells of the most recent run that actually executed (any attempt).
+        self.last_executed = 0
+        #: Cells restored from the journal by ``resume=True``.
+        self.last_resumed = 0
+        #: Cells that ended as :class:`CellFailure` artifacts.
+        self.last_failures = 0
+        #: Total attempts submitted to the backend (retries included).
+        self.last_attempts = 0
+        #: Grid indices the backend's shard selected in the most recent run.
+        self.last_indices: List[int] = []
 
-    def run(self, specs: Sequence[ExperimentSpec]) -> List[RunResult]:
+    def _default_executor(self, cells: int) -> Executor:
+        if self.jobs == 1 or cells <= 1:
+            return SerialExecutor()
+        return PoolExecutor(jobs=self.jobs, start_method=self.start_method)
+
+    def run(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> List[Union[RunResult, CellFailure]]:
         specs = list(specs)
-        if self.cache is None:
-            self.last_cache_hits = 0
-            return self._execute(specs)
-        slots, missing = self.cache.partition(specs)
-        self.last_cache_hits = len(specs) - len(missing)
-        if missing:
-            fresh = self._execute([specs[i] for i in missing])
-            for index, result in zip(missing, fresh):
-                try:
-                    self.cache.put(result)
-                except OSError as error:
-                    # Never lose an already-computed sweep to a cache-write
-                    # failure (read-only dir, disk full): mirror the read
-                    # side, where bad entries degrade to misses.
-                    warnings.warn(
-                        f"result cache write failed ({error}); "
-                        "continuing without caching this cell",
-                        RuntimeWarning,
-                        stacklevel=2,
+        executor = self.executor or self._default_executor(len(specs))
+        indices = list(executor.shard_of(len(specs)))
+        self.last_indices = indices
+        self.last_cache_hits = 0
+        self.last_executed = 0
+        self.last_resumed = 0
+        self.last_failures = 0
+        self.last_attempts = 0
+
+        slots: Dict[int, Union[RunResult, CellFailure]] = {}
+        journal_state = (
+            self.journal.load() if (self.resume and self.journal is not None) else {}
+        )
+        pending: List[CellTask] = []
+        for index in indices:
+            spec = specs[index]
+            digest = spec_digest(spec)
+            entry = journal_state.get(digest)
+            if entry is not None and entry.get("status") == "ok":
+                cached = self.cache.get(spec) if self.cache is not None else None
+                if cached is not None:
+                    slots[index] = cached
+                    self.last_resumed += 1
+                    continue
+                warnings.warn(
+                    f"journal marks cell {spec.label or spec.protocol!r} complete "
+                    "but the result cache has no entry for it; re-executing",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            elif entry is not None and entry.get("status") == "failed":
+                slots[index] = CellFailure(
+                    spec=spec,
+                    attempts=int(entry.get("attempts", 0)),
+                    error=dict(entry.get("error") or {}),
+                )
+                self.last_resumed += 1
+                self.last_failures += 1
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(spec)
+                if cached is not None:
+                    slots[index] = cached
+                    self.last_cache_hits += 1
+                    continue
+            pending.append(CellTask.for_spec(index, spec, digest=digest))
+
+        if pending:
+            self._execute_resilient(executor, pending, slots)
+        return [slots[index] for index in indices]
+
+    def _execute_resilient(
+        self,
+        executor: Executor,
+        tasks: List[CellTask],
+        slots: Dict[int, Union[RunResult, CellFailure]],
+    ) -> None:
+        """Wave-based retry loop; mutates ``slots`` as cells finish."""
+        failures: List[CellFailure] = []
+        abort_exception: Optional[BaseException] = None
+        wave = tasks
+        while wave:
+            attempt = wave[0].attempt
+            final_attempt = attempt > self.retries
+            stop_after = None
+            if final_attempt and self.max_failures is not None:
+                # On final attempts every error is a final failure, so a
+                # sequential backend may stop once the abort is certain.
+                stop_after = max(0, self.max_failures - len(failures))
+            outcomes = executor.run_batch(
+                wave, timeout=self.timeout, stop_after_failures=stop_after
+            )
+            self.last_attempts += len(outcomes)
+            # Successes first: cache and journal every finished cell before
+            # surfacing any failure from the same wave, so a partial-failure
+            # abort never discards computed results.
+            for outcome in outcomes:
+                if not outcome.ok:
+                    continue
+                task = outcome.task
+                result = outcome.result
+                if self.cache is not None:
+                    try:
+                        self.cache.put(result)
+                    except OSError as error:
+                        # Never lose an already-computed sweep to a
+                        # cache-write failure (read-only dir, disk full):
+                        # mirror the read side, where bad entries degrade
+                        # to misses.
+                        warnings.warn(
+                            f"result cache write failed ({error}); "
+                            "continuing without caching this cell",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                if self.journal is not None:
+                    self.journal.record(
+                        digest=task.digest,
+                        index=task.index,
+                        label=task.label,
+                        status="ok",
+                        attempts=task.attempt,
                     )
-                slots[index] = result
-        return [result for result in slots if result is not None]
+                slots[task.index] = result
+                self.last_executed += 1
+            retry: List[CellTask] = []
+            for outcome in outcomes:
+                if outcome.ok:
+                    continue
+                task = outcome.task
+                if task.attempt <= self.retries:
+                    retry.append(
+                        dataclasses.replace(task, attempt=task.attempt + 1, inject=None)
+                    )
+                    continue
+                failure = CellFailure(
+                    spec=task.spec, attempts=task.attempt, error=outcome.error_dict()
+                )
+                if self.journal is not None:
+                    self.journal.record(
+                        digest=task.digest,
+                        index=task.index,
+                        label=task.label,
+                        status="failed",
+                        attempts=task.attempt,
+                        error=failure.error,
+                    )
+                slots[task.index] = failure
+                failures.append(failure)
+                self.last_executed += 1
+                if abort_exception is None and outcome.exception is not None:
+                    abort_exception = outcome.exception
+            self.last_failures += len(
+                [o for o in outcomes if not o.ok and o.task.attempt > self.retries]
+            )
+            if self.max_failures is not None and len(failures) > self.max_failures:
+                if abort_exception is not None:
+                    # The failing attempt ran in-process: preserve the
+                    # historical contract and surface the original error.
+                    raise abort_exception
+                raise SweepAbortedError(failures, self.max_failures)
+            if retry:
+                delay = max(
+                    retry_delay(self.backoff, task.attempt, task.digest)
+                    for task in retry
+                )
+                if delay > 0:
+                    time.sleep(delay)
+            wave = retry
 
-    def _execute(self, specs: Sequence[ExperimentSpec]) -> List[RunResult]:
-        if self.jobs == 1 or len(specs) <= 1:
-            return [spec.execute() for spec in specs]
-        try:
-            ctx = multiprocessing.get_context(self.start_method)
-            pool = ctx.Pool(processes=min(self.jobs, len(specs)))
-        except (OSError, ImportError):
-            # Restricted environments (no /dev/shm, no fork) cannot build a
-            # pool at all; fall back to the serial path rather than failing
-            # the sweep.  Errors raised *inside* workers (bad specs, genuine
-            # runtime failures) propagate — they would fail serially too.
-            return [spec.execute() for spec in specs]
-        with pool:
-            payloads = pool.map(_execute_payload, [s.to_json() for s in specs])
-        return [RunResult.from_dict(json.loads(p)) for p in payloads]
 
+def results_payload(
+    results: Sequence[Union[RunResult, CellFailure]],
+    *,
+    shard: Optional[Sequence[int]] = None,
+) -> Dict[str, Any]:
+    """The stable JSON document a sweep writes to disk (``repro.sweep/2``).
 
-def results_payload(results: Sequence[RunResult]) -> Dict[str, Any]:
-    """The stable JSON document a sweep writes to disk."""
-    return {
-        "schema": "repro.sweep/1",
+    ``cells`` holds successful results and :class:`CellFailure` artifacts
+    (marked ``"cell_failure": true``) in grid order; ``failures`` counts
+    the latter.  ``shard=(i, k)`` stamps shard provenance on partial
+    payloads produced by ``--backend shard``.
+    """
+    payload: Dict[str, Any] = {
+        "schema": SWEEP_SCHEMA,
         "cells": [result.to_dict() for result in results],
+        "failures": sum(1 for r in results if isinstance(r, CellFailure)),
     }
+    if shard is not None:
+        payload["shard"] = {"index": int(shard[0]), "count": int(shard[1])}
+    return payload

@@ -145,6 +145,7 @@ class TestProfile:
             "topology",
             "workload",
             "resilience",
+            "sweeps",
             "protocol_runs",
             "table1_sweep",
             "cache_sweep",

@@ -1,0 +1,422 @@
+"""Unit tests for the pluggable executor backends and the resilience loop."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import UnknownVocabularyError
+from repro.engine import (
+    CellFailure,
+    CellTask,
+    ExperimentSpec,
+    FlakyExecutor,
+    PoolExecutor,
+    ResultCache,
+    SerialExecutor,
+    ShardExecutor,
+    SweepAbortedError,
+    SweepJournal,
+    SweepRunner,
+    available_executors,
+    get_executor,
+    make_executor,
+    register_executor,
+    retry_delay,
+)
+from repro.engine.executors import EXECUTOR_REGISTRY
+
+
+def small_specs(count, duration=20.0, seed=0):
+    return [
+        ExperimentSpec(protocol="hyperledger", replicas=3, duration=duration, seed=seed + i)
+        for i in range(count)
+    ]
+
+
+def stable(record):
+    return record.stable_dict()
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(available_executors()) >= {"serial", "pool", "shard", "flaky"}
+
+    def test_get_executor_resolves(self):
+        assert get_executor("serial") is SerialExecutor
+        assert get_executor("pool") is PoolExecutor
+
+    def test_unknown_name_raises_uniform_vocabulary_error(self):
+        with pytest.raises(UnknownVocabularyError) as excinfo:
+            get_executor("warp")
+        message = str(excinfo.value)
+        assert "unknown executor 'warp'" in message
+        for name in available_executors():
+            assert repr(name) in message
+        # The uniform error is catchable as both KeyError and ValueError.
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_make_executor_unknown_name(self):
+        with pytest.raises(UnknownVocabularyError, match="unknown executor"):
+            make_executor("warp")
+
+    def test_runner_accepts_backend_names(self):
+        runner = SweepRunner(executor="serial")
+        assert isinstance(runner.executor, SerialExecutor)
+        with pytest.raises(UnknownVocabularyError):
+            SweepRunner(executor="warp")
+
+    def test_collision_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_executor("serial")(SerialExecutor)
+        assert EXECUTOR_REGISTRY["serial"] is SerialExecutor
+
+    def test_third_party_registration_constructs_nullary(self):
+        @register_executor("test-noop")
+        class NoopExecutor(SerialExecutor):
+            pass
+
+        try:
+            assert isinstance(make_executor("test-noop"), NoopExecutor)
+        finally:
+            del EXECUTOR_REGISTRY["test-noop"]
+
+
+class TestSerialExecutor:
+    def test_successful_batch_keeps_live_results(self):
+        tasks = [CellTask.for_spec(i, s) for i, s in enumerate(small_specs(2))]
+        outcomes = SerialExecutor().run_batch(tasks)
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        assert all(o.result.run is not None for o in outcomes)
+
+    def test_error_outcome_carries_live_exception(self):
+        spec = ExperimentSpec(protocol="hyperledger", params={"bogus": 1})
+        (outcome,) = SerialExecutor().run_batch([CellTask.for_spec(0, spec)])
+        assert outcome.status == "error"
+        assert outcome.error_type == "ValueError"
+        assert isinstance(outcome.exception, ValueError)
+
+    def test_injected_hang_and_kill_are_synthetic(self):
+        tasks = [
+            CellTask.for_spec(i, s) for i, s in enumerate(small_specs(2))
+        ]
+        tasks[0].inject = "hang"
+        tasks[1].inject = "kill"
+        outcomes = SerialExecutor().run_batch(tasks, timeout=0.5)
+        assert [o.status for o in outcomes] == ["timeout", "died"]
+
+    def test_stop_after_failures_truncates_the_batch(self):
+        bad = ExperimentSpec(protocol="hyperledger", params={"bogus": 1})
+        tasks = [CellTask.for_spec(i, bad) for i in range(4)]
+        outcomes = SerialExecutor().run_batch(tasks, stop_after_failures=1)
+        assert len(outcomes) == 2  # stopped once the abort became certain
+
+
+class TestPoolExecutor:
+    def test_per_cell_failure_does_not_poison_the_batch(self):
+        good = small_specs(2)
+        bad = ExperimentSpec(protocol="hyperledger", params={"bogus": 1})
+        tasks = [
+            CellTask.for_spec(0, good[0]),
+            CellTask.for_spec(1, bad),
+            CellTask.for_spec(2, good[1]),
+        ]
+        outcomes = PoolExecutor(jobs=2).run_batch(tasks)
+        assert [o.status for o in outcomes] == ["ok", "error", "ok"]
+        assert outcomes[1].error_type == "ValueError"
+        assert outcomes[0].result is not None
+
+    def test_matches_serial_up_to_timings(self):
+        tasks = [CellTask.for_spec(i, s) for i, s in enumerate(small_specs(2))]
+        pooled = PoolExecutor(jobs=2).run_batch(tasks)
+        serial = SerialExecutor().run_batch(tasks)
+        assert [stable(o.result) for o in pooled] == [stable(o.result) for o in serial]
+
+    def test_hung_worker_is_killed_on_timeout(self):
+        (task,) = [CellTask.for_spec(0, small_specs(1)[0])]
+        task.inject = "hang"
+        (outcome,) = PoolExecutor(jobs=1).run_batch([task], timeout=0.5)
+        assert outcome.status == "timeout"
+        assert "terminated" in outcome.error_message
+
+    def test_killed_worker_reports_death(self):
+        (task,) = [CellTask.for_spec(0, small_specs(1)[0])]
+        task.inject = "kill"
+        (outcome,) = PoolExecutor(jobs=1).run_batch([task])
+        assert outcome.status == "died"
+        assert outcome.error_type == "WorkerDied"
+
+    def test_construction_failure_degrades_serially_with_a_warning(self, monkeypatch):
+        import multiprocessing
+
+        class BrokenContext:
+            def Pipe(self, duplex=False):
+                raise OSError("no pipes in this sandbox")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method=None: BrokenContext()
+        )
+        tasks = [CellTask.for_spec(i, s) for i, s in enumerate(small_specs(2))]
+        with pytest.warns(RuntimeWarning, match="worker process construction failed"):
+            outcomes = PoolExecutor(jobs=2).run_batch(tasks)
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+
+
+class TestShardExecutor:
+    def test_shard_of_partitions_deterministically(self):
+        shards = [ShardExecutor(i, 4).shard_of(10) for i in range(4)]
+        flat = sorted(index for shard in shards for index in shard)
+        assert flat == list(range(10))
+        assert list(shards[1]) == [1, 5, 9]
+
+    def test_invalid_shard_parameters_rejected(self):
+        with pytest.raises(ValueError, match="shard_index"):
+            ShardExecutor(4, 4)
+        with pytest.raises(ValueError, match="shard_count"):
+            ShardExecutor(0, 0)
+        with pytest.raises(ValueError, match="shard_index and shard_count"):
+            make_executor("shard")
+
+    def test_shard_union_is_byte_identical_to_serial(self, tmp_path):
+        specs = small_specs(5)
+        serial = SweepRunner(jobs=1).run(specs)
+        cache_dir = tmp_path / "cache"
+        union = {}
+        for index in range(4):
+            runner = SweepRunner(
+                cache=ResultCache(cache_dir),
+                executor=make_executor("shard", shard_index=index, shard_count=4),
+            )
+            records = runner.run(specs)
+            for grid_index, record in zip(runner.last_indices, records):
+                union[grid_index] = record
+        assert sorted(union) == list(range(5))
+        assert [union[i].stable_json() for i in range(5)] == [
+            r.stable_json() for r in serial
+        ]
+        merge = SweepRunner(cache=ResultCache(cache_dir))
+        merged = merge.run(specs)
+        assert merge.last_cache_hits == 5 and merge.last_executed == 0
+        assert [stable(r) for r in merged] == [stable(r) for r in serial]
+
+
+class TestFlakyExecutor:
+    def test_plan_injections_are_scripted(self):
+        flaky = FlakyExecutor(SerialExecutor(), plan={0: {1: "exception"}})
+        tasks = [CellTask.for_spec(i, s) for i, s in enumerate(small_specs(2))]
+        outcomes = flaky.run_batch(tasks)
+        assert [o.status for o in outcomes] == ["error", "ok"]
+        assert outcomes[0].error_type == "InjectedFault"
+        assert flaky.injections == [(0, 1, "exception")]
+
+    def test_rates_are_deterministic_per_digest_and_attempt(self):
+        specs = small_specs(6)
+        tasks = [CellTask.for_spec(i, s) for i, s in enumerate(specs)]
+
+        def injected(seed):
+            flaky = FlakyExecutor(SerialExecutor(), rates={"exception": 0.5}, seed=seed)
+            flaky.run_batch(tasks)
+            return flaky.injections
+
+        assert injected(3) == injected(3)
+        assert injected(3) != injected(4)
+
+    def test_unknown_injection_kind_rejected(self):
+        with pytest.raises(UnknownVocabularyError, match="injection kind"):
+            FlakyExecutor(SerialExecutor(), rates={"gamma-ray": 1.0})
+        with pytest.raises(UnknownVocabularyError, match="injection kind"):
+            FlakyExecutor(SerialExecutor(), plan={0: {1: "gamma-ray"}})
+
+
+class TestRetryDelay:
+    def test_deterministic_and_exponential(self):
+        first = retry_delay(0.1, 2, "digest-a")
+        assert first == retry_delay(0.1, 2, "digest-a")
+        assert retry_delay(0.1, 2, "digest-a") != retry_delay(0.1, 2, "digest-b")
+        assert retry_delay(0.1, 4, "digest-a") > 2 * retry_delay(0.1, 2, "digest-a")
+        assert 0.1 <= first < 0.15
+
+    def test_zero_backoff_disables_sleeping(self):
+        assert retry_delay(0.0, 5, "digest-a") == 0.0
+
+
+class TestResilienceLoop:
+    def test_chaos_sweep_degrades_and_recovers(self, tmp_path):
+        specs = small_specs(4)
+        flaky = FlakyExecutor(
+            SerialExecutor(),
+            plan={
+                0: {1: "exception"},
+                1: {1: "hang"},
+                2: {1: "kill"},
+                3: {1: "exception", 2: "exception", 3: "exception"},
+            },
+        )
+        runner = SweepRunner(
+            executor=flaky,
+            retries=2,
+            timeout=1.0,
+            backoff=0.0,
+            max_failures=None,
+            journal=tmp_path / "journal.jsonl",
+            cache=ResultCache(tmp_path / "cache"),
+        )
+        records = runner.run(specs)
+        assert len(records) == 4
+        assert [isinstance(r, CellFailure) for r in records] == [
+            False, False, False, True,
+        ]
+        clean = SweepRunner(jobs=1).run(specs)
+        assert [stable(r) for r in records[:3]] == [stable(r) for r in clean[:3]]
+        failure = records[3]
+        assert failure.attempts == 3
+        assert failure.error["type"] == "InjectedFault"
+        assert runner.last_failures == 1
+
+    def test_retried_cells_are_byte_identical_to_clean_runs(self):
+        specs = small_specs(2)
+        flaky = FlakyExecutor(SerialExecutor(), plan={0: {1: "exception"}})
+        retried = SweepRunner(
+            executor=flaky, retries=1, backoff=0.0, max_failures=None
+        ).run(specs)
+        clean = SweepRunner(jobs=1).run(specs)
+        assert [r.stable_json() for r in retried] == [r.stable_json() for r in clean]
+
+    def test_default_zero_failure_budget_reraises_the_original_error(self):
+        bad = ExperimentSpec(protocol="hyperledger", params={"bogus": 1})
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            SweepRunner(jobs=1).run([bad])
+
+    def test_max_failures_exceeded_raises_sweep_aborted(self):
+        specs = small_specs(3)
+        flaky = FlakyExecutor(
+            SerialExecutor(), plan={i: {1: "hang"} for i in range(3)}
+        )
+        with pytest.raises(SweepAbortedError, match="exceeded --max-failures 1"):
+            SweepRunner(executor=flaky, timeout=0.1, max_failures=1).run(specs)
+
+    def test_successes_survive_an_abort_in_the_cache(self, tmp_path):
+        specs = small_specs(2) + [
+            ExperimentSpec(protocol="hyperledger", params={"bogus": 1})
+        ]
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=1, cache=cache).run(specs)
+        # Regression: the two good cells were computed before the failure
+        # surfaced; with per-cell puts they are already cached.
+        slots, missing = cache.partition(specs[:2])
+        assert missing == [] and all(r is not None for r in slots)
+
+    def test_payload_carries_structured_failures(self):
+        from repro.engine import results_payload
+
+        specs = small_specs(2)
+        flaky = FlakyExecutor(
+            SerialExecutor(), plan={1: {1: "exception", 2: "exception"}}
+        )
+        records = SweepRunner(
+            executor=flaky, retries=1, backoff=0.0, max_failures=None
+        ).run(specs)
+        payload = results_payload(records, shard=(0, 1))
+        assert payload["schema"] == "repro.sweep/2"
+        assert payload["failures"] == 1
+        assert payload["shard"] == {"index": 0, "count": 1}
+        failed = payload["cells"][1]
+        assert failed["cell_failure"] is True
+        assert failed["attempts"] == 2
+        assert failed["error"]["type"] == "InjectedFault"
+        restored = CellFailure.from_dict(failed)
+        assert restored.spec == specs[1]
+        # The whole payload round-trips through strict JSON.
+        json.loads(json.dumps(payload))
+
+
+class TestJournalAndResume:
+    def test_journal_records_every_terminal_cell(self, tmp_path):
+        specs = small_specs(2)
+        journal_path = tmp_path / "journal.jsonl"
+        flaky = FlakyExecutor(SerialExecutor(), plan={1: {1: "exception"}})
+        SweepRunner(
+            executor=flaky,
+            backoff=0.0,
+            max_failures=None,
+            journal=journal_path,
+            cache=ResultCache(tmp_path / "cache"),
+        ).run(specs)
+        entries = [json.loads(line) for line in journal_path.read_text().splitlines()]
+        assert [e["status"] for e in entries] == ["ok", "failed"]
+        assert all(e["schema"] == "repro.sweep-journal/1" for e in entries)
+        assert entries[1]["attempts"] == 1
+        assert entries[1]["error"]["type"] == "InjectedFault"
+
+    def test_resume_executes_only_unfinished_cells(self, tmp_path, monkeypatch):
+        specs = small_specs(3)
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        cache = ResultCache(tmp_path / "cache")
+        # First driver "crashes" after two cells: simulate by journaling a
+        # partial run.
+        SweepRunner(cache=cache, journal=journal).run(specs[:2])
+
+        executions = []
+        original = ExperimentSpec.execute
+
+        def counting_execute(self):
+            executions.append(self.seed)
+            return original(self)
+
+        monkeypatch.setattr(ExperimentSpec, "execute", counting_execute)
+        runner = SweepRunner(cache=cache, journal=journal, resume=True)
+        records = runner.run(specs)
+        assert executions == [specs[2].seed]
+        assert runner.last_resumed == 2 and runner.last_executed == 1
+        assert len(records) == 3
+
+    def test_resume_restores_failures_without_rerunning_them(self, tmp_path):
+        specs = small_specs(2)
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        cache = ResultCache(tmp_path / "cache")
+        flaky = FlakyExecutor(SerialExecutor(), plan={1: {1: "exception", 2: "exception"}})
+        SweepRunner(
+            executor=flaky,
+            retries=1,
+            backoff=0.0,
+            max_failures=None,
+            journal=journal,
+            cache=cache,
+        ).run(specs)
+        runner = SweepRunner(cache=cache, journal=journal, resume=True, max_failures=None)
+        records = runner.run(specs)
+        assert runner.last_executed == 0 and runner.last_resumed == 2
+        assert isinstance(records[1], CellFailure)
+        assert records[1].error["type"] == "InjectedFault"
+
+    def test_resume_tolerates_a_torn_journal_tail(self, tmp_path):
+        specs = small_specs(1)
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache, journal=journal).run(specs)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"digest": "truncat')  # mid-write driver crash
+        runner = SweepRunner(cache=cache, journal=journal, resume=True)
+        records = runner.run(specs)
+        assert runner.last_resumed == 1 and len(records) == 1
+
+    def test_resume_reexecutes_when_cache_entry_is_missing(self, tmp_path):
+        specs = small_specs(1)
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache, journal=journal).run(specs)
+        for entry in (tmp_path / "cache").iterdir():
+            entry.unlink()
+        runner = SweepRunner(cache=cache, journal=journal, resume=True)
+        with pytest.warns(RuntimeWarning, match="result cache has no entry"):
+            records = runner.run(specs)
+        assert runner.last_executed == 1 and len(records) == 1
+
+    def test_resume_requires_journal_and_cache(self, tmp_path):
+        with pytest.raises(ValueError, match="requires a journal"):
+            SweepRunner(resume=True, cache=ResultCache(tmp_path / "c"))
+        with pytest.raises(ValueError, match="requires a cache"):
+            SweepRunner(resume=True, journal=tmp_path / "j.jsonl")

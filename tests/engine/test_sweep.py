@@ -143,6 +143,46 @@ class TestSweepRunner:
             [ExperimentSpec(protocol="hyperledger", replicas=3, duration=30.0, seed=0)]
         )
         payload = results_payload(records)
-        assert payload["schema"] == "repro.sweep/1"
+        assert payload["schema"] == "repro.sweep/2"
+        assert payload["failures"] == 0
+        assert "shard" not in payload
         assert len(payload["cells"]) == 1
         assert payload["cells"][0]["spec"]["protocol"] == "hyperledger"
+
+    def test_pool_construction_fallback_warns_and_completes(self, monkeypatch):
+        import multiprocessing
+
+        class BrokenContext:
+            def Pipe(self, duplex=False):
+                raise OSError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method=None: BrokenContext()
+        )
+        specs = [
+            ExperimentSpec(protocol="hyperledger", replicas=3, duration=30.0, seed=s)
+            for s in (0, 1)
+        ]
+        with pytest.warns(RuntimeWarning, match="worker process construction failed"):
+            records = SweepRunner(jobs=2).run(specs)
+        assert [r.spec.seed for r in records] == [0, 1]
+
+    def test_partial_failure_keeps_computed_cells_cached(self, tmp_path):
+        from repro.engine import ResultCache
+
+        good = [
+            ExperimentSpec(protocol="hyperledger", replicas=3, duration=30.0, seed=s)
+            for s in (0, 1)
+        ]
+        bad = ExperimentSpec(protocol="hyperledger", params={"bogus": 1})
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            SweepRunner(jobs=1, cache=cache).run(good + [bad])
+        # Regression (per-cell puts): both good cells were computed before
+        # the bad one surfaced its error, and must already be on disk.
+        slots, missing = cache.partition(good)
+        assert missing == []
+        rerun = SweepRunner(jobs=1, cache=cache)
+        records = rerun.run(good)
+        assert rerun.last_cache_hits == 2
+        assert [r.spec.seed for r in records] == [0, 1]

@@ -82,7 +82,8 @@ class TestSweepCommand:
         assert "2 cells" in captured
         import json
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro.sweep/1"
+        assert payload["schema"] == "repro.sweep/2"
+        assert payload["failures"] == 0
         assert len(payload["cells"]) == 2
         assert [c["spec"]["seed"] for c in payload["cells"]] == [0, 1]
         assert all("classification" in c for c in payload["cells"])
@@ -135,6 +136,119 @@ class TestSweepCommand:
         assert args.cache == ".repro-cache"
         args = build_parser().parse_args(["sweep", "--protocol", "bitcoin"])
         assert args.cache is None
+
+    def test_sweep_resilience_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "--protocol", "bitcoin"])
+        assert args.backend is None
+        assert args.shard_index is None
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.max_failures == 0
+        assert args.journal is None
+        assert not args.resume
+        args = build_parser().parse_args(["sweep", "--protocol", "bitcoin", "--journal"])
+        assert args.journal == "sweep.journal.jsonl"
+
+    def test_sweep_unknown_backend_lists_registered(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--protocol", "bitcoin", "--backend", "warp"])
+        message = str(excinfo.value)
+        assert "unknown executor 'warp'" in message
+        assert "'serial'" in message and "'shard'" in message
+
+    def test_sweep_shard_flag_validation(self):
+        with pytest.raises(SystemExit, match="requires --shard-index"):
+            main(["sweep", "--protocol", "bitcoin", "--backend", "shard"])
+        with pytest.raises(SystemExit, match="cannot parse --shard-index"):
+            main(["sweep", "--protocol", "bitcoin", "--shard-index", "four"])
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["sweep", "--protocol", "bitcoin", "--shard-index", "4/4"])
+        with pytest.raises(SystemExit, match="requires --backend shard"):
+            main([
+                "sweep", "--protocol", "bitcoin",
+                "--backend", "serial", "--shard-index", "0/4",
+            ])
+
+    def test_sweep_resume_flag_validation(self):
+        with pytest.raises(SystemExit, match="requires --journal"):
+            main(["sweep", "--protocol", "bitcoin", "--resume", "--cache"])
+        with pytest.raises(SystemExit, match="requires --cache"):
+            main(["sweep", "--protocol", "bitcoin", "--resume", "--journal"])
+
+    def test_sweep_flaky_rates_validation(self):
+        with pytest.raises(SystemExit, match="unknown injection kind"):
+            main([
+                "sweep", "--protocol", "bitcoin", "--flaky-rates", "gamma-ray=0.5",
+            ])
+        with pytest.raises(SystemExit, match="cannot parse --flaky-rates"):
+            main(["sweep", "--protocol", "bitcoin", "--flaky-rates", "exception"])
+
+    def test_sweep_shard_invocations_merge_byte_identically(self, capsys, tmp_path):
+        common = [
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "30", "--seeds", "0:4", "--cache", str(tmp_path / "cache"),
+        ]
+        for index in range(4):
+            out = tmp_path / f"shard{index}.json"
+            assert main(common + ["--shard-index", f"{index}/4", "--out", str(out)]) == 0
+            shard_out = capsys.readouterr().out
+            assert f"[shard {index}/4: 1/4 grid cells]" in shard_out
+            payload = json.loads(out.read_text())
+            assert payload["shard"] == {"index": index, "count": 4}
+            assert len(payload["cells"]) == 1
+
+        serial_out = tmp_path / "serial.json"
+        assert main([
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "30", "--seeds", "0:4", "--out", str(serial_out),
+        ]) == 0
+        merged_out = tmp_path / "merged.json"
+        assert main(common + ["--out", str(merged_out)]) == 0
+        merged_text = capsys.readouterr().out
+        assert "4/4 cells from cache" in merged_text
+
+        def stable_cells(path):
+            return [
+                {k: v for k, v in cell.items() if k != "timings"}
+                for cell in json.loads(path.read_text())["cells"]
+            ]
+
+        union = [
+            stable_cells(tmp_path / f"shard{index}.json")[0] for index in range(4)
+        ]
+        assert union == stable_cells(serial_out)
+        assert stable_cells(merged_out) == stable_cells(serial_out)
+
+    def test_sweep_resume_skips_completed_cells(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "30", "--seeds", "0:2",
+            "--cache", str(tmp_path / "cache"),
+            "--journal", str(tmp_path / "journal.jsonl"),
+            "--out", str(tmp_path / "results.json"),
+        ]
+        assert main(argv) == 0
+        first_payload = (tmp_path / "results.json").read_text()
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "2 resumed from journal" in out
+        assert (tmp_path / "results.json").read_text() == first_payload
+
+    def test_sweep_chaos_run_degrades_failures_into_the_payload(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        assert main([
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "30", "--seeds", "0:4",
+            "--flaky-rates", "exception=1.0", "--retries", "1",
+            "--retry-backoff", "0", "--max-failures", "-1", "--out", str(out),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "4 FAILED" in captured
+        assert "FAILED after 2 attempt(s)" in captured
+        payload = json.loads(out.read_text())
+        assert payload["failures"] == 4
+        assert all(cell["cell_failure"] for cell in payload["cells"])
 
 
 class TestBenchCommand:
