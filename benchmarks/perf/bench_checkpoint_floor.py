@@ -1,0 +1,83 @@
+"""Cost and correctness floors for deterministic checkpoint/restore.
+
+The ``checkpoint`` bench section measures the two promises the
+checkpoint subsystem makes on population-scale runs; this floor turns
+them into CI bars:
+
+* ``checkpoint_overhead`` — wall-clock amortized checkpointing (ambient
+  ``checkpoint_every=5000`` boundaries, durable writes throttled by the
+  recorded ``min_write_interval``) must cost **under 10%** of the run it
+  protects, measured as the writer's cumulative in-sink seconds over the
+  rest of its own run.  At least one crash-safe snapshot must actually
+  be persisted per leg (a zero-write leg would pass vacuously), and the
+  checkpointed legs must classify ``stable_dict()``-identical to the
+  clean leg;
+* ``checkpoint_recovery`` — a run killed (simulated) at ~50% of its
+  event budget and resumed from the on-disk snapshot must produce a
+  final artifact ``stable_dict()``-identical to the uninterrupted run,
+  with the kill landing strictly mid-run.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_checkpoint_floor.py -q
+
+Like the siblings, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True, scenarios=["checkpoint"])
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_checkpoint_overhead_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    overhead = report["scenarios"]["checkpoint_overhead"]
+
+    assert overhead["checkpoint_every"] == 5000
+    for size, cell in overhead["sizes"].items():
+        # A leg that never persisted a snapshot measures nothing.
+        assert min(cell["checkpoints_written"]) >= 1, (
+            f"size {size}: a checkpointed leg persisted no snapshot "
+            f"(min_write_interval={cell['min_write_interval']})"
+        )
+        assert cell["min_write_interval"] > 0
+        assert cell["identical"] is True, (
+            f"size {size}: checkpointed legs diverged from the clean run"
+        )
+    assert overhead["max_overhead"] < 0.10, (
+        f"checkpointing cost {overhead['max_overhead']:.1%} of the run it "
+        f"protects at the benched interval; the floor is 10%"
+    )
+    assert overhead["all_identical"] is True
+
+
+def test_checkpoint_recovery_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    recovery = report["scenarios"]["checkpoint_recovery"]
+
+    # The simulated kill must land strictly mid-run: late enough that
+    # real progress is thrown away, early enough that real work remains.
+    assert 0.0 < recovery["kill_fraction"] < 1.0, (
+        f"kill landed at {recovery['kill_fraction']} of the event budget"
+    )
+    assert recovery["killed_after_event"] > 0
+    assert recovery["identical_after_resume"] is True, (
+        "resumed run is not stable_dict()-identical to the clean run"
+    )

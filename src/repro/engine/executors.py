@@ -182,6 +182,9 @@ class AttemptOutcome:
     error_type: Optional[str] = None
     error_message: Optional[str] = None
     exception: Optional[BaseException] = field(default=None, repr=False, compare=False)
+    #: Event count of the checkpoint this attempt resumed from (``None``
+    #: when the attempt started clean); journaled as ``resumed_from_event``.
+    resumed_from_event: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -397,7 +400,14 @@ class SerialExecutor(Executor):
 # ---------------------------------------------------------------------------
 
 
-def _cell_worker(conn, payload: str, inject: Optional[str]) -> None:
+def _cell_worker(
+    conn,
+    payload: str,
+    inject: Optional[str],
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+) -> None:
     """Worker entry point: JSON spec in, ``(status, ...)`` tuple out.
 
     Chaos directives are honoured *here*, inside the worker, so the
@@ -405,18 +415,54 @@ def _cell_worker(conn, payload: str, inject: Optional[str]) -> None:
     ``hang`` sleeps until the parent terminates the process, a ``kill``
     exits without reporting, an ``exception`` raises through the normal
     error path.
+
+    With checkpointing configured, the cell runs through
+    :func:`~repro.engine.checkpoint.run_spec_with_checkpoints` and a
+    success reports ``("ok", result_json, resumed_from_event)``.  A
+    ``hang`` injection then writes exactly one checkpoint before
+    stalling, so the parent's timeout-kill → retry-from-checkpoint path
+    is deterministic.
     """
     try:
         if inject == "kill":
             conn.close()
             os._exit(KILL_EXIT_CODE)
         if inject == "hang":
+            if checkpoint_every is not None and checkpoint_path is not None:
+                from repro.engine.checkpoint import CheckpointWriter, checkpoint_context
+
+                writer = CheckpointWriter(checkpoint_path, spec=json.loads(payload))
+
+                def _write_once_then_hang(live) -> None:
+                    writer(live)
+                    time.sleep(HANG_SECONDS)
+                    raise InjectedFault(
+                        "injected hang outlived HANG_SECONDS without a timeout"
+                    )
+
+                with checkpoint_context(checkpoint_every, _write_once_then_hang):
+                    ExperimentSpec.from_json(payload).execute()
+                raise InjectedFault(
+                    "injected hang finished before the first checkpoint boundary"
+                )
             time.sleep(HANG_SECONDS)
             raise InjectedFault("injected hang outlived HANG_SECONDS without a timeout")
         if inject == "exception":
             raise InjectedFault("injected exception (chaos)")
-        result = ExperimentSpec.from_json(payload).execute()
-        conn.send(("ok", result.to_json()))
+        if checkpoint_every is not None and checkpoint_path is not None:
+            from repro.engine.checkpoint import run_spec_with_checkpoints
+
+            spec = ExperimentSpec.from_json(payload)
+            result, resumed = run_spec_with_checkpoints(
+                spec,
+                every=checkpoint_every,
+                path=checkpoint_path,
+                resume_from=resume_from,
+            )
+            conn.send(("ok", result.to_json(), resumed))
+        else:
+            result = ExperimentSpec.from_json(payload).execute()
+            conn.send(("ok", result.to_json()))
     except BaseException as error:  # noqa: BLE001 - must report, not crash silently
         try:
             conn.send(("error", type(error).__name__, str(error)))
@@ -446,12 +492,36 @@ class PoolExecutor(Executor):
         jobs: int = 2,
         start_method: Optional[str] = None,
         poll_interval: float = 0.005,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if checkpoint_every is not None:
+            if checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
         self.jobs = jobs
         self.start_method = start_method
         self.poll_interval = poll_interval
+        #: When both are set, each worker checkpoints its cell every N
+        #: events to ``<checkpoint_dir>/<digest>.ckpt`` and retry attempts
+        #: resume from the latest snapshot instead of restarting.
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+
+    def _checkpoint_args(
+        self, task: CellTask
+    ) -> Tuple[Optional[int], Optional[str], Optional[str]]:
+        """``(checkpoint_every, checkpoint_path, resume_from)`` for one attempt."""
+        if self.checkpoint_every is None or self.checkpoint_dir is None:
+            return None, None, None
+        from repro.engine.checkpoint import checkpoint_path_for
+
+        path = checkpoint_path_for(self.checkpoint_dir, task.digest)
+        resume_from = path if task.attempt > 1 and os.path.exists(path) else None
+        return self.checkpoint_every, path, resume_from
 
     def run_batch(
         self,
@@ -467,15 +537,25 @@ class PoolExecutor(Executor):
         while queue or inflight:
             while queue and len(inflight) < self.jobs and not degraded:
                 pos, task = queue[0]
+                parent_conn = child_conn = None
                 try:
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    every, path, resume_from = self._checkpoint_args(task)
                     proc = ctx.Process(
                         target=_cell_worker,
-                        args=(child_conn, task.payload, task.inject),
+                        args=(child_conn, task.payload, task.inject, every, path, resume_from),
                         daemon=True,
                     )
                     proc.start()
                 except (OSError, ImportError) as error:
+                    # A pipe created before the failure would otherwise leak
+                    # both its fds for the rest of the process lifetime.
+                    for end in (parent_conn, child_conn):
+                        if end is not None:
+                            try:
+                                end.close()
+                            except OSError:
+                                pass
                     # Restricted environments (no /dev/shm, no fork) cannot
                     # spawn workers at all; degrade the rest of the batch to
                     # the serial backend — loudly, so users learn the sweep
@@ -524,31 +604,42 @@ class PoolExecutor(Executor):
                 message = None
         elif proc.is_alive():
             if deadline is not None and time.monotonic() > deadline:
+                pid = proc.pid
                 proc.terminate()
+                # Join the terminated process and close both the pipe end
+                # and the Process object (its sentinel fd) — a long flaky
+                # sweep kills many workers and must not leak an fd per kill.
                 proc.join()
                 conn.close()
+                proc.close()
                 return AttemptOutcome(
                     task,
                     "timeout",
                     error_type="CellTimeout",
                     error_message=(
                         f"cell exceeded the per-cell timeout; "
-                        f"worker pid {proc.pid} terminated"
+                        f"worker pid {pid} terminated"
                     ),
                 )
             return None
         proc.join()
         conn.close()
+        exitcode = proc.exitcode
+        proc.close()
         if message is None:
             return AttemptOutcome(
                 task,
                 "died",
                 error_type="WorkerDied",
-                error_message=f"worker exited with code {proc.exitcode} without reporting",
+                error_message=f"worker exited with code {exitcode} without reporting",
             )
         if message[0] == "ok":
+            resumed = message[2] if len(message) > 2 else None
             return AttemptOutcome(
-                task, "ok", result=RunResult.from_dict(json.loads(message[1]))
+                task,
+                "ok",
+                result=RunResult.from_dict(json.loads(message[1])),
+                resumed_from_event=resumed,
             )
         return AttemptOutcome(
             task, "error", error_type=message[1], error_message=message[2]
@@ -689,26 +780,41 @@ def make_executor(
     rates: Optional[Mapping[str, float]] = None,
     seed: int = 0,
     inner: Optional[Executor] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Executor:
     """Build a registered executor from flat (CLI-shaped) parameters.
 
     Wrapping backends (``shard``, ``flaky``) execute through ``inner``
     when given, else through the jobs-derived default (serial for
     ``jobs=1``, pool otherwise) — so ``--backend shard --jobs 4`` shards
-    the grid *and* fans each shard out over four workers.
+    the grid *and* fans each shard out over four workers.  The checkpoint
+    knobs apply to process-pool execution (directly or as the inner
+    backend of a wrapper): each worker snapshots its cell every N events
+    and retries resume from the latest snapshot.
     """
     cls = get_executor(name)  # raises the uniform error for unknown names
     base = inner
     if base is None:
         base = (
             SerialExecutor()
-            if jobs <= 1
-            else PoolExecutor(jobs=jobs, start_method=start_method)
+            if jobs <= 1 and checkpoint_every is None
+            else PoolExecutor(
+                jobs=max(jobs, 1),
+                start_method=start_method,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+            )
         )
     if cls is SerialExecutor:
         return SerialExecutor()
     if cls is PoolExecutor:
-        return PoolExecutor(jobs=max(jobs, 1), start_method=start_method)
+        return PoolExecutor(
+            jobs=max(jobs, 1),
+            start_method=start_method,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
     if cls is ShardExecutor:
         if shard_index is None or shard_count is None:
             raise ValueError(

@@ -371,6 +371,12 @@ class ExperimentSpec:
     #: subscribed to the run's recorder and its verdicts land on the
     #: result artifact (``RunResult.consistency``).
     monitor: bool = False
+    #: Periodic checkpointing: snapshot the live run every N events to
+    #: ``checkpoint_path`` (crash-safe; see :mod:`repro.engine.checkpoint`).
+    #: Both are omitted from the serialized form when unset, so digests
+    #: (and cache keys) of pre-checkpoint specs are unchanged.
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
 
     # -- serialization ------------------------------------------------------
 
@@ -397,6 +403,10 @@ class ExperimentSpec:
             data["topology"] = self.topology.to_dict()
         if self.monitor:
             data["monitor"] = True
+        if self.checkpoint_every is not None:
+            data["checkpoint_every"] = self.checkpoint_every
+        if self.checkpoint_path is not None:
+            data["checkpoint_path"] = self.checkpoint_path
         return data
 
     @classmethod
@@ -421,6 +431,12 @@ class ExperimentSpec:
             params=dict(data.get("params", {})),
             label=data.get("label"),
             monitor=bool(data.get("monitor", False)),
+            checkpoint_every=(
+                int(data["checkpoint_every"])
+                if data.get("checkpoint_every") is not None
+                else None
+            ),
+            checkpoint_path=data.get("checkpoint_path"),
         )
 
     def to_json(self) -> str:
@@ -523,7 +539,14 @@ class ExperimentSpec:
     # -- execution ----------------------------------------------------------
 
     def execute(self) -> "RunResult":
-        """Run the experiment and analyse it; see :mod:`repro.engine.result`."""
+        """Run the experiment and analyse it; see :mod:`repro.engine.result`.
+
+        When the spec carries checkpoint knobs, an ambient checkpoint
+        configuration (:func:`repro.engine.checkpoint.checkpoint_context`)
+        is installed around the runner so ``run_protocol`` snapshots the
+        live run every ``checkpoint_every`` events without every runner
+        signature having to forward the kwargs.
+        """
         from repro.engine.result import RunResult, analyse_run
 
         entry = get_protocol(self.protocol)
@@ -531,7 +554,19 @@ class ExperimentSpec:
         runner = entry.runner_for(fault_kind)
         kwargs = self.build_kwargs()
         started = time.perf_counter()
-        run = runner(**kwargs)
+        if self.checkpoint_every is not None:
+            from repro.engine.checkpoint import CheckpointWriter, checkpoint_context
+
+            if self.checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            writer = CheckpointWriter(
+                self.checkpoint_path or "checkpoint.ckpt",
+                spec=json.loads(self.to_json()),
+            )
+            with checkpoint_context(self.checkpoint_every, writer):
+                run = runner(**kwargs)
+        else:
+            run = runner(**kwargs)
         run_seconds = time.perf_counter() - started
         return analyse_run(self, entry, run, run_seconds)
 

@@ -77,8 +77,11 @@ __all__ = [
 #: optional ``shard`` metadata.
 SWEEP_SCHEMA = "repro.sweep/2"
 
-#: Schema tag stamped on every journal line.
-JOURNAL_SCHEMA = "repro.sweep-journal/1"
+#: Schema tag stamped on every journal line.  ``/2`` added the optional
+#: ``resumed_from_event`` key on ``ok`` lines (the event count of the
+#: checkpoint the successful attempt resumed from); ``/1`` lines carry
+#: the same required keys and :meth:`SweepJournal.load` parses both.
+JOURNAL_SCHEMA = "repro.sweep-journal/2"
 
 
 def derive_seed(base_seed: int, cell_index: int) -> int:
@@ -221,6 +224,7 @@ class SweepJournal:
         status: str,
         attempts: int,
         error: Optional[Mapping[str, Any]] = None,
+        resumed_from_event: Optional[int] = None,
     ) -> None:
         entry: Dict[str, Any] = {
             "schema": JOURNAL_SCHEMA,
@@ -232,6 +236,8 @@ class SweepJournal:
         }
         if error is not None:
             entry["error"] = dict(error)
+        if resumed_from_event is not None:
+            entry["resumed_from_event"] = int(resumed_from_event)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -436,6 +442,7 @@ class SweepRunner:
                         label=task.label,
                         status="ok",
                         attempts=task.attempt,
+                        resumed_from_event=outcome.resumed_from_event,
                     )
                 slots[task.index] = result
                 self.last_executed += 1

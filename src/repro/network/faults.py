@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import inspect
 from abc import ABC
+from functools import partial
 from typing import (
     Any,
     Dict,
@@ -246,6 +247,21 @@ class CrashFault(FaultModel):
         return f"CrashFault(at={self.at!r})"
 
 
+# Muted outbound primitives installed by SilentFault.  Module-level (not
+# lambdas) so silenced processes survive a checkpoint pickle; they shadow
+# the class methods as instance attributes, hence no ``self`` parameter.
+def _muted_send(receiver, kind, payload) -> bool:  # noqa: ARG001
+    return False
+
+
+def _muted_broadcast(kind, payload, include_self=True) -> int:  # noqa: ARG001
+    return 0
+
+
+def _muted_multicast(receivers, kind, payload) -> int:  # noqa: ARG001
+    return 0
+
+
 @register_fault("silent")
 class SilentFault(FaultModel):
     """``members`` become silent Byzantine: they receive but never send.
@@ -270,9 +286,9 @@ class SilentFault(FaultModel):
             process.byzantine = True
             # Instance attributes shadow the class methods for exactly
             # this process — the same muting the legacy subclass applied.
-            process.send = lambda receiver, kind, payload: False
-            process.broadcast = lambda kind, payload, include_self=True: 0
-            process.multicast = lambda receivers, kind, payload: 0
+            process.send = _muted_send
+            process.broadcast = _muted_broadcast
+            process.multicast = _muted_multicast
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SilentFault(members={self.members!r})"
@@ -319,14 +335,12 @@ class ChurnFault(FaultModel):
         for pid in sorted(self.leave):
             process = network.process(pid)
             simulator.schedule_at(
-                self.leave[pid],
-                lambda network=network, process=process: self._leave(network, process),
+                self.leave[pid], partial(self._leave, network, process)
             )
         for pid in sorted(self.join):
             process = network.process(pid)
             simulator.schedule_at(
-                self.join[pid],
-                lambda network=network, process=process: self._rejoin(network, process),
+                self.join[pid], partial(self._rejoin, network, process)
             )
 
     def _leave(self, network: "Network", process: "Process") -> None:
@@ -347,6 +361,41 @@ class ChurnFault(FaultModel):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ChurnFault(leave={self.leave!r}, join={self.join!r})"
+
+
+class _GroupFilter:
+    """Edge filter admitting only same-group traffic (partition split).
+
+    A picklable callable (the nested ``allows`` closure it replaces could
+    not cross a checkpoint): the fault keeps the *same object* it handed
+    to :meth:`Network.add_message_filter`, and the pickle memo preserves
+    that sharing, so ``remove_message_filter`` still finds it after a
+    restore.
+    """
+
+    __slots__ = ("group_of",)
+
+    def __init__(self, group_of: Mapping[str, int]) -> None:
+        self.group_of = group_of
+
+    def __call__(self, sender: str, receiver: str) -> bool:
+        group_of = self.group_of
+        return group_of.get(sender, -1) == group_of.get(receiver, -1)
+
+
+class _VictimFilter:
+    """Edge filter severing every edge touching the eclipsed victim."""
+
+    __slots__ = ("victim",)
+
+    def __init__(self, victim: str) -> None:
+        self.victim = victim
+
+    def __call__(self, sender: str, receiver: str) -> bool:
+        if sender == receiver:
+            return True
+        victim = self.victim
+        return sender != victim and receiver != victim
 
 
 @register_fault("partition")
@@ -395,16 +444,12 @@ class PartitionFault(FaultModel):
 
     def after_start(self, network: "Network") -> None:
         simulator = network.simulator
-        simulator.schedule_at(self.at, lambda: self._split(network))
+        simulator.schedule_at(self.at, partial(self._split, network))
         if self.heal_at is not None:
-            simulator.schedule_at(self.heal_at, lambda: self._heal(network))
+            simulator.schedule_at(self.heal_at, partial(self._heal, network))
 
     def _split(self, network: "Network") -> None:
-        group_of = self._group_of
-
-        def allows(sender: str, receiver: str) -> bool:
-            return group_of.get(sender, -1) == group_of.get(receiver, -1)
-
+        allows = _GroupFilter(self._group_of)
         self._filter = allows
         network.add_message_filter(allows)
 
@@ -461,17 +506,11 @@ class EclipseFault(FaultModel):
 
     def after_start(self, network: "Network") -> None:
         simulator = network.simulator
-        simulator.schedule_at(self.at, lambda: self._isolate(network))
-        simulator.schedule_at(self.until, lambda: self._release(network))
+        simulator.schedule_at(self.at, partial(self._isolate, network))
+        simulator.schedule_at(self.until, partial(self._release, network))
 
     def _isolate(self, network: "Network") -> None:
-        victim = self.victim
-
-        def allows(sender: str, receiver: str) -> bool:
-            if sender == receiver:
-                return True
-            return sender != victim and receiver != victim
-
+        allows = _VictimFilter(self.victim)
         self._filter = allows
         network.add_message_filter(allows)
 

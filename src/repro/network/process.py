@@ -29,6 +29,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Process", "CrashingProcess", "SilentProcess"]
 
 
+class _AliveGuard:
+    """Queue-entry wrapper that skips the action once its owner is dead.
+
+    The picklable replacement for the nested ``guarded`` closure
+    :meth:`Process.schedule` used to allocate — checkpoint snapshots carry
+    pending timer entries, and closures cannot cross a pickle boundary.
+    A fresh instance per call preserves the historical behaviour of the
+    event cores' method interning (each timer is a distinct callback).
+    """
+
+    __slots__ = ("process", "action")
+
+    def __init__(self, process: "Process", action) -> None:
+        self.process = process
+        self.action = action
+
+    def __call__(self) -> None:
+        if self.process.alive:
+            self.action()
+
+
 class Process:
     """Base class for all simulated processes."""
 
@@ -95,12 +116,7 @@ class Process:
     def schedule(self, delay: float, action) -> None:
         """Schedule a local timer; the action is skipped if we are dead by then."""
         assert self.network is not None
-
-        def guarded() -> None:
-            if self.alive:
-                action()
-
-        self.network.simulator.schedule(delay, guarded)
+        self.network.simulator.schedule(delay, _AliveGuard(self, action))
 
     # -- lifecycle callbacks ------------------------------------------------------
 

@@ -273,7 +273,14 @@ class Simulator:
             return core.pending
         return len(self._queue)
 
-    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_sink: Optional[Callable[["Simulator"], None]] = None,
+    ) -> int:
         """Process queued events in timestamp order.
 
         Parameters
@@ -284,14 +291,33 @@ class Simulator:
             still processed).  ``None`` drains the queue.
         max_events:
             Safety bound against runaway protocols.
+        checkpoint_every:
+            When set, drain in chunks of at most this many events and
+            invoke ``checkpoint_sink(self)`` after every nonzero chunk.
+            Chunking does not perturb event order — it only pauses the
+            drain loop at snapshot boundaries.
+        checkpoint_sink:
+            Callable receiving this simulator at each chunk boundary
+            (typically :meth:`CheckpointWriter.write <
+            repro.engine.checkpoint.CheckpointWriter.write>` via a
+            bound snapshot helper).
 
         Returns the number of events processed by this call.
         """
-        core = self._array_core
-        if core is not None:
-            processed = core.drain(self, until, max_events)
+        if checkpoint_every is None:
+            processed = self._drain_once(until, max_events)
         else:
-            processed = self._run_heap(until, max_events)
+            if checkpoint_every <= 0:
+                raise ValueError("checkpoint_every must be positive")
+            processed = 0
+            while processed < max_events:
+                chunk = min(checkpoint_every, max_events - processed)
+                step = self._drain_once(until, chunk)
+                processed += step
+                if step and checkpoint_sink is not None:
+                    checkpoint_sink(self)
+                if step < chunk:
+                    break
         if processed >= max_events and self.pending:
             raise RuntimeError(
                 f"simulation did not quiesce within {max_events} events "
@@ -302,6 +328,13 @@ class Simulator:
             # the clock still advances to the requested horizon.
             self.now = until
         return processed
+
+    def _drain_once(self, until: Optional[float], max_events: int) -> int:
+        """Drain up to ``max_events`` events without the quiesce/clock tail."""
+        core = self._array_core
+        if core is not None:
+            return core.drain(self, until, max_events)
+        return self._run_heap(until, max_events)
 
     def _run_heap(self, until: Optional[float], max_events: int) -> int:
         """The pre-array run loop, verbatim: pop tuples off one heapq."""
@@ -625,13 +658,17 @@ class Network:
             self.messages_sent += 1
             self.messages_dropped += 1
             return False
-        message = Message(sender, receiver, kind, payload, self.simulator.now)
+        now = self.simulator.now
+        message = Message(sender, receiver, kind, payload, now)
         self.messages_sent += 1
-        delay = self.channel.delay_for(sender, receiver, self.simulator.now)
+        delay = self.channel.delay_for(sender, receiver, now)
         if delay is None:
             self.messages_dropped += 1
             return False
-        self.simulator.schedule(delay, lambda m=message: self._deliver(m))
+        # One queue entry (bound method + argument) instead of a closure:
+        # same timestamp, same single sequence number, same dispatch — and,
+        # unlike a lambda, picklable by checkpoint snapshots.
+        self.simulator.call_at(now + delay, self._deliver, message)
         return True
 
     def _deliver(self, message: Message) -> None:
@@ -666,9 +703,21 @@ class Network:
         for process in self._processes.values():
             process.on_start()
 
-    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_sink: Optional[Callable[[Simulator], None]] = None,
+    ) -> int:
         """Convenience: start (if not already) is caller's business; run the clock."""
-        return self.simulator.run(until=until, max_events=max_events)
+        return self.simulator.run(
+            until=until,
+            max_events=max_events,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+        )
 
     def history(self):
         """The concurrent history recorded so far."""

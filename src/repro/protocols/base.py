@@ -47,7 +47,31 @@ from repro.network.topology import Topology
 from repro.oracle.theta import TokenOracle, ValidatedBlock
 from repro.workload.population import ClientPopulation
 
-__all__ = ["ReplicaConfig", "BlockchainReplica", "RunResult", "run_protocol"]
+__all__ = ["ReplicaConfig", "BlockchainReplica", "RunResult", "LiveRun", "run_protocol"]
+
+
+class _SimulatorClock:
+    """Picklable ``() -> simulator.now`` callable (DegradationMonitor clock)."""
+
+    __slots__ = ("simulator",)
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+
+    def __call__(self) -> float:
+        return self.simulator.now
+
+
+class _ReplicaCorrectness:
+    """Picklable ``pid -> is_correct`` callable (DegradationMonitor probe)."""
+
+    __slots__ = ("replicas",)
+
+    def __init__(self, replicas: Dict[str, "BlockchainReplica"]) -> None:
+        self.replicas = replicas
+
+    def __call__(self, pid: str) -> bool:
+        return self.replicas[pid].is_correct
 
 
 @dataclass(frozen=True)
@@ -298,6 +322,130 @@ class RunResult:
         return creators
 
 
+class LiveRun:
+    """A staged, checkpointable protocol run.
+
+    :func:`run_protocol` stages every live object of an in-flight run
+    (simulator, network, replicas, recorder, monitors, fault schedules —
+    everything except the consumed ``replica_factory``) into one of these
+    and then drives :meth:`finish`, which advances a ``phase`` cursor::
+
+        "main"  — run the clock to ``duration``
+        "drain" — stop block production (exactly once) and quiesce
+        "reads" — final ``local_read()`` at every alive replica
+        "done"  — result available
+
+    Checkpoint snapshots pickle the whole ``LiveRun`` between event
+    chunks; restoring one re-enters :meth:`finish` and the continued
+    history is byte-identical to the uninterrupted run.  The checkpoint
+    sink is passed per :meth:`finish` call — never stored — so sinks
+    need not be picklable.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        simulator: Simulator,
+        recorder: HistoryRecorder,
+        network: Network,
+        replicas: Dict[str, BlockchainReplica],
+        oracle: TokenOracle,
+        duration: float,
+        max_events: int,
+        monitor: Optional[ConsistencyMonitor],
+        population: Optional[ClientPopulation],
+        degradation: Optional[DegradationMonitor],
+        drain: bool,
+        final_reads: bool,
+    ) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.recorder = recorder
+        self.network = network
+        self.replicas = replicas
+        self.oracle = oracle
+        self.duration = duration
+        self.max_events = max_events
+        self.monitor = monitor
+        self.population = population
+        self.degradation = degradation
+        self.drain = drain
+        self.final_reads = final_reads
+        self.phase = "main"
+
+    @property
+    def event_count(self) -> int:
+        """Events processed so far (checkpoint headers record this)."""
+        return self.simulator.events_processed
+
+    def finish(
+        self,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_sink: Optional[Callable[["LiveRun"], None]] = None,
+    ) -> RunResult:
+        """Advance through the remaining phases and return the result.
+
+        With ``checkpoint_every`` set, the event-processing phases drain
+        in chunks of at most that many events and ``checkpoint_sink``
+        receives this ``LiveRun`` after every nonzero chunk.
+        """
+        sink: Optional[Callable[[Simulator], None]] = None
+        if checkpoint_sink is not None:
+            def sink(_simulator: Simulator) -> None:
+                checkpoint_sink(self)
+        while self.phase != "done":
+            if self.phase == "main":
+                self.network.run(
+                    until=self.duration,
+                    max_events=self.max_events,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_sink=sink,
+                )
+                if self.drain:
+                    # Production stops exactly once, at the main → drain
+                    # transition; snapshots taken mid-drain already carry
+                    # the stopped producers inside replica state.
+                    for replica in self.replicas.values():
+                        replica.stop_production()
+                    self.phase = "drain"
+                else:
+                    self.phase = "reads"
+            elif self.phase == "drain":
+                self.network.run(
+                    max_events=self.max_events,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_sink=sink,
+                )
+                self.phase = "reads"
+            elif self.phase == "reads":
+                if self.final_reads:
+                    for replica in self.replicas.values():
+                        if replica.alive:
+                            replica.local_read()
+                self.phase = "done"
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown run phase {self.phase!r}")
+        return self.result()
+
+    def result(self) -> RunResult:
+        """The finished run's :class:`RunResult` (phase must be ``done``)."""
+        if self.phase != "done":
+            raise RuntimeError(f"run has not finished (phase={self.phase!r})")
+        return RunResult(
+            name=self.name,
+            history=self.recorder.history(),
+            replicas=self.replicas,
+            oracle=self.oracle,
+            network=self.network,
+            duration=self.duration,
+            monitor=self.monitor,
+            population=self.population,
+            degradation=self.degradation,
+        )
+
+
 def run_protocol(
     name: str,
     replica_factory: Callable[[str, TokenOracle, Network], BlockchainReplica],
@@ -317,6 +465,8 @@ def run_protocol(
     client_rate: float = 0.5,
     client_seed: int = 0,
     fault: Optional[FaultModel] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_sink: Optional[Callable[[LiveRun], None]] = None,
 ) -> RunResult:
     """Run a protocol model and collect its history.
 
@@ -376,6 +526,15 @@ def run_protocol(
         depth over time and time-to-heal; it is returned on the result
         (``result.degradation``).  ``fault=None`` keeps the start-up
         sequence byte-identical to the pre-fault harness.
+    checkpoint_every, checkpoint_sink:
+        When set, the run drains in chunks of at most ``checkpoint_every``
+        events and ``checkpoint_sink`` receives the staged :class:`LiveRun`
+        after every nonzero chunk (typically a
+        :class:`~repro.engine.checkpoint.CheckpointWriter` bound method).
+        When both are ``None``, the ambient configuration installed by
+        :func:`repro.engine.checkpoint.checkpoint_context` (if any) is
+        used instead.  Chunking never perturbs event order, so the
+        recorded history is byte-identical either way.
     """
     simulator = Simulator(core=core)
     recorder = HistoryRecorder()
@@ -403,8 +562,8 @@ def run_protocol(
         # recorded, so its divergence trajectory covers the whole run.
         degradation = DegradationMonitor(
             heal_at=fault.heal_time(),
-            clock=lambda: simulator.now,
-            correct=lambda pid: replicas[pid].is_correct,
+            clock=_SimulatorClock(simulator),
+            correct=_ReplicaCorrectness(replicas),
         ).attach(recorder)
         fault.install(network)
         # Start processes one by one, giving the fault its per-process
@@ -425,24 +584,31 @@ def run_protocol(
             seed=client_seed,
         )
         population.schedule_on(network)
-    network.run(until=duration, max_events=max_events)
-    if drain:
-        for replica in replicas.values():
-            replica.stop_production()
-        network.run(max_events=max_events)
-    if final_reads:
-        for replica in replicas.values():
-            if replica.alive:
-                replica.local_read()
 
-    return RunResult(
+    live = LiveRun(
         name=name,
-        history=recorder.history(),
+        simulator=simulator,
+        recorder=recorder,
+        network=network,
         replicas=replicas,
         oracle=oracle,
-        network=network,
         duration=duration,
+        max_events=max_events,
         monitor=monitor,
         population=population,
         degradation=degradation,
+        drain=drain,
+        final_reads=final_reads,
+    )
+    if checkpoint_every is None and checkpoint_sink is None:
+        # Lazy import: protocols must stay importable without the engine
+        # package, and the engine imports protocols at registration time.
+        from repro.engine.checkpoint import ambient_checkpoint_config
+
+        config = ambient_checkpoint_config()
+        if config is not None:
+            checkpoint_every = config.every
+            checkpoint_sink = config.sink
+    return live.finish(
+        checkpoint_every=checkpoint_every, checkpoint_sink=checkpoint_sink
     )

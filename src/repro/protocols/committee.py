@@ -49,25 +49,63 @@ VOTE = "vote"
 ProposerStrategy = Callable[[int], str]
 
 
+# The strategy factories return picklable callable objects (not nested
+# closures): a strategy is stored on every replica's ``CommitteeConfig``
+# and therefore rides checkpoint snapshots.  Each strategy is stateless —
+# its draw is a pure function of the round number — so a pickle
+# round-trip cannot perturb proposer selection.
+
+
+class _RoundRobinProposer:
+    """Rotate the proposer role through the committee."""
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: Tuple[str, ...]) -> None:
+        self.members = members
+
+    def __call__(self, round_number: int) -> str:
+        return self.members[round_number % len(self.members)]
+
+
+class _FixedProposer:
+    """A single, fixed proposer."""
+
+    __slots__ = ("leader",)
+
+    def __init__(self, leader: str) -> None:
+        self.leader = leader
+
+    def __call__(self, round_number: int) -> str:  # noqa: ARG002
+        return self.leader
+
+
+class _WeightedLotteryProposer:
+    """Merit-weighted per-round lottery; fresh seeded rng per draw."""
+
+    __slots__ = ("members", "weights", "seed")
+
+    def __init__(self, members: Tuple[str, ...], weights: np.ndarray, seed: int) -> None:
+        self.members = members
+        self.weights = weights
+        self.seed = seed
+
+    def __call__(self, round_number: int) -> str:
+        rng = np.random.default_rng((self.seed, round_number))
+        return str(rng.choice(self.members, p=self.weights))
+
+
 def round_robin_proposer(committee: Sequence[str]) -> ProposerStrategy:
     """Rotate the proposer role through the committee (Red Belly, PBFT-style)."""
     members = tuple(committee)
     if not members:
         raise ValueError("committee must be non-empty")
-
-    def strategy(round_number: int) -> str:
-        return members[round_number % len(members)]
-
-    return strategy
+    return _RoundRobinProposer(members)
 
 
 def fixed_proposer(leader: str) -> ProposerStrategy:
     """A single, fixed proposer (Hyperledger Fabric's ordering service)."""
-
-    def strategy(round_number: int) -> str:  # noqa: ARG001
-        return leader
-
-    return strategy
+    return _FixedProposer(leader)
 
 
 def weighted_lottery_proposer(
@@ -87,12 +125,7 @@ def weighted_lottery_proposer(
     if weights.sum() <= 0:
         weights = np.ones(len(members))
     weights = weights / weights.sum()
-
-    def strategy(round_number: int) -> str:
-        rng = np.random.default_rng((seed, round_number))
-        return str(rng.choice(members, p=weights))
-
-    return strategy
+    return _WeightedLotteryProposer(members, weights, seed)
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ simulator cores.
 from __future__ import annotations
 
 import time
-from typing import Dict, Sequence, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -106,6 +106,28 @@ class ClientPopulation:
         self.total_ops = int(ops_per_process.sum())
         self.generation_seconds = time.perf_counter() - started
         self.scheduled_ops = 0
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The op streams are a pure function of the constructor arguments
+        # (one seeded generator, fixed draw order), so checkpoints carry
+        # only the recipe — a few dozen bytes instead of 16 bytes per
+        # operation — and regenerate bit-identical arrays on restore.
+        return {
+            "clients": self.clients,
+            "rate": self.rate,
+            "duration": self.duration,
+            "processes": self.processes,
+            "seed": self.seed,
+            "conflict_rate": self.conflict_rate,
+            "scheduled_ops": self.scheduled_ops,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        scheduled_ops = state.pop("scheduled_ops")
+        self.__init__(**state)
+        self.scheduled_ops = scheduled_ops
 
     # -- scheduling -----------------------------------------------------------
 

@@ -145,6 +145,7 @@ class TestProfile:
             "topology",
             "workload",
             "resilience",
+            "checkpoint",
             "sweeps",
             "protocol_runs",
             "table1_sweep",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -147,6 +148,32 @@ class TestPoolExecutor:
         (outcome,) = PoolExecutor(jobs=1).run_batch([task])
         assert outcome.status == "died"
         assert outcome.error_type == "WorkerDied"
+
+    def test_killed_workers_do_not_leak_fds(self):
+        """Regression: a long flaky sweep kills many workers on timeout;
+        each kill must release both pipe ends and the Process sentinel,
+        or the driver runs out of file descriptors mid-sweep."""
+        if not os.path.isdir("/proc/self/fd"):
+            pytest.skip("needs /proc to observe the fd table")
+
+        def hung_batch(count):
+            tasks = [
+                CellTask.for_spec(i, s)
+                for i, s in enumerate(small_specs(count, seed=100))
+            ]
+            for task in tasks:
+                task.inject = "hang"
+            return tasks
+
+        pool = PoolExecutor(jobs=8)
+        # Warm-up: multiprocessing opens long-lived bookkeeping fds
+        # (resource tracker, semaphores) on first use — not leaks.
+        pool.run_batch(hung_batch(2), timeout=0.05)
+        before = len(os.listdir("/proc/self/fd"))
+        outcomes = pool.run_batch(hung_batch(50), timeout=0.05)
+        assert [o.status for o in outcomes] == ["timeout"] * 50
+        after = len(os.listdir("/proc/self/fd"))
+        assert after <= before, f"fd table grew {before} -> {after} across 50 kills"
 
     def test_construction_failure_degrades_serially_with_a_warning(self, monkeypatch):
         import multiprocessing
@@ -347,7 +374,7 @@ class TestJournalAndResume:
         ).run(specs)
         entries = [json.loads(line) for line in journal_path.read_text().splitlines()]
         assert [e["status"] for e in entries] == ["ok", "failed"]
-        assert all(e["schema"] == "repro.sweep-journal/1" for e in entries)
+        assert all(e["schema"] == "repro.sweep-journal/2" for e in entries)
         assert entries[1]["attempts"] == 1
         assert entries[1]["error"]["type"] == "InjectedFault"
 
@@ -402,6 +429,62 @@ class TestJournalAndResume:
         runner = SweepRunner(cache=cache, journal=journal, resume=True)
         records = runner.run(specs)
         assert runner.last_resumed == 1 and len(records) == 1
+
+    def test_resume_recovers_from_every_torn_tail_offset(self, tmp_path):
+        """Property: wherever a crash tears the final journal line, resume
+        keeps every complete entry and routes only the torn cell back
+        through execution (served by the warm cache here, for speed)."""
+        specs = small_specs(2)
+        journal_path = tmp_path / "journal.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        clean = SweepRunner(cache=cache, journal=journal_path).run(specs)
+        data = journal_path.read_bytes()
+        boundary = data.rstrip(b"\n").rfind(b"\n") + 1  # final line starts here
+        assert boundary > 0 and len(data) - boundary > 10
+        for offset in range(boundary, len(data)):
+            torn_path = tmp_path / "torn.jsonl"
+            torn_path.write_bytes(data[:offset])
+            # Cutting only the trailing newline leaves valid JSON; every
+            # other offset leaves a torn tail that must be dropped.
+            try:
+                json.loads(data[boundary:offset].decode("utf-8", "strict"))
+                expect_resumed = 2
+            except ValueError:
+                expect_resumed = 1
+            runner = SweepRunner(cache=cache, journal=torn_path, resume=True)
+            records = runner.run(specs)
+            assert runner.last_resumed == expect_resumed, f"offset {offset}"
+            assert runner.last_cache_hits == 2 - expect_resumed
+            assert runner.last_executed == 0
+            assert [stable(r) for r in records] == [stable(r) for r in clean]
+
+    def test_resume_reexecutes_only_the_torn_cell(self, tmp_path, monkeypatch):
+        """With no cache entry to fall back on, the torn cell — and only
+        the torn cell — is actually re-executed."""
+        specs = small_specs(2)
+        journal_path = tmp_path / "journal.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(cache=cache, journal=journal_path).run(specs)
+        data = journal_path.read_bytes()
+        boundary = data.rstrip(b"\n").rfind(b"\n") + 1
+        journal_path.write_bytes(data[: boundary + 20])  # tear the final line
+        # Evict the torn cell's cache entry so resume must recompute it.
+        from repro.engine import spec_digest
+
+        (tmp_path / "cache" / f"{spec_digest(specs[1])}.json").unlink()
+        executions = []
+        original = ExperimentSpec.execute
+
+        def counting_execute(self):
+            executions.append(self.seed)
+            return original(self)
+
+        monkeypatch.setattr(ExperimentSpec, "execute", counting_execute)
+        runner = SweepRunner(cache=cache, journal=journal_path, resume=True)
+        records = runner.run(specs)
+        assert executions == [specs[1].seed]
+        assert runner.last_resumed == 1 and runner.last_executed == 1
+        assert len(records) == 2
 
     def test_resume_reexecutes_when_cache_entry_is_missing(self, tmp_path):
         specs = small_specs(1)

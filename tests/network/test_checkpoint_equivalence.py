@@ -1,0 +1,193 @@
+"""Checkpoint/restore equivalence oracle: continued runs are byte-identical.
+
+The PR 9 acceptance bar, one directory over from the array/heap core
+oracle: snapshot a live run at every chunk boundary, restore at several
+seeded-random points, finish each restored run, and the continued
+``History.events`` must equal the uninterrupted run's — event for
+event, timestamp for timestamp — across both event cores, every channel
+model, several dissemination topologies and every registered fault
+kind.  Anything less would mean pickling the run perturbed the
+simulated execution rather than merely pausing it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.selection import HeaviestChain
+from repro.engine.checkpoint import SimulationCheckpoint
+from repro.network.channels import (
+    AsynchronousChannel,
+    LossyChannel,
+    PartiallySynchronousChannel,
+    SynchronousChannel,
+    TargetedLossChannel,
+)
+from repro.network.faults import available_faults, build_fault
+from repro.network.topology import GossipFanout, Sharded
+from repro.oracle.tape import TapeFamily
+from repro.oracle.theta import ProdigalOracle
+from repro.protocols.base import ReplicaConfig, run_protocol
+from repro.protocols.nakamoto import NakamotoReplica
+
+#: Chunk size small enough that every scenario crosses several snapshot
+#: boundaries in both the main and drain phases.
+EVERY = 120
+
+#: Restore points sampled per scenario.
+K = 3
+
+
+class _DropP2Early:
+    """Picklable targeted-loss predicate (snapshots carry the channel)."""
+
+    def __call__(self, sender: str, receiver: str, now: float) -> bool:
+        return receiver == "p2" and now < 30.0
+
+
+def _channel(kind: str, seed: int):
+    if kind == "synchronous":
+        return SynchronousChannel(delta=3.0, min_delay=0.5, seed=seed)
+    if kind == "asynchronous":
+        return AsynchronousChannel(mean_delay=2.0, tail_probability=0.2, seed=seed)
+    if kind == "partial":
+        return PartiallySynchronousChannel(gst=25.0, delta=1.0, pre_gst_mean=4.0, seed=seed)
+    if kind == "lossy":
+        return LossyChannel(
+            SynchronousChannel(delta=2.0, min_delay=0.3, seed=seed), 0.25, seed=seed + 1
+        )
+    if kind == "targeted":
+        return TargetedLossChannel(
+            SynchronousChannel(delta=2.0, min_delay=0.3, seed=seed),
+            drop_if=_DropP2Early(),
+        )
+    raise AssertionError(kind)
+
+
+def _topology(kind: str, seed: int):
+    if kind == "full":
+        return None
+    if kind == "gossip":
+        return GossipFanout(fanout=2, seed=seed)
+    if kind == "sharded":
+        return Sharded(shards=2, cross_links=1)
+    raise AssertionError(kind)
+
+
+def _fault(kind: str):
+    params = {
+        "crash": {"at": {"p1": 20.0}},
+        "silent": {"members": ("p3",)},
+        "churn": {"leave": {"p4": 15.0}, "join": {"p4": 35.0}},
+        "partition": {
+            "groups": [["p0", "p1"], ["p2", "p3", "p4"]],
+            "at": 10.0,
+            "heal_at": 35.0,
+        },
+        "eclipse": {"victim": "p2", "at": 5.0, "until": 30.0},
+    }
+    return build_fault(kind, params[kind])
+
+
+def _run(kind: str, seed: int, core: str, topology: str = "full", fault=None, **kwargs):
+    tapes = TapeFamily(seed=seed, probability_scale=0.5)
+    oracle = ProdigalOracle(tapes=tapes)
+
+    def factory(pid, orc, network):  # noqa: ARG001
+        config = ReplicaConfig(
+            selection=HeaviestChain(), read_interval=4.0, use_lrc=True, merit=0.2
+        )
+        return NakamotoReplica(pid, orc, config, mining_interval=1.0)
+
+    return run_protocol(
+        f"ckpt-equiv-{kind}",
+        factory,
+        oracle,
+        n=5,
+        duration=50.0,
+        channel=_channel(kind, seed),
+        topology=_topology(topology, seed),
+        core=core,
+        fault=fault,
+        **kwargs,
+    )
+
+
+def _assert_restores_identical(
+    kind: str, seed: int, core: str, topology: str = "full", fault_kind=None
+):
+    fault = _fault(fault_kind) if fault_kind else None
+    clean = _run(kind, seed, core, topology, fault)
+
+    snapshots = []
+    capture = _run(
+        kind,
+        seed,
+        core,
+        topology,
+        _fault(fault_kind) if fault_kind else None,
+        checkpoint_every=EVERY,
+        checkpoint_sink=lambda live: snapshots.append(
+            SimulationCheckpoint.capture(live)
+        ),
+    )
+    # Chunked draining alone must not perturb the execution.
+    assert capture.history.events == clean.history.events
+    assert len(snapshots) >= K, "scenario too small to exercise restore points"
+
+    rng = random.Random(f"{kind}:{seed}:{core}:{topology}:{fault_kind}")
+    points = rng.sample(range(len(snapshots)), K)
+    for index in sorted(points):
+        restored = snapshots[index].restore()
+        result = restored.finish()
+        assert result.history.events == clean.history.events, (
+            f"restore at snapshot {index}/{len(snapshots)} "
+            f"(clock {snapshots[index].clock:.2f}, phase "
+            f"{snapshots[index].phase!r}) diverged from the clean run"
+        )
+        assert (
+            result.network.messages_sent == clean.network.messages_sent
+        )
+        assert (
+            result.network.simulator.events_processed
+            == clean.network.simulator.events_processed
+        )
+
+
+@pytest.mark.parametrize("core", ("array", "heap"))
+@pytest.mark.parametrize(
+    "kind", ("synchronous", "asynchronous", "partial", "lossy", "targeted")
+)
+def test_restores_identical_across_channel_models(kind: str, core: str):
+    _assert_restores_identical(kind, seed=3, core=core)
+
+
+@pytest.mark.parametrize("core", ("array", "heap"))
+@pytest.mark.parametrize("topology", ("full", "gossip", "sharded"))
+def test_restores_identical_across_topologies(topology: str, core: str):
+    _assert_restores_identical("synchronous", seed=5, core=core, topology=topology)
+
+
+@pytest.mark.parametrize("core", ("array", "heap"))
+@pytest.mark.parametrize("fault_kind", sorted(available_faults()))
+def test_restores_identical_for_every_fault_kind(fault_kind: str, core: str):
+    _assert_restores_identical("lossy", seed=13, core=core, fault_kind=fault_kind)
+
+
+def test_snapshots_span_both_event_phases():
+    """Sanity: the oracle scenarios snapshot in main *and* drain phases."""
+    snapshots = []
+    _run(
+        "synchronous",
+        seed=3,
+        core="array",
+        checkpoint_every=EVERY,
+        checkpoint_sink=lambda live: snapshots.append(
+            SimulationCheckpoint.capture(live)
+        ),
+    )
+    phases = {snap.phase for snap in snapshots}
+    assert "main" in phases
+    assert "drain" in phases

@@ -228,3 +228,66 @@ class TestStateSync:
         assert state_sync(result.network) > 0
         sizes = {len(replica.tree) for replica in result.replicas.values()}
         assert len(sizes) == 1
+
+    def test_sync_skips_deregistered_targets(self):
+        """Pin: syncing toward departed replicas is a no-op, not a KeyError.
+
+        A heal-time sweep can race membership — every member of one
+        partition side may have churned out before ``heal_at`` fires.
+        ``state_sync`` must quietly skip pids no longer registered (or no
+        longer alive) rather than index into a membership map that lost
+        them.
+        """
+        result = run_bitcoin(
+            n=6, duration=60.0, token_rate=0.4, seed=3, fault=_partition_fault(None)
+        )
+        network = result.network
+        departed = ["p4", "p5"]
+        for pid in departed:
+            network.deregister(pid)
+            result.replicas[pid].crash()
+        # Explicit targets naming only departed replicas: nothing to do.
+        assert state_sync(network, targets=departed) == 0
+        # The global sweep still merges the registered replicas' diverged
+        # views (p3 kept the other side of the split alive).
+        assert state_sync(network) > 0
+        sizes = {len(result.replicas[pid].tree) for pid in ("p0", "p1", "p2", "p3")}
+        assert len(sizes) == 1
+
+    def test_partition_heals_after_entire_group_churned_out(self):
+        """Pin: a heal whose group membership emptied mid-run completes.
+
+        Group B (p3..p5) leaves for good at t=25; the partition heals at
+        t=60, triggering the global ``state_sync`` sweep while one whole
+        side of the split is deregistered.  The run must finish with the
+        survivors converged — not die on the vanished membership.
+        """
+
+        class _SplitThenExodus(FaultModel):
+            def __init__(self):
+                self.partition = _partition_fault(60.0)
+                self.churn = ChurnFault(
+                    leave={"p3": 25.0, "p4": 25.0, "p5": 25.0}
+                )
+
+            def install(self, network):
+                self.partition.install(network)
+                self.churn.install(network)
+
+            def after_start(self, network):
+                self.partition.after_start(network)
+                self.churn.after_start(network)
+
+            def heal_time(self):
+                return self.partition.heal_time()
+
+        result = run_bitcoin(
+            n=6, duration=120.0, token_rate=0.4, seed=3, fault=_SplitThenExodus()
+        )
+        assert set(result.network.process_ids) == {"p0", "p1", "p2"}
+        tips = {
+            chain.tip.block_id
+            for pid, chain in result.final_chains().items()
+            if pid in ("p0", "p1", "p2")
+        }
+        assert len(tips) == 1

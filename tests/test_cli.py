@@ -476,3 +476,84 @@ class TestBenchScenarioFilter:
     def test_unknown_scenario_lists_the_vocabulary(self):
         with pytest.raises(SystemExit, match="unknown bench scenario 'warp'"):
             main(["bench", "--quick", "--scenario", "warp"])
+
+
+class TestCheckpointFlags:
+    def test_parser_defaults(self):
+        classify = build_parser().parse_args(["classify", "bitcoin"])
+        assert classify.checkpoint_every is None
+        assert classify.checkpoint_dir is None
+        sweep = build_parser().parse_args(["sweep", "--protocol", "bitcoin"])
+        assert sweep.checkpoint_every is None
+        resume = build_parser().parse_args(["resume-run", "foo.ckpt"])
+        assert resume.checkpoint == "foo.ckpt"
+
+    def test_non_positive_knobs_are_rejected_loudly(self):
+        with pytest.raises(SystemExit, match=r"--timeout must be > 0"):
+            main(["sweep", "--protocol", "bitcoin", "--timeout", "-1"])
+        with pytest.raises(SystemExit, match=r"--retries must be >= 0"):
+            main(["sweep", "--protocol", "bitcoin", "--retries", "-2"])
+        with pytest.raises(SystemExit, match=r"--checkpoint-every must be > 0"):
+            main(["sweep", "--protocol", "bitcoin", "--checkpoint-every", "0"])
+        with pytest.raises(SystemExit, match=r"--checkpoint-every must be > 0"):
+            main(["classify", "bitcoin", "--checkpoint-every", "-5"])
+        with pytest.raises(SystemExit, match=r"--checkpoint-every must be > 0"):
+            main(["resume-run", "foo.ckpt", "--checkpoint-every", "0"])
+
+    def test_serial_backend_cannot_checkpoint(self):
+        with pytest.raises(SystemExit, match="requires a process backend"):
+            main([
+                "sweep", "--protocol", "bitcoin", "--backend", "serial",
+                "--checkpoint-every", "100",
+            ])
+
+    def test_resume_run_missing_file_fails_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint at"):
+            main(["resume-run", str(tmp_path / "absent.ckpt")])
+
+    def test_classify_checkpoint_then_resume_run(self, capsys, tmp_path):
+        ckpt_dir = tmp_path / "ckpts"
+        argv = [
+            "classify", "hyperledger", "--replicas", "3", "--duration", "40",
+            "--seed", "3",
+        ]
+        assert main(argv) == 0
+        clean_out = capsys.readouterr().out
+        assert main(
+            argv + ["--checkpoint-every", "150", "--checkpoint-dir", str(ckpt_dir)]
+        ) == 0
+        checkpointed_out = capsys.readouterr().out
+        # Checkpointing must not perturb the classification itself.
+        assert checkpointed_out == clean_out
+        primary = [
+            path for path in ckpt_dir.glob("*.ckpt")
+            if not path.name.endswith(".prev.ckpt")
+        ]
+        assert len(primary) == 1
+        assert main(["resume-run", str(primary[0])]) == 0
+        resumed_out = capsys.readouterr().out
+        assert resumed_out.startswith("resumed")
+        # The resumed run re-derives the exact same classification.
+        for line in clean_out.strip().splitlines():
+            assert line in resumed_out
+
+    def test_sweep_with_checkpointing_matches_plain_sweep(self, capsys, tmp_path):
+        plain_out = tmp_path / "plain.json"
+        ckpt_out = tmp_path / "ckpt.json"
+        base = [
+            "sweep", "--protocol", "hyperledger", "--replicas", "3",
+            "--duration", "30", "--seeds", "0:2",
+        ]
+        assert main(base + ["--out", str(plain_out)]) == 0
+        assert main(base + [
+            "--out", str(ckpt_out), "--checkpoint-every", "150",
+            "--checkpoint-dir", str(tmp_path / "ckpts"),
+        ]) == 0
+        capsys.readouterr()
+        strip = lambda cells: [  # noqa: E731
+            {k: v for k, v in cell.items() if k != "timings"} for cell in cells
+        ]
+        plain = json.loads(plain_out.read_text())
+        ckpt = json.loads(ckpt_out.read_text())
+        assert strip(plain["cells"]) == strip(ckpt["cells"])
+        assert list((tmp_path / "ckpts").glob("*.ckpt"))
