@@ -1,0 +1,82 @@
+"""Perf floor for the compiled, batch-dispatched callback plane.
+
+ROADMAP item 2's second half: once the event *store* is array-native,
+the per-delivery callback chain dominates fork-heavy profiles.  This
+floor guards the win of the live plane (array core + batch dispatch +
+columnar block index) over the retained pure/scalar oracle leg (heap
+core, per-message dispatch, reference recorder + dict block index) on
+the two protocol scenarios:
+
+* ``run_longest_fork_heavy`` — Nakamoto longest-chain under a dense
+  synchronous flood (LRC relaying, high token rate);
+* ``run_ghost_fork_heavy`` — the same storm scored by GHOST.
+
+The harness asserts the two planes produced byte-identical histories
+while recording each scenario, so the speedup is only ever measured
+against a verified-equal run.  The quick (CI) floor is 1.4×; the
+full-size scenarios record ≥2× (see ``benchmarks/perf/README.md``),
+mirroring the event-core precedent of a 2× quick floor under a ≥3×
+full-size result.
+
+Run explicitly (the tier-1 suite does not collect ``bench_*`` modules)::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf/bench_callback_floor.py -q
+
+Like the siblings, a pre-recorded artifact pointed at by
+``REPRO_BENCH_REPORT`` is used when present (the CI bench-smoke job has
+just produced one via ``python -m repro bench --quick``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.engine.bench import BENCH_SCHEMA, run_bench, write_report
+
+#: CI floor for the live callback plane vs the pure/scalar oracle leg.
+FLOOR = 1.4
+
+SCENARIOS = ("run_longest_fork_heavy", "run_ghost_fork_heavy")
+
+
+def _load_or_run(once, tmp_path):
+    """The report under test: a pre-recorded artifact, or a fresh quick run."""
+    recorded = os.environ.get("REPRO_BENCH_REPORT")
+    if recorded:
+        return json.loads(Path(recorded).read_text(encoding="utf-8"))
+    report = once(run_bench, seed=7, quick=True)
+    path = write_report(report, tmp_path)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_callback_plane_floor(once, tmp_path):
+    report = _load_or_run(once, tmp_path)
+    assert report["schema"] == BENCH_SCHEMA
+    for name in SCENARIOS:
+        scenario = report["scenarios"][name]
+
+        speedup = scenario["speedup"]
+        assert speedup is not None and speedup >= FLOOR, (
+            f"{name}: live callback plane only {speedup:.2f}x faster than "
+            f"the pure/scalar oracle leg (expected >= {FLOOR}x)"
+        )
+        # The speedup is meaningless unless both legs replayed the exact
+        # same run — the harness compares full histories while recording.
+        assert scenario["histories_identical"] is True
+
+        # Fraction of drain time spent inside delivery callbacks, from a
+        # separately instrumented leg (never the one that is timed).
+        share = scenario["callback_share"]
+        assert 0.0 < share <= 1.0, f"{name}: callback_share {share!r}"
+
+        # Which flavour ran: compiled extensions in the CI compiled job,
+        # the pure-Python fallback everywhere else.  Both report here.
+        compiled = scenario["compiled_modules"]
+        assert isinstance(compiled["_drain"], bool)
+        assert isinstance(compiled["_hotpath"], bool)
+
+        assert scenario["events_processed"] > 0
+        assert scenario["events_per_second"] > 0
+        assert scenario["mean_blocks"] > 0

@@ -6,11 +6,13 @@ editable wheels (no ``wheel`` package available).  All metadata lives in
 ``pyproject.toml``.
 
 When mypyc is available the event-core drain loop
-(``repro.network._drain``) is additionally compiled to a C extension —
-the module is written to the mypyc-friendly subset (monomorphic locals,
-no closures) for exactly this.  The build degrades gracefully: without
-mypyc (or if the compile fails) the pure-Python module is the live path,
-and ``repro.network.event_core.DRAIN_COMPILED`` reports which one loaded.
+(``repro.network._drain``) and the callback-plane hot paths
+(``repro.network._hotpath``) are additionally compiled to C extensions —
+both modules are written to the mypyc-friendly subset (monomorphic
+locals, no closures) for exactly this.  The build degrades gracefully:
+without mypyc (or if the compile fails) the pure-Python modules are the
+live path, and ``repro.network.event_core.COMPILED_MODULES`` reports
+per-module which flavour loaded.
 """
 
 from setuptools import setup
@@ -22,7 +24,12 @@ def _optional_ext_modules():
     except ImportError:
         return []
     try:
-        return mypycify(["src/repro/network/_drain.py"])
+        return mypycify(
+            [
+                "src/repro/network/_drain.py",
+                "src/repro/network/_hotpath.py",
+            ]
+        )
     except Exception:
         # A broken toolchain (missing compiler, unsupported construct)
         # must not block installation of the pure-Python package.

@@ -33,9 +33,91 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.core.block import GENESIS_ID, Block, Blockchain, genesis_block
+import numpy as np
 
-__all__ = ["BlockTree", "UnknownParentError", "DuplicateBlockError"]
+from repro.core.block import GENESIS_ID, Block, Blockchain, genesis_block
+from repro.network._hotpath import tree_append_index
+
+__all__ = ["BlockTree", "UnknownParentError", "DuplicateBlockError", "DEFAULT_INDEX"]
+
+#: Default score-index backend for new trees.  ``"columns"`` keeps the
+#: per-block height / cumulative-weight / subtree-weight indexes on
+#: preallocated numpy columns maintained by the compiled callback plane
+#: (:func:`repro.network._hotpath.tree_append_index`); ``"reference"``
+#: keeps the pre-PR10 per-block dicts verbatim — the equivalence oracle
+#: the bench's pure/scalar legs and the column tests run against.
+DEFAULT_INDEX = "columns"
+
+_INDEX_MODES = ("columns", "reference")
+
+
+class _TreeColumns:
+    """Columnar score index of one :class:`BlockTree`.
+
+    Blocks are numbered by insertion order (``slots``); ``parents`` maps
+    each slot to its parent slot (-1 for genesis) so ancestor walks are
+    int hops, and the three numpy columns carry the per-block height,
+    cumulative root-to-block weight and subtree weight that the
+    selection rules read.  Arrays are preallocated and doubled on
+    demand; pickling trims them to the filled prefix.
+    """
+
+    __slots__ = ("slots", "ids", "parents", "height", "cum_weight",
+                 "subtree_weight", "size")
+
+    def __init__(self, root: Block, capacity: int = 256) -> None:
+        self.slots: Dict[str, int] = {root.block_id: 0}
+        self.ids: List[str] = [root.block_id]
+        self.parents: List[int] = [-1]
+        self.height = np.zeros(capacity, dtype=np.int64)
+        self.cum_weight = np.zeros(capacity, dtype=np.float64)
+        self.subtree_weight = np.zeros(capacity, dtype=np.float64)
+        self.subtree_weight[0] = root.weight
+        self.size = 1
+
+    def grow(self) -> None:
+        capacity = max(64, 2 * len(self.height))
+        size = self.size
+        for name in ("height", "cum_weight", "subtree_weight"):
+            old = getattr(self, name)
+            grown = np.zeros(capacity, dtype=old.dtype)
+            grown[:size] = old[:size]
+            setattr(self, name, grown)
+
+    def copy(self) -> "_TreeColumns":
+        clone = object.__new__(_TreeColumns)
+        clone.slots = dict(self.slots)
+        clone.ids = list(self.ids)
+        clone.parents = list(self.parents)
+        clone.height = self.height[: self.size].copy()
+        clone.cum_weight = self.cum_weight[: self.size].copy()
+        clone.subtree_weight = self.subtree_weight[: self.size].copy()
+        clone.size = self.size
+        return clone
+
+    # Checkpoint support: trim the preallocated tails (a restored column
+    # set regrows on the next append).
+    def __getstate__(self):
+        return (
+            self.slots,
+            self.ids,
+            self.parents,
+            self.height[: self.size].copy(),
+            self.cum_weight[: self.size].copy(),
+            self.subtree_weight[: self.size].copy(),
+            self.size,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.slots,
+            self.ids,
+            self.parents,
+            self.height,
+            self.cum_weight,
+            self.subtree_weight,
+            self.size,
+        ) = state
 
 
 class UnknownParentError(KeyError):
@@ -59,14 +141,35 @@ class BlockTree:
     event simulator), never via preemptive threads.
     """
 
-    def __init__(self, genesis: Optional[Block] = None) -> None:
+    def __init__(
+        self, genesis: Optional[Block] = None, *, index: Optional[str] = None
+    ) -> None:
         root = genesis if genesis is not None else genesis_block()
         if not root.is_genesis:
             raise ValueError("BlockTree must be rooted at a genesis block")
+        if index is None:
+            index = DEFAULT_INDEX
+        if index not in _INDEX_MODES:
+            raise ValueError(
+                f"unknown BlockTree index mode {index!r}; expected one of {_INDEX_MODES}"
+            )
         self._blocks: Dict[str, Block] = {root.block_id: root}
         self._children: Dict[str, List[str]] = {root.block_id: []}
-        self._heights: Dict[str, int] = {root.block_id: 0}
-        self._subtree_weight: Dict[str, float] = {root.block_id: root.weight}
+        # Score indexes: either the columnar store maintained by the
+        # compiled callback plane, or the pre-PR10 per-block dicts
+        # (``index="reference"``, the equivalence oracle).
+        if index == "columns":
+            self._columns: Optional[_TreeColumns] = _TreeColumns(root)
+            self._heights: Optional[Dict[str, int]] = None
+            self._subtree_weight: Optional[Dict[str, float]] = None
+        else:
+            self._columns = None
+            self._heights = {root.block_id: 0}
+            self._subtree_weight = {root.block_id: root.weight}
+        # (leaf ids, height column, cum-weight column) memo for the
+        # vectorized tip selection, tagged with the version it was built
+        # at (see ``leaf_index``).
+        self._leaf_index_cache: Optional[Tuple[int, Any]] = None
         self._genesis = root
         # Incremental caches, maintained by ``append`` (and therefore by
         # ``merge``, which funnels through ``append``): the tree height and
@@ -88,7 +191,9 @@ class BlockTree:
         # to ``WeightScore`` summing the materialized chain.  Together with
         # ``_heights`` (the length score) this is what the selection rules
         # read instead of rebuilding every chain.
-        self._cum_weight: Dict[str, float] = {root.block_id: 0.0}
+        self._cum_weight: Optional[Dict[str, float]] = (
+            {root.block_id: 0.0} if self._columns is None else None
+        )
         # Monotone mutation counter plus a keyed memo of selection results.
         # ``version`` never decreases and is bumped by every ``append``, so
         # a memo entry tagged with the current version is still valid.
@@ -126,6 +231,9 @@ class BlockTree:
 
     def height_of(self, block_id: str) -> int:
         """Distance from ``block_id`` to the root (genesis has height 0)."""
+        cols = self._columns
+        if cols is not None:
+            return int(cols.height[cols.slots[block_id]])
         return self._heights[block_id]
 
     def cumulative_weight(self, block_id: str) -> float:
@@ -136,6 +244,9 @@ class BlockTree:
         append time, so the float is identical to summing the materialized
         chain block by block.
         """
+        cols = self._columns
+        if cols is not None:
+            return float(cols.cum_weight[cols.slots[block_id]])
         return self._cum_weight[block_id]
 
     @property
@@ -221,6 +332,22 @@ class BlockTree:
             self._fork_points[block.parent_id] = None
         if len(siblings) > self._max_fork_degree:
             self._max_fork_degree = len(siblings)
+        cols = self._columns
+        if cols is not None:
+            height = tree_append_index(
+                cols, block.parent_id, block.block_id, block.weight
+            )
+            self._by_height.setdefault(height, []).append(block.block_id)
+            if height > self._height:
+                self._height = height
+            self._leaves.pop(block.parent_id, None)
+            self._leaves[block.block_id] = None
+            self._version += 1
+            if self._selection_memo:
+                self._selection_memo.clear()
+            return block
+        # Reference index maintenance (pre-PR10 body, kept verbatim as
+        # the equivalence oracle for ``tree_append_index``).
         height = self._heights[block.parent_id] + 1
         self._heights[block.block_id] = height
         self._by_height.setdefault(height, []).append(block.block_id)
@@ -305,6 +432,23 @@ class BlockTree:
 
     def is_ancestor(self, ancestor_id: str, descendant_id: str) -> bool:
         """``True`` iff ``ancestor_id`` lies on the path from ``descendant_id`` to genesis."""
+        cols = self._columns
+        if cols is not None:
+            slots = cols.slots
+            ancestor = slots.get(ancestor_id)
+            descendant = slots.get(descendant_id)
+            if ancestor is None or descendant is None:
+                return False
+            height = cols.height
+            gap = int(height[descendant]) - int(height[ancestor])
+            if gap < 0:
+                return False
+            # Walk exactly the height gap, as int hops over parent slots.
+            parents = cols.parents
+            cursor = descendant
+            for _ in range(gap):
+                cursor = parents[cursor]
+            return cursor == ancestor
         heights = self._heights
         ancestor_height = heights.get(ancestor_id)
         descendant_height = heights.get(descendant_id)
@@ -323,6 +467,23 @@ class BlockTree:
 
     def common_ancestor(self, a: str, b: str) -> str:
         """Lowest common ancestor of two blocks (always exists: genesis)."""
+        cols = self._columns
+        if cols is not None:
+            slots = cols.slots
+            parents = cols.parents
+            height = cols.height
+            sa, sb = slots[a], slots[b]
+            ha, hb = int(height[sa]), int(height[sb])
+            while ha > hb:
+                sa = parents[sa]
+                ha -= 1
+            while hb > ha:
+                sb = parents[sb]
+                hb -= 1
+            while sa != sb:
+                sa = parents[sa]
+                sb = parents[sb]
+            return cols.ids[sa]
         blocks = self._blocks
         height_a, height_b = self._heights[a], self._heights[b]
         # Equalize levels by walking exactly the height gap, then climb in
@@ -344,7 +505,77 @@ class BlockTree:
         This is the quantity GHOST greedily maximizes when descending the
         tree (Sompolinsky & Zohar; used by the Ethereum model).
         """
+        cols = self._columns
+        if cols is not None:
+            return float(cols.subtree_weight[cols.slots[block_id]])
         return self._subtree_weight[block_id]
+
+    def leaf_index(self) -> Optional[Tuple[List[str], Any, Any]]:
+        """(leaf ids, height column, cum-weight column) over current leaves.
+
+        The vectorized tip-selection input, cached per tree version;
+        ``None`` in reference-index mode (whose scalar loop is the
+        oracle the vectorized path is tested against).
+        """
+        cols = self._columns
+        if cols is None:
+            return None
+        cache = self._leaf_index_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        leaf_ids = list(self._leaves)
+        slots = cols.slots
+        if len(leaf_ids) <= 32:
+            # Fork trees carry a handful of live leaves; scalar column
+            # reads beat the fixed cost of building index arrays there.
+            height = cols.height
+            cum = cols.cum_weight
+            heights: List[int] = []
+            cums: List[float] = []
+            for leaf in leaf_ids:
+                slot = slots[leaf]
+                heights.append(int(height[slot]))
+                cums.append(float(cum[slot]))
+            value = (leaf_ids, heights, cums)
+        else:
+            idx = np.fromiter(
+                (slots[leaf] for leaf in leaf_ids), dtype=np.int64, count=len(leaf_ids)
+            )
+            value = (leaf_ids, cols.height[idx], cols.cum_weight[idx])
+        self._leaf_index_cache = (self._version, value)
+        return value
+
+    def ghost_tip(self) -> Optional[str]:
+        """GHOST's greedy heaviest-subtree descent on the columnar index.
+
+        Returns the tip block id, or ``None`` in reference-index mode
+        (the selection rule then runs its retained scalar descent).
+        Single-child levels skip the weight read entirely; ties break to
+        the larger block id, exactly as the scalar ``max`` over
+        ``(weight, child)`` keys does.
+        """
+        cols = self._columns
+        if cols is None:
+            return None
+        children = self._children
+        slots = cols.slots
+        sub = cols.subtree_weight
+        cursor = self._genesis.block_id
+        while True:
+            kids = children[cursor]
+            if not kids:
+                return cursor
+            if len(kids) == 1:
+                cursor = kids[0]
+                continue
+            best = kids[0]
+            best_weight = sub[slots[best]]
+            for kid in kids[1:]:
+                weight = sub[slots[kid]]
+                if weight > best_weight or (weight == best_weight and kid > best):
+                    best = kid
+                    best_weight = weight
+            cursor = best
 
     def fork_points(self) -> Tuple[str, ...]:
         """Blocks with two or more children, i.e. where forks occurred.
@@ -374,14 +605,21 @@ class BlockTree:
 
     def copy(self) -> "BlockTree":
         """Deep-enough copy sharing immutable blocks but not the indices."""
-        clone = BlockTree(self._genesis)
+        if self._columns is not None:
+            clone = BlockTree(self._genesis, index="columns")
+            clone._columns = self._columns.copy()
+        else:
+            clone = BlockTree(self._genesis, index="reference")
+            clone._heights = dict(self._heights)
+            clone._subtree_weight = dict(self._subtree_weight)
+            clone._cum_weight = dict(self._cum_weight)
         clone._blocks = dict(self._blocks)
         clone._children = {k: list(v) for k, v in self._children.items()}
-        clone._heights = dict(self._heights)
-        clone._subtree_weight = dict(self._subtree_weight)
         clone._height = self._height
         clone._leaves = dict(self._leaves)
-        clone._cum_weight = dict(self._cum_weight)
+        # The leaf-index memo's arrays are per-version copies, safe to
+        # share between content-identical trees.
+        clone._leaf_index_cache = self._leaf_index_cache
         clone._fork_points = dict(self._fork_points)
         clone._max_fork_degree = self._max_fork_degree
         clone._by_height = {k: list(v) for k, v in self._by_height.items()}
@@ -391,6 +629,15 @@ class BlockTree:
         clone._version = self._version
         clone._selection_memo = dict(self._selection_memo)
         return clone
+
+    def __setstate__(self, state):
+        # Trees checkpointed before the columnar index existed restore in
+        # reference mode (their dict indexes are the state).
+        self.__dict__.update(state)
+        if "_columns" not in state:
+            self._columns = None
+        if "_leaf_index_cache" not in state:
+            self._leaf_index_cache = None
 
     # -- presentation ---------------------------------------------------------
 

@@ -33,9 +33,61 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
 
+import numpy as np
+
 from repro.core.block import Blockchain
 from repro.core.blocktree import BlockTree
 from repro.core.score import LengthScore, ScoreFunction, WeightScore
+
+
+def _vector_tip(index, increment: float, by_length: bool) -> str:
+    """Winning tip over a columnar leaf index (see ``BlockTree.leaf_index``).
+
+    Reproduces the scalar ``max`` over ``(score, leaf_id)`` keys exactly:
+    the score expression performs the same IEEE-754 operations in the
+    same order as the per-leaf closure (``cum + increment * height``),
+    and score ties resolve to the lexicographically largest leaf id.
+    Small leaf sets (the overwhelmingly common case — fork trees carry a
+    handful of live leaves) arrive as plain lists and take a scalar
+    max-key loop; large ones arrive as numpy columns and are scored in
+    one vectorized expression.
+    """
+    leaf_ids, heights, cums = index
+    if len(leaf_ids) == 1:
+        return leaf_ids[0]
+    if isinstance(heights, list):
+        if by_length:
+            scores = heights
+        elif increment:
+            scores = [cum + increment * height for cum, height in zip(cums, heights)]
+        else:
+            scores = cums
+        best_score = scores[0]
+        best_leaf = leaf_ids[0]
+        for i in range(1, len(leaf_ids)):
+            score = scores[i]
+            if score > best_score:
+                best_score = score
+                best_leaf = leaf_ids[i]
+            elif score == best_score and leaf_ids[i] > best_leaf:
+                best_leaf = leaf_ids[i]
+        return best_leaf
+    if by_length:
+        scores = heights
+    elif increment:
+        scores = cums + increment * heights
+    else:
+        scores = cums
+    best = scores.max()
+    ties = np.flatnonzero(scores == best)
+    if len(ties) == 1:
+        return leaf_ids[int(ties[0])]
+    winner = None
+    for i in ties.tolist():
+        leaf = leaf_ids[i]
+        if winner is None or leaf > winner:
+            winner = leaf
+    return winner
 
 __all__ = [
     "SelectionFunction",
@@ -107,10 +159,17 @@ class ScoreMaximizingSelection:
         """
         score = self.score
         if isinstance(score, LengthScore):
+            index = tree.leaf_index()
+            if index is not None:
+                return _vector_tip(index, 0.0, True)
+
             def leaf_score(leaf: str) -> float:
                 return float(tree.height_of(leaf))
         elif isinstance(score, WeightScore):
             increment = score.min_increment
+            index = tree.leaf_index()
+            if index is not None:
+                return _vector_tip(index, increment, False)
             if increment:
                 def leaf_score(leaf: str) -> float:
                     return float(
@@ -182,17 +241,21 @@ class GHOSTSelection:
         cached = tree.cached_selection(self)
         if cached is not None:
             return cached
-        cursor = tree.genesis.block_id
-        while True:
-            children = tree.children_of(cursor)
-            if not children:
-                break
-            best: Optional[Tuple[float, str]] = None
-            for child in children:
-                key = (tree.subtree_weight(child), child)
-                if best is None or key > best:
-                    best = key
-            cursor = best[1]  # type: ignore[index]
+        cursor = tree.ghost_tip()
+        if cursor is None:
+            # Reference descent (dict-indexed trees): scalar comparison
+            # pass per level over the cached subtree weights.
+            cursor = tree.genesis.block_id
+            while True:
+                children = tree.children_of(cursor)
+                if not children:
+                    break
+                best: Optional[Tuple[float, str]] = None
+                for child in children:
+                    key = (tree.subtree_weight(child), child)
+                    if best is None or key > best:
+                        best = key
+                cursor = best[1]  # type: ignore[index]
         chain = tree.chain_to(cursor)
         tree.cache_selection(self, chain)
         return chain

@@ -210,6 +210,11 @@ def analyse_run(
         "events_processed": run.network.simulator.events_processed,
         "virtual_duration": spec.duration,
     }
+    if getattr(run.network.simulator, "callback_timer", None) is not None:
+        # Callback profiling enabled (repro bench --profile / timed_callbacks):
+        # surface how much of the drain loop was spent inside user callbacks.
+        network_dict["callback_seconds"] = run.network.simulator.callback_seconds
+        network_dict["drain_seconds"] = run.network.simulator.drain_seconds
 
     timings = {"run_seconds": run_seconds, "analysis_seconds": analysis_seconds}
     population = getattr(run, "population", None)

@@ -20,6 +20,15 @@ The loop itself is the calendar-queue pop protocol:
 
 Ordering is exactly the heap core's ``(time, seq)``; the equivalence
 tests assert recorded histories are byte-identical.
+
+Batch dispatch (the compiled callback plane): when the active run holds
+two or more *consecutive* entries sharing one interned method — detected
+by object identity, since interning stores exactly one method object per
+live id — and that method is registered in the core's span-handler table,
+the whole span is handed to the handler in one call instead of per-event
+dispatch.  The handler replays the scalar clock/guard protocol itself
+(see :func:`repro.network._hotpath.deliver_span`) and reports progress
+through a shared cell so exception-path accounting stays exact.
 """
 
 from __future__ import annotations
@@ -36,12 +45,27 @@ def drain_events(core, sim, until, max_events):
     events on the simulator even if a callback raises.  The run cursor
     is kept in a local and written back on every exit path (including
     exceptions); the loop itself is the only reader in between.
+
+    When ``sim.callback_timer`` is set (``timed_callbacks()`` profiling),
+    each dispatch is bracketed with the timer and accumulated onto
+    ``sim.callback_seconds`` — that is the numerator of the bench's
+    ``callback_share`` metric.
     """
     processed = 0
     overflow = core._overflow
     no_arg = core.no_arg
     pos = core._run_pos
     now = sim.now
+    spans = core._span_handlers
+    cell = core._span_cell
+    timer = getattr(sim, "callback_timer", None)
+    # Span end-scan memo: the run arrays are immutable while the run is
+    # active (mid-run schedules go to the overflow heap), so a scanned
+    # span boundary stays valid for the whole run.  Without the memo an
+    # overflow preemption mid-span would force a rescan of the remaining
+    # region on every resume — quadratic on callback-heavy floods.
+    span_end = 0
+    span_method = None
     try:
         while processed < max_events:
             if pos >= core._run_len and not overflow:
@@ -49,6 +73,8 @@ def drain_events(core, sim, until, max_events):
                 if not core._start_next_run():
                     break
                 pos = 0
+                span_end = 0
+                span_method = None
             run_times = core._run_times
             run_seqs = core._run_seqs
             run_methods = core._run_methods
@@ -78,15 +104,63 @@ def drain_events(core, sim, until, max_events):
                     _, _, method, arg = heappop(overflow)
                 else:
                     method = run_methods[pos]
+                    if (
+                        spans
+                        and pos + 1 < length
+                        and run_methods[pos + 1] is method
+                    ):
+                        handler = spans.get(method)
+                        if handler is not None:
+                            if method is span_method and pos < span_end:
+                                end = span_end
+                            else:
+                                end = pos + 2
+                                while end < length and run_methods[end] is method:
+                                    end += 1
+                                span_method = method
+                                span_end = end
+                            budget = pos + (max_events - processed)
+                            if end > budget:
+                                end = budget
+                            cell[0] = 0
+                            consumed = 0
+                            try:
+                                if timer is None:
+                                    consumed = handler(
+                                        run_times, run_seqs, run_args,
+                                        pos, end, until, cell,
+                                    )
+                                else:
+                                    t0 = timer()
+                                    consumed = handler(
+                                        run_times, run_seqs, run_args,
+                                        pos, end, until, cell,
+                                    )
+                                    sim.callback_seconds += timer() - t0
+                            finally:
+                                if consumed == 0:
+                                    consumed = cell[0]
+                                processed += consumed
+                                pos += consumed
+                                now = sim.now
+                            continue
                     arg = run_args[pos]
                     pos += 1
                 if time > now:
                     now = time
                     sim.now = time
-                if arg is no_arg:
-                    method()
+                if timer is None:
+                    if arg is no_arg:
+                        method()
+                    else:
+                        method(arg)
                 else:
-                    method(arg)
+                    t0 = timer()
+                    if arg is no_arg:
+                        method()
+                    else:
+                        method(arg)
+                    sim.callback_seconds += timer() - t0
                 processed += 1
     finally:
         core._run_pos = pos

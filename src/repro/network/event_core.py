@@ -31,10 +31,11 @@ with the run — this preserves exact ``(time, seq)`` order, so recorded
 histories are byte-identical to the heap core's (asserted by the
 equivalence suite).
 
-The drain loop is importable as a compiled extension when ``setup.py``
-was able to build it (mypyc/Cython); ``DRAIN_COMPILED`` reports which
-flavour is live.  Absent a compiler the pure-Python module is used and
-results are identical.
+The drain loop (:mod:`repro.network._drain`) and the callback-plane hot
+paths (:mod:`repro.network._hotpath`) are importable as compiled
+extensions when ``setup.py`` was able to build them (mypyc);
+``COMPILED_MODULES`` reports which flavour of each is live.  Absent a
+compiler the pure-Python modules are used and results are identical.
 """
 
 from __future__ import annotations
@@ -44,9 +45,15 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.network import _drain
+from repro.network import _drain, _hotpath
 
-__all__ = ["ArrayEventCore", "EVENT_DTYPE", "NO_ARG", "DRAIN_COMPILED"]
+__all__ = [
+    "ArrayEventCore",
+    "EVENT_DTYPE",
+    "NO_ARG",
+    "COMPILED_MODULES",
+    "DRAIN_COMPILED",
+]
 
 class _NoArgType:
     """Singleton type of :data:`NO_ARG`.
@@ -68,9 +75,22 @@ class _NoArgType:
 #: cores dispatch through the same identity check.
 NO_ARG = _NoArgType()
 
-#: True when the drain loop import resolved to a compiled extension
-#: (mypyc/Cython build); False under the pure-Python fallback.
-DRAIN_COMPILED = _drain.__file__.endswith((".so", ".pyd"))
+def _is_compiled(module) -> bool:
+    return str(getattr(module, "__file__", "")).endswith((".so", ".pyd"))
+
+
+#: Per-module report of which hot-path flavour is live: True when the
+#: import resolved to a compiled extension (mypyc build), False under
+#: the pure-Python fallback.  ``repro bench`` records this dict and the
+#: compiled-flavour CI job asserts every value is True.
+COMPILED_MODULES = {
+    "_drain": _is_compiled(_drain),
+    "_hotpath": _is_compiled(_hotpath),
+}
+
+#: Backwards-compatible alias (pre-PR10 name) for the drain-loop entry
+#: of :data:`COMPILED_MODULES`.
+DRAIN_COMPILED = COMPILED_MODULES["_drain"]
 
 EVENT_DTYPE = np.dtype(
     [("time", "f8"), ("seq", "i8"), ("method", "i2"), ("arg", "i8")]
@@ -303,6 +323,8 @@ class ArrayEventCore:
         "_run_pos",
         "_run_len",
         "_run_slot",
+        "_span_handlers",
+        "_span_cell",
     )
 
     def __init__(self, slot_width: float = 0.25) -> None:
@@ -335,6 +357,26 @@ class ArrayEventCore:
         self._run_pos = 0
         self._run_len = 0
         self._run_slot: Optional[int] = None
+        # Batch dispatch (the compiled callback plane): methods mapped
+        # here have same-method run spans handed to their handler in one
+        # call instead of per-event dispatch; the cell carries the
+        # handler's consumed count for exception-path accounting.
+        self._span_handlers: Dict[Any, Callable] = {}
+        self._span_cell: List[int] = [0]
+
+    def register_span_handler(self, method: Callable, handler: Callable) -> None:
+        """Route same-method run spans of ``method`` to ``handler``.
+
+        The drain loop probes consecutive run entries for *identity*
+        with the current method object (interning guarantees exactly one
+        object per live method id, so identity equals same-id) and, when
+        two or more share it, calls ``handler(times, seqs, args, pos,
+        end, until, cell)`` instead of dispatching each event.  The
+        handler must consume >= 1 event, return the consumed count, and
+        keep ``cell[0]`` current so an exception mid-span still accounts
+        the events it processed.
+        """
+        self._span_handlers[method] = handler
 
     # -- introspection ---------------------------------------------------------
 
@@ -362,6 +404,10 @@ class ArrayEventCore:
         return state
 
     def __setstate__(self, state):
+        # Slots added after a checkpoint format shipped get defaults
+        # first, so pre-PR10 snapshots restore cleanly.
+        self._span_handlers = {}
+        self._span_cell = [0]
         packed = state.pop("_buckets")
         for name, value in state.items():
             setattr(self, name, value)
@@ -389,6 +435,58 @@ class ArrayEventCore:
         bucket.stage.append((time, seq, mid, len(args)))
         args.append(arg)
         return seq
+
+    def schedule_small(
+        self,
+        now: float,
+        times: List[float],
+        method: Callable,
+        args: List[Any],
+        validate: bool = True,
+    ) -> int:
+        """Scalar-staged twin of :meth:`schedule_block` for small fan-outs.
+
+        At typical multicast sizes (a handful of receivers) the numpy
+        constants of :meth:`schedule_block` — asarray, astype, argsort —
+        cost more than the whole insert; this path stages each entry as
+        a plain tuple instead.  Sequence numbers, overflow routing and
+        method refcounts are identical to the block path (the method is
+        interned lazily so a fan-out routed entirely to the overflow
+        heap leaves no zero-ref table entry behind).
+        """
+        k = len(times)
+        if k == 0:
+            return 0
+        if validate:
+            for time in times:
+                if time < now:
+                    raise ValueError("cannot schedule into the past")
+        base = self._seq
+        self._seq = base + k
+        self._inserted += k
+        inv = self._inv_width
+        run_slot = self._run_slot
+        buckets = self._buckets
+        mid = -1
+        for i in range(k):
+            time = times[i]
+            slot = int(time * inv)
+            if run_slot is not None and slot <= run_slot:
+                heappush(self._overflow, (time, base + i, method, args[i]))
+                continue
+            bucket = buckets.get(slot)
+            if bucket is None:
+                bucket = _Bucket()
+                buckets[slot] = bucket
+                heappush(self._bucket_heap, slot)
+            if mid < 0:
+                mid = self._intern_method(method, 1)
+            else:
+                self._method_refs[mid] += 1
+            pool = bucket.args
+            bucket.stage.append((time, base + i, mid, len(pool)))
+            pool.append(args[i])
+        return k
 
     def schedule_block(
         self,
@@ -489,6 +587,35 @@ class ArrayEventCore:
         k = len(entries)
         if k == 0:
             return 0
+        if k < 16:
+            # Small batches: per-entry scalar staging (the ``push`` body,
+            # batch-validated first) beats the fromiter/argsort setup.
+            for entry in entries:
+                if entry[0] < now:
+                    raise ValueError("cannot schedule into the past")
+            base = self._seq
+            self._seq = base + k
+            self._inserted += k
+            inv = self._inv_width
+            run_slot = self._run_slot
+            buckets = self._buckets
+            for i in range(k):
+                time, method, arg = entries[i]
+                seq = base + i
+                slot = int(time * inv)
+                if run_slot is not None and slot <= run_slot:
+                    heappush(self._overflow, (time, seq, method, arg))
+                    continue
+                bucket = buckets.get(slot)
+                if bucket is None:
+                    bucket = _Bucket()
+                    buckets[slot] = bucket
+                    heappush(self._bucket_heap, slot)
+                mid = self._intern_method(method, 1)
+                pool = bucket.args
+                bucket.stage.append((time, seq, mid, len(pool)))
+                pool.append(arg)
+            return k
         times = np.fromiter((entry[0] for entry in entries), dtype=np.float64, count=k)
         if float(times.min()) < now:
             raise ValueError("cannot schedule into the past")
@@ -654,6 +781,29 @@ class ArrayEventCore:
                 mid = row[2]
                 methods.append(table[mid])
                 args.append(pool[row[3]])
+                release(mid, 1)
+        elif count == 0 and len(stage) + sum(len(b[3]) for b in blocks) <= 32:
+            # Small mixed bucket (a few scalar pushes plus small fan-out
+            # blocks — the sparse-traffic shape): a tuple merge and one
+            # list sort beat the concatenate/lexsort constants.
+            rows = []
+            for time, seq, mid, aidx in stage:
+                rows.append((time, seq, mid, pool[aidx]))
+            for bt, bs, bmid, bargs in blocks:
+                bt_list = bt.tolist()
+                bs_list = bs.tolist()
+                for i in range(len(bargs)):
+                    rows.append((bt_list[i], bs_list[i], bmid, bargs[i]))
+            rows.sort()  # seqs unique: (time, seq) decides, args never compared
+            times = []
+            seqs = []
+            methods = []
+            args = []
+            for time, seq, mid, arg in rows:
+                times.append(time)
+                seqs.append(seq)
+                methods.append(table[mid])
+                args.append(arg)
                 release(mid, 1)
         else:
             # Merge the structured rows, the staged scalars and the

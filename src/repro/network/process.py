@@ -19,9 +19,10 @@ Failure behaviours follow Section 4.2's Byzantine model:
 
 from __future__ import annotations
 
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Any, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.core.history import HistoryRecorder
+from repro.network import _hotpath
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.simulator import Message, Network
@@ -125,6 +126,37 @@ class Process:
 
     def on_message(self, message: "Message") -> None:
         """Called for every delivered message (override as needed)."""
+
+    def on_message_batch(
+        self, deliveries: List[Tuple[float, int, "Message"]]
+    ) -> int:
+        """Handle a run of consecutive deliveries addressed to this process.
+
+        ``deliveries`` holds ``(time, seq, message)`` triples in
+        ``(time, seq)`` order, handed over by the array core's batch
+        dispatch when consecutive queue entries share one delivery
+        callback.  The default implementation replays the exact scalar
+        semantics — advance the virtual clock, call :meth:`on_message`,
+        stop when this process dies or departs mid-batch or an overflow
+        event preempts the run — so subclasses that only override
+        :meth:`on_message` behave identically under both dispatch modes.
+        Returns the number of messages consumed (always >= 1); the
+        remainder is re-dispatched through the scalar guards.
+        """
+        return _hotpath.dispatch_batch(self, deliveries)
+
+    def batch_dup_seen(self) -> Optional[Set[str]]:
+        """Seen-block-id set for the batch plane's duplicate-flood skip.
+
+        Return the transport's delivered-block-id set **only** when a
+        duplicate ``BlockAnnouncement`` delivery is provably a no-op in
+        the scalar path (``on_message`` would just hit the transport's
+        seen-set and return).  The default is ``None`` — no skip; every
+        delivery dispatches through :meth:`on_message` — which is always
+        safe.  ``BlockchainReplica`` overrides this with the stock-hook
+        guards.
+        """
+        return None
 
     def crash(self) -> None:
         """Crash this process immediately."""

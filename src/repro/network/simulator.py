@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 from typing import (
@@ -53,6 +55,7 @@ from typing import (
 
 from repro.core.errors import UnknownVocabularyError
 from repro.core.history import HistoryRecorder
+from repro.network import _hotpath
 from repro.network.channels import batched_delays
 from repro.network.event_core import NO_ARG, ArrayEventCore
 
@@ -61,7 +64,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.network.process import Process
     from repro.network.topology import Topology
 
-__all__ = ["Simulator", "Message", "Network", "MULTICAST"]
+__all__ = ["Simulator", "Message", "Network", "MULTICAST", "timed_callbacks"]
+
+#: Module toggle read at :class:`Simulator` construction: when True, the
+#: run loops bracket every callback dispatch with ``perf_counter`` and
+#: accumulate ``callback_seconds`` / ``drain_seconds`` — the inputs of
+#: the bench's ``callback_share`` metric.  Off by default (two timer
+#: calls per event are measurable noise on the hot path).
+_TIMED_CALLBACKS = False
+
+
+@contextmanager
+def timed_callbacks():
+    """Enable per-callback timing on simulators created in this scope.
+
+    ``repro bench --profile`` wraps its measurement leg with this to
+    record what share of the drain is spent inside callbacks (the
+    ``callback_share`` trajectory number); tests and normal runs never
+    pay the timer overhead.
+    """
+    global _TIMED_CALLBACKS
+    previous = _TIMED_CALLBACKS
+    _TIMED_CALLBACKS = True
+    try:
+        yield
+    finally:
+        _TIMED_CALLBACKS = previous
 
 #: Receiver marker carried by a shared multicast envelope.  The actual
 #: recipient of each delivery is the queue entry's argument, not the
@@ -126,6 +154,27 @@ class Simulator:
         self._sequence = itertools.count()
         self.now: float = 0.0
         self.events_processed: int = 0
+        # callback_share instrumentation (see :func:`timed_callbacks`).
+        self.callback_timer: Optional[Callable[[], float]] = (
+            perf_counter if _TIMED_CALLBACKS else None
+        )
+        self.callback_seconds: float = 0.0
+        self.drain_seconds: float = 0.0
+
+    def register_batch_handler(
+        self, method: Callable[[Any], None], handler: Callable[..., int]
+    ) -> None:
+        """Route same-method event spans of ``method`` to ``handler``.
+
+        Forwarded to the array core's span-handler table (see
+        :meth:`ArrayEventCore.register_span_handler
+        <repro.network.event_core.ArrayEventCore.register_span_handler>`);
+        a no-op under the heap core, whose scalar loop is the oracle the
+        batch-dispatch plane is equivalence-tested against.
+        """
+        core = self._array_core
+        if core is not None:
+            core.register_span_handler(method, handler)
 
     def schedule(self, delay: float, action: Callable[[], None]) -> None:
         """Schedule ``action`` to run ``delay`` time units from now."""
@@ -224,6 +273,15 @@ class Simulator:
             args = [arg for _, arg in kept]
         core = self._array_core
         if core is not None:
+            if len(delays) < 16:
+                # Small fan-outs (typical multicast degree): the scalar
+                # staging path skips the asarray/argsort constants.  A
+                # Python float add is the same IEEE-754 operation as the
+                # vectorized broadcast, so timestamps are bit-identical.
+                times = [float(now + delay) for delay in delays]
+                return core.schedule_small(
+                    now, times, method, list(args), validate=False
+                )
             times = np.asarray(delays, dtype=np.float64) + now
             # Channel delays are non-negative by contract, so the block
             # cannot land before ``now`` — skip the validation pass.
@@ -332,15 +390,29 @@ class Simulator:
     def _drain_once(self, until: Optional[float], max_events: int) -> int:
         """Drain up to ``max_events`` events without the quiesce/clock tail."""
         core = self._array_core
-        if core is not None:
-            return core.drain(self, until, max_events)
-        return self._run_heap(until, max_events)
+        timer = getattr(self, "callback_timer", None)
+        if timer is None:
+            if core is not None:
+                return core.drain(self, until, max_events)
+            return self._run_heap(until, max_events)
+        t0 = timer()
+        try:
+            if core is not None:
+                return core.drain(self, until, max_events)
+            return self._run_heap(until, max_events)
+        finally:
+            self.drain_seconds += timer() - t0
 
     def _run_heap(self, until: Optional[float], max_events: int) -> int:
-        """The pre-array run loop, verbatim: pop tuples off one heapq."""
+        """The pre-array run loop, verbatim: pop tuples off one heapq.
+
+        (Plus the optional ``timed_callbacks`` brackets, so the heap
+        oracle leg reports the same ``callback_share`` metric.)
+        """
         queue = self._queue
         pop = heapq.heappop
         processed = 0
+        timer = getattr(self, "callback_timer", None)
         try:
             while queue and processed < max_events:
                 if until is not None and queue[0][0] > until:
@@ -348,10 +420,18 @@ class Simulator:
                 time, _, method, arg = pop(queue)
                 if time > self.now:
                     self.now = time
-                if arg is _NO_ARG:
-                    method()
+                if timer is None:
+                    if arg is _NO_ARG:
+                        method()
+                    else:
+                        method(arg)
                 else:
-                    method(arg)
+                    t0 = timer()
+                    if arg is _NO_ARG:
+                        method()
+                    else:
+                        method(arg)
+                    self.callback_seconds += timer() - t0
                 processed += 1
         finally:
             self.events_processed += processed
@@ -415,6 +495,15 @@ class Network:
         # counted, silently absorbed — rather than raising the unknown-
         # receiver KeyError reserved for genuine addressing bugs.
         self._departed: set = set()
+        # Receiver classification for the span batch-dispatch path
+        # (`_hotpath.deliver_span`): pids proven to take the straight
+        # scalar dispatch / the custom-``on_message_batch`` path.  Both
+        # are populated lazily per span and only *dropped* on membership
+        # change — a stale entry can at worst miss a duplicate-flood
+        # skip or dispatch scalar to a batch-capable receiver, and
+        # ``on_message_batch`` is required to be scalar-equivalent.
+        self._span_scalar: set = set()
+        self._span_batch_only: set = set()
         # Active message filters (fault models: partitions, eclipses).
         # Empty on the hot path; a fan-out blocked by a filter counts as
         # sent + dropped and consumes no channel randomness.
@@ -423,6 +512,16 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.messages_quarantined = 0
+        if batched:
+            # Compiled callback plane: consecutive queue entries sharing
+            # one delivery callback are handed to the span handlers in
+            # one call (scalar-exact; see `_hotpath.deliver_span`).  The
+            # scalar plane (`batched=False`) keeps per-event dispatch and
+            # is the equivalence oracle.
+            simulator.register_batch_handler(self._deliver, self._deliver_span)
+            simulator.register_batch_handler(
+                self._deliver_multicast, self._deliver_multicast_span
+            )
 
     # -- membership -------------------------------------------------------------
 
@@ -434,6 +533,8 @@ class Network:
         self._others.clear()
         self._topology_receivers.clear()
         self._departed.discard(process.pid)
+        self._span_scalar.discard(process.pid)
+        self._span_batch_only.discard(process.pid)
         if process.network is not self:
             # A rejoining process (churn) keeps its existing transport
             # wiring and merit registration; attaching again would reset
@@ -458,6 +559,8 @@ class Network:
         self._others.clear()
         self._topology_receivers.clear()
         self._departed.add(pid)
+        self._span_scalar.discard(pid)
+        self._span_batch_only.discard(pid)
         return process
 
     def process(self, pid: str) -> "Process":
@@ -672,29 +775,56 @@ class Network:
         return True
 
     def _deliver(self, message: Message) -> None:
-        process = self._processes.get(message.receiver)
-        if process is None:
-            # In flight when the receiver deregistered (churn): quarantined.
-            self.messages_quarantined += 1
-            return
-        if not process.alive:
-            # Crashed processes receive nothing.
-            return
-        self.messages_delivered += 1
-        process.on_message(message)
+        # Departed-pid / liveness guards live in one helper shared with
+        # the multicast twin and the compiled span path: a quarantined
+        # (deregistered) receiver absorbs the message, a crashed process
+        # receives nothing, a live one gets ``on_message``.
+        _hotpath.deliver_one(self, message.receiver, message)
 
     def _deliver_multicast(self, entry: Tuple[str, Message]) -> None:
         """Deliver a shared multicast envelope to one recipient."""
-        process = self._processes.get(entry[0])
-        if process is None:
-            # In flight when the receiver deregistered (churn): quarantined.
-            self.messages_quarantined += 1
-            return
-        if not process.alive:
-            # Crashed processes receive nothing.
-            return
-        self.messages_delivered += 1
-        process.on_message(entry[1])
+        _hotpath.deliver_one(self, entry[0], entry[1])
+
+    def _deliver_span(self, times, seqs, args, pos, end, until, cell) -> int:
+        """Batch-dispatch a span of consecutive ``_deliver`` events."""
+        return _hotpath.deliver_span(
+            self, times, seqs, args, pos, end, until, cell, False
+        )
+
+    def _deliver_multicast_span(self, times, seqs, args, pos, end, until, cell) -> int:
+        """Batch-dispatch a span of consecutive ``_deliver_multicast`` events."""
+        return _hotpath.deliver_span(
+            self, times, seqs, args, pos, end, until, cell, True
+        )
+
+    def batch_interrupted(self, process: "Process", time: float, seq: int) -> bool:
+        """Should an in-flight delivery batch stop before ``(time, seq)``?
+
+        True when the receiving process died or departed mid-batch (the
+        scalar guards must re-run), or when an event pushed into the
+        overflow heap by an earlier callback now sorts before the next
+        delivery.  Called by ``Process.on_message_batch`` between
+        messages; the remainder of the batch is re-dispatched through
+        the scalar-exact span loop.
+        """
+        if not process.alive or self._processes.get(process.pid) is not process:
+            return True
+        core = self.simulator._array_core
+        if core is not None and core._overflow:
+            head = core._overflow[0]
+            head_time = head[0]
+            if head_time < time or (head_time == time and head[1] < seq):
+                return True
+        return False
+
+    def _overflow_pending(self) -> bool:
+        """Any events in the array core's overflow heap right now?
+
+        The flood dedup fast path may skip per-message preemption checks
+        only while this is False (no event can sort into the batch).
+        """
+        core = self.simulator._array_core
+        return core is not None and bool(core._overflow)
 
     # -- lifecycle --------------------------------------------------------------------
 

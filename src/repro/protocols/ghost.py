@@ -71,6 +71,8 @@ def run_ethereum(
     oracle: Optional[TokenOracle] = None,
     monitor: Optional[ConsistencyMonitor] = None,
     topology: Optional[Topology] = None,
+    core: str = "array",
+    batched: bool = True,
     fault: Optional[FaultModel] = None,
 ) -> RunResult:
     """Run the Ethereum model (GHOST selection over the prodigal oracle).
@@ -94,6 +96,8 @@ def run_ethereum(
         replica_cls=EthereumReplica,
         monitor=monitor,
         topology=topology,
+        core=core,
+        batched=batched,
         fault=fault,
     )
     # Re-label: the harness was shared with the Bitcoin runner.

@@ -1,0 +1,117 @@
+"""Columnar block index vs the retained dict index (PR 10 oracle).
+
+``BlockTree`` now maintains its score indexes (heights, cumulative and
+subtree weights) on preallocated numpy columns maintained by the
+compiled callback plane's ``tree_append_index`` hot path; the pre-PR10
+per-block dicts are retained verbatim behind ``index="reference"``.
+These tests pin the two modes to each other on randomized fork-heavy
+trees — every query, every selection rule, bit-identical floats — and
+pin the new columns through the checkpoint boundary (pickle) and
+``copy()``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+import repro.core.blocktree as blocktree_module
+from repro.core.block import GENESIS_ID, Block
+from repro.core.blocktree import BlockTree
+from repro.core.selection import GHOSTSelection, HeaviestChain, LongestChain
+
+RULES = (LongestChain(), HeaviestChain(), GHOSTSelection())
+
+
+def _grow_pair(seed: int, blocks: int = 120):
+    """Grow one random fork-heavy tree under both index modes."""
+    rng = random.Random(seed)
+    columns = BlockTree(index="columns")
+    reference = BlockTree(index="reference")
+    ids = [GENESIS_ID]
+    for i in range(blocks):
+        parent = rng.choice(ids[-8:] if rng.random() < 0.7 else ids)
+        block_id = f"x{i}"
+        weight = rng.choice((0.5, 1.0, 1.0, 2.5))
+        columns.append(Block(block_id, parent, weight=weight))
+        reference.append(Block(block_id, parent, weight=weight))
+        ids.append(block_id)
+    return columns, reference, ids
+
+
+@pytest.mark.parametrize("seed", (1, 7, 23))
+def test_columns_match_reference_queries(seed: int):
+    columns, reference, ids = _grow_pair(seed)
+    assert columns.leaves() == reference.leaves()
+    assert columns.height == reference.height
+    for block_id in ids:
+        assert columns.height_of(block_id) == reference.height_of(block_id)
+        # Bit-identical floats: the columnar maintenance performs the
+        # same IEEE additions in the same order as the dict walk.
+        assert columns.cumulative_weight(block_id) == reference.cumulative_weight(block_id)
+        assert columns.subtree_weight(block_id) == reference.subtree_weight(block_id)
+
+
+@pytest.mark.parametrize("seed", (1, 7, 23))
+def test_columns_match_reference_selection(seed: int):
+    columns, reference, _ = _grow_pair(seed)
+    for rule in RULES:
+        assert rule(columns).ids == rule(reference).ids
+
+
+def test_default_index_is_columns_and_switchable():
+    assert blocktree_module.DEFAULT_INDEX == "columns"
+    assert BlockTree()._columns is not None
+    previous = blocktree_module.DEFAULT_INDEX
+    blocktree_module.DEFAULT_INDEX = "reference"
+    try:
+        assert BlockTree()._columns is None
+    finally:
+        blocktree_module.DEFAULT_INDEX = previous
+    with pytest.raises(ValueError):
+        BlockTree(index="btree")
+
+
+@pytest.mark.parametrize("seed", (1, 23))
+def test_columns_survive_pickle_roundtrip(seed: int):
+    """Checkpoints capture and restore the new index columns."""
+    columns, reference, ids = _grow_pair(seed)
+    restored = pickle.loads(pickle.dumps(columns))
+    assert restored._columns is not None
+    assert restored.leaves() == columns.leaves()
+    for block_id in ids:
+        assert restored.height_of(block_id) == columns.height_of(block_id)
+        assert restored.cumulative_weight(block_id) == columns.cumulative_weight(block_id)
+        assert restored.subtree_weight(block_id) == columns.subtree_weight(block_id)
+    for rule in RULES:
+        assert rule(restored).ids == rule(columns).ids
+    # The restored tree keeps growing identically on both planes.
+    for i, tree in enumerate((restored, columns, reference)):
+        tree.append(Block("post", "x0", weight=1.5))
+    assert restored.subtree_weight(GENESIS_ID) == reference.subtree_weight(GENESIS_ID)
+    assert restored.cumulative_weight("post") == reference.cumulative_weight("post")
+
+
+def test_copy_isolates_columns():
+    columns, _, _ = _grow_pair(5, blocks=40)
+    clone = columns.copy()
+    clone.append(Block("only-in-clone", "x0"))
+    assert "only-in-clone" in clone
+    assert "only-in-clone" not in columns
+    assert clone.subtree_weight("x0") != columns.subtree_weight("x0")
+
+
+def test_pre_columns_checkpoint_restores_in_reference_mode():
+    """Snapshots taken before the columnar index existed keep working."""
+    reference = BlockTree(index="reference")
+    reference.append(Block("x", GENESIS_ID))
+    state = reference.__dict__.copy()
+    state.pop("_columns")
+    old = BlockTree.__new__(BlockTree)
+    old.__setstate__(state)
+    assert old._columns is None
+    assert old.height_of("x") == 1
+    old.append(Block("y", "x", weight=2.0))
+    assert old.cumulative_weight("y") == 3.0

@@ -9,12 +9,23 @@ histories — every event, every timestamp, every read result — for all
 channel models and across dissemination topologies.  Anything less would
 mean the new core changed the simulated executions, not just their
 speed.
+
+PR 10 widens the oracle axis from the event *store* to the whole
+callback plane: the live leg (array core, batch dispatch, hot-path
+recorder, columnar block index) is additionally checked against the
+fully retained pure/scalar plane (heap core, per-message dispatch,
+``reference_recording()`` recorder, ``DEFAULT_INDEX="reference"`` dict
+index) — the same oracle leg the perf bench times against.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import pytest
 
+import repro.core.blocktree as blocktree_module
+from repro.core.history import reference_recording
 from repro.core.selection import HeaviestChain
 from repro.network.channels import (
     AsynchronousChannel,
@@ -85,7 +96,28 @@ def _fault(kind: str):
     return build_fault(kind, params[kind])
 
 
-def _run(kind: str, seed: int, core: str, faulty: bool, topology: str = "full", fault=None):
+@contextmanager
+def _reference_plane():
+    """Route new trees and recorders through the retained pure plane."""
+    previous = blocktree_module.DEFAULT_INDEX
+    blocktree_module.DEFAULT_INDEX = "reference"
+    try:
+        with reference_recording():
+            yield
+    finally:
+        blocktree_module.DEFAULT_INDEX = previous
+
+
+def _run(
+    kind: str,
+    seed: int,
+    core: str,
+    faulty: bool,
+    topology: str = "full",
+    fault=None,
+    batched: bool = True,
+    reference: bool = False,
+):
     tapes = TapeFamily(seed=seed, probability_scale=0.5)
     oracle = ProdigalOracle(tapes=tapes)
 
@@ -97,17 +129,24 @@ def _run(kind: str, seed: int, core: str, faulty: bool, topology: str = "full", 
             return CrashingMiner(pid, orc, config, mining_interval=1.0, crash_at=20.0)
         return NakamotoReplica(pid, orc, config, mining_interval=1.0)
 
-    return run_protocol(
-        f"core-equiv-{kind}",
-        factory,
-        oracle,
-        n=5,
-        duration=50.0,
-        channel=_channel(kind, seed),
-        topology=_topology(topology, seed),
-        core=core,
-        fault=fault,
-    )
+    def execute():
+        return run_protocol(
+            f"core-equiv-{kind}",
+            factory,
+            oracle,
+            n=5,
+            duration=50.0,
+            channel=_channel(kind, seed),
+            topology=_topology(topology, seed),
+            core=core,
+            batched=batched,
+            fault=fault,
+        )
+
+    if reference:
+        with _reference_plane():
+            return execute()
+    return execute()
 
 
 @pytest.mark.parametrize("kind", ("synchronous", "asynchronous", "partial", "lossy", "targeted"))
@@ -157,6 +196,60 @@ def test_histories_identical_for_every_fault_kind(fault_kind: str, kind: str):
     assert array.network.messages_dropped == heap.network.messages_dropped
     assert array.network.messages_quarantined == heap.network.messages_quarantined
     assert array.network.simulator.events_processed == heap.network.simulator.events_processed
+
+
+@pytest.mark.parametrize("kind", ("synchronous", "asynchronous", "partial", "lossy", "targeted"))
+def test_histories_identical_live_vs_reference_plane(kind: str):
+    """The full callback-plane oracle: live vs pure/scalar, per channel.
+
+    Live = array core + batch dispatch + hot-path recorder + columnar
+    index.  Oracle = heap core + per-message dispatch + reference
+    recorder + dict index — every PR 10 fast path swapped out at once,
+    exactly the leg the perf bench times against.
+    """
+    live = _run(kind, seed=9, core="array", faulty=False)
+    oracle = _run(kind, seed=9, core="heap", faulty=False, batched=False, reference=True)
+    assert live.history.events == oracle.history.events
+    assert live.network.messages_sent == oracle.network.messages_sent
+    assert live.network.messages_delivered == oracle.network.messages_delivered
+    assert live.network.messages_dropped == oracle.network.messages_dropped
+    assert live.network.messages_quarantined == oracle.network.messages_quarantined
+    assert live.network.simulator.events_processed == oracle.network.simulator.events_processed
+
+
+@pytest.mark.parametrize("topology", ("full", "gossip", "sharded"))
+def test_live_vs_reference_plane_across_topologies(topology: str):
+    live = _run("synchronous", seed=5, core="array", faulty=False, topology=topology)
+    oracle = _run(
+        "synchronous", seed=5, core="heap", faulty=False,
+        topology=topology, batched=False, reference=True,
+    )
+    assert live.history.events == oracle.history.events
+    assert live.network.messages_sent == oracle.network.messages_sent
+    assert live.network.messages_delivered == oracle.network.messages_delivered
+
+
+@pytest.mark.parametrize("fault_kind", sorted(available_faults()))
+def test_live_vs_reference_plane_for_every_fault_kind(fault_kind: str):
+    """Membership churn and partitions exercise the dup-skip guards."""
+    live = _run("lossy", seed=13, core="array", faulty=False, fault=_fault(fault_kind))
+    oracle = _run(
+        "lossy", seed=13, core="heap", faulty=False,
+        fault=_fault(fault_kind), batched=False, reference=True,
+    )
+    assert live.history.events == oracle.history.events
+    assert live.network.messages_delivered == oracle.network.messages_delivered
+    assert live.network.messages_quarantined == oracle.network.messages_quarantined
+
+
+@pytest.mark.parametrize("kind", ("synchronous", "asynchronous", "partial", "lossy", "targeted"))
+def test_batch_dispatch_matches_scalar_dispatch(kind: str):
+    """Isolate batch dispatch: same array core, spans on vs off."""
+    batched = _run(kind, seed=17, core="array", faulty=True)
+    scalar = _run(kind, seed=17, core="array", faulty=True, batched=False)
+    assert batched.history.events == scalar.history.events
+    assert batched.network.messages_delivered == scalar.network.messages_delivered
+    assert batched.network.simulator.events_processed == scalar.network.simulator.events_processed
 
 
 def test_fork_heavy_run_actually_forks():
